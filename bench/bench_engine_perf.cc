@@ -1,0 +1,172 @@
+// Engine performance benchmarks (google-benchmark): the substrate ablations
+// DESIGN.md calls out — semi-naive vs naive evaluation, stratified vs
+// well-founded semantics, transducer network simulation scaling, and the
+// monotonicity checker.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+#include "datalog/wellfounded.h"
+#include "monotonicity/checker.h"
+#include "queries/graph_queries.h"
+#include "transducer/network.h"
+#include "transducer/policy.h"
+#include "transducer/runner.h"
+#include "transducer/strategies.h"
+#include "workload/graph_gen.h"
+
+namespace {
+
+using namespace calm;  // NOLINT
+
+const datalog::Program& TcProgram() {
+  static const datalog::Program* kProgram =
+      new datalog::Program(datalog::ParseOrDie(
+          "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). .output T"));
+  return *kProgram;
+}
+
+void BM_TransitiveClosureSemiNaive(benchmark::State& state) {
+  Instance input =
+      workload::RandomGraphM(state.range(0), 3 * state.range(0), /*seed=*/7);
+  datalog::EvalOptions opts;
+  opts.semi_naive = true;
+  size_t derived = 0;
+  for (auto _ : state) {
+    Result<Instance> out = datalog::Evaluate(TcProgram(), input, opts);
+    benchmark::DoNotOptimize(out);
+    derived = out.ok() ? out->size() : 0;
+  }
+  state.counters["facts"] = static_cast<double>(derived);
+}
+BENCHMARK(BM_TransitiveClosureSemiNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransitiveClosureNaive(benchmark::State& state) {
+  Instance input =
+      workload::RandomGraphM(state.range(0), 3 * state.range(0), /*seed=*/7);
+  datalog::EvalOptions opts;
+  opts.semi_naive = false;
+  for (auto _ : state) {
+    Result<Instance> out = datalog::Evaluate(TcProgram(), input, opts);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TransitiveClosureNaive)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_StratifiedComplementTc(benchmark::State& state) {
+  datalog::Program program = datalog::ParseOrDie(
+      "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).\n"
+      "O(x, y) :- Adom(x), Adom(y), !T(x, y). .output O");
+  Instance input =
+      workload::RandomGraphM(state.range(0), 2 * state.range(0), /*seed=*/3);
+  for (auto _ : state) {
+    Result<Instance> out = datalog::Evaluate(program, input);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_StratifiedComplementTc)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WellFoundedWinMove(benchmark::State& state) {
+  datalog::Program program =
+      datalog::ParseOrDie("Win(x) :- Move(x, y), !Win(y).");
+  Instance graph =
+      workload::RandomGraphM(state.range(0), 2 * state.range(0), /*seed=*/5);
+  Instance input;
+  for (const Tuple& t : graph.TuplesOf(InternName("E"))) {
+    input.Insert(Fact("Move", t));
+  }
+  for (auto _ : state) {
+    Result<datalog::WellFoundedModel> m =
+        datalog::EvaluateWellFounded(program, input);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_WellFoundedWinMove)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BroadcastNetworkTc(benchmark::State& state) {
+  auto tc = queries::MakeTransitiveClosure();
+  auto t = transducer::MakeBroadcastTransducer(tc.get());
+  transducer::Network nodes;
+  for (int64_t k = 0; k < state.range(0); ++k) {
+    nodes.push_back(Value::FromInt(900 + k));
+  }
+  transducer::HashPolicy policy(nodes);
+  Instance input = workload::RandomGraphM(12, 30, /*seed=*/2);
+  for (auto _ : state) {
+    transducer::TransducerNetwork network(nodes, t.get(), &policy,
+                                          transducer::ModelOptions::Original());
+    (void)network.Initialize(input);
+    Result<transducer::RunResult> r = transducer::RunToQuiescence(network);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BroadcastNetworkTc)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DomainRequestNetworkWinMove(benchmark::State& state) {
+  auto win = queries::MakeWinMove();
+  auto t = transducer::MakeDomainRequestTransducer(win.get());
+  transducer::Network nodes;
+  for (int64_t k = 0; k < state.range(0); ++k) {
+    nodes.push_back(Value::FromInt(900 + k));
+  }
+  transducer::HashDomainGuidedPolicy policy(nodes);
+  Instance graph = workload::RandomGraphM(10, 20, /*seed=*/8);
+  Instance input;
+  for (const Tuple& tu : graph.TuplesOf(InternName("E"))) {
+    input.Insert(Fact("Move", tu));
+  }
+  for (auto _ : state) {
+    transducer::TransducerNetwork network(
+        nodes, t.get(), &policy, transducer::ModelOptions::PolicyAware());
+    (void)network.Initialize(input);
+    Result<transducer::RunResult> r = transducer::RunToQuiescence(network);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DomainRequestNetworkWinMove)->Arg(2)->Arg(4);
+
+// A rule written in pessimal order: B(z), A(x) is a cartesian product
+// unless the compiler reorders to chain through the E atoms.
+void BM_JoinOrderPessimalRule(benchmark::State& state) {
+  datalog::Program program = datalog::ParseOrDie(
+      "O(x, z) :- B(z), A(x), E(x, y), E(y, z). .output O");
+  Instance input = workload::RandomGraphM(state.range(0), 3 * state.range(0),
+                                          /*seed=*/9);
+  for (uint64_t v = 0; v < static_cast<uint64_t>(state.range(0)); v += 2) {
+    input.Insert(Fact("A", {Value::FromInt(v)}));
+    input.Insert(Fact("B", {Value::FromInt(v + 1)}));
+  }
+  datalog::EvalOptions opts;
+  opts.reorder_joins = state.range(1) != 0;
+  for (auto _ : state) {
+    Result<Instance> out = datalog::Evaluate(program, input, opts);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_JoinOrderPessimalRule)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({96, 0})
+    ->Args({96, 1});
+
+void BM_MonotonicityCheckExhaustive(benchmark::State& state) {
+  auto qtc = queries::MakeComplementTransitiveClosure();
+  monotonicity::ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  o.fresh_values = 1;
+  o.max_facts_j = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = monotonicity::FindViolation(
+        *qtc, monotonicity::MonotonicityClass::kDomainDisjoint, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MonotonicityCheckExhaustive)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

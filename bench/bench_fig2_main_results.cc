@@ -1,0 +1,204 @@
+// Reproduces Figure 2 — the paper's summary diagram — edge by edge:
+//
+//   Datalog(!=)  (  M         = F0 = A0
+//   SP-Datalog   (  Mdistinct = E  = F1 = A1
+//   semicon-D¬   (  Mdisjoint      = F2 = A2
+//
+// Columns: fragment membership is decided syntactically; monotonicity and
+// preservation classes by the bounded checkers; F/A columns by simulating
+// the corresponding strategy transducer on networks (correctness across
+// fair schedules + the Definition 3 heartbeat-prefix witness).
+
+#include <memory>
+
+#include "bench/report.h"
+#include "monotonicity/checker.h"
+#include "monotonicity/preservation.h"
+#include "queries/graph_queries.h"
+#include "queries/paper_programs.h"
+#include "transducer/coordination.h"
+#include "transducer/network.h"
+#include "transducer/policy.h"
+#include "transducer/runner.h"
+#include "transducer/strategies.h"
+#include "workload/graph_gen.h"
+
+using namespace calm;                // NOLINT
+using namespace calm::monotonicity;  // NOLINT
+using namespace calm::transducer;    // NOLINT
+
+namespace {
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+bool InClass(const Query& q, MonotonicityClass cls) {
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  o.fresh_values = 2;
+  o.max_facts_j = 2;
+  Result<std::optional<Counterexample>> r = FindViolation(q, cls, o);
+  return r.ok() && !r->has_value();
+}
+
+// "Computable coordination-free with strategy S": the strategy transducer
+// computes Q on a 2-node network under round-robin + random schedules AND
+// passes the heartbeat-prefix test.
+bool StrategyComputes(const Query& q, const Transducer& t,
+                      const DistributionPolicy& policy,
+                      const ModelOptions& model, const Instance& input) {
+  Network nodes{V(900), V(901)};
+  Instance expected = q.Eval(input).value();
+  std::unique_ptr<TransducerNetwork> holder;
+  auto make = [&]() -> Result<TransducerNetwork*> {
+    holder = std::make_unique<TransducerNetwork>(nodes, &t, &policy, model);
+    CALM_RETURN_IF_ERROR(holder->Initialize(input));
+    return holder.get();
+  };
+  ConsistencyOptions co;
+  co.random_runs = 2;
+  Result<Instance> out = RunConsistently(make, co);
+  if (!out.ok() || out.value() != expected) return false;
+  Result<bool> hb =
+      HeartbeatPrefixComputes(t, model, nodes, nodes[0], input, expected);
+  return hb.ok() && hb.value();
+}
+
+}  // namespace
+
+int main() {
+  bench::Report report("Figure 2 — the main-results diagram, re-derived");
+
+  // ------------------------------------------------------------------
+  report.Section("row 1: Datalog(!=) ( M = F0 = A0");
+  {
+    datalog::DatalogQuery tc = queries::TcProgram();
+    report.Check("TC program is positive Datalog",
+                 tc.fragment().positive && !tc.fragment().uses_inequalities);
+    report.Check("TC in M", InClass(tc, MonotonicityClass::kMonotone));
+
+    auto tcq = queries::MakeTransitiveClosure();
+    auto bcast = MakeBroadcastTransducer(tcq.get());
+    Network nodes{V(900), V(901)};
+    HashPolicy policy(nodes);
+    Instance input = workload::RandomGraph(6, 0.3, 1);
+    report.Check("TC in F0 (broadcast on the original model)",
+                 StrategyComputes(*tcq, *bcast, policy,
+                                  ModelOptions::Original(), input));
+    report.Check("TC in A0 (broadcast obliviously, no Id/All)",
+                 StrategyComputes(*tcq, *bcast, policy,
+                                  ModelOptions::Oblivious(), input));
+    // Strictness Datalog(!=) ( M: a monotone query outside Datalog(!=)
+    // needs e.g. a non-hom-preserved monotone query; the folklore witness
+    // is "E with distinct endpoints" — in M, requires !=, and the class H
+    // (plain Datalog's home) rejects it:
+    NativeQuery nle("non-loop-edges", Schema({{"E", 2}}), Schema({{"O", 2}}),
+                    [](const Instance& in) -> Result<Instance> {
+                      Instance out;
+                      for (const Tuple& t : in.TuplesOf(InternName("E"))) {
+                        if (t[0] != t[1]) out.Insert(Fact("O", t));
+                      }
+                      return out;
+                    });
+    PreservationOptions po;
+    po.domain_size = 2;
+    po.max_facts = 2;
+    Result<std::optional<PreservationViolation>> h =
+        FindPreservationViolation(nle, PreservationClass::kHomomorphisms, po);
+    report.Check("strictness: non-loop-edges in M but not in H",
+                 InClass(nle, MonotonicityClass::kMonotone) && h.ok() &&
+                     h->has_value());
+  }
+
+  // ------------------------------------------------------------------
+  report.Section("row 2: SP-Datalog ( Mdistinct = E = F1 = A1");
+  {
+    datalog::DatalogQuery sp = datalog::DatalogQuery::FromTextOrDie(
+        "O(x) :- V(x), !S(x).", "v-minus-s-sp");
+    report.Check("V\\S program is SP-Datalog", sp.fragment().semi_positive);
+    report.Check("V\\S in Mdistinct",
+                 InClass(sp, MonotonicityClass::kDomainDistinct));
+    PreservationOptions po;
+    po.domain_size = 2;
+    po.max_facts = 2;
+    Result<std::optional<PreservationViolation>> e =
+        FindPreservationViolation(sp, PreservationClass::kExtensions, po);
+    report.Check("V\\S in E (= Mdistinct)", e.ok() && !e->has_value());
+
+    auto absence = MakeAbsenceTransducer(&sp);
+    Network nodes{V(900), V(901)};
+    HashPolicy policy(nodes);
+    Instance input{Fact("V", {V(1)}), Fact("V", {V(2)}), Fact("S", {V(2)})};
+    report.Check("V\\S in F1 (absence strategy, policy-aware model)",
+                 StrategyComputes(sp, *absence, policy,
+                                  ModelOptions::PolicyAware(), input));
+    report.Check("V\\S in A1 (absence strategy, no All)",
+                 StrategyComputes(sp, *absence, policy,
+                                  ModelOptions::PolicyAwareNoAll(), input));
+    // Strictness SP-Datalog ( Mdistinct: Q_clique_3 is in no M^k_distinct
+    // beyond k=1... the clean witness for "in Mdistinct, beyond SP" is the
+    // value-invention query of Cabibbo; here we verify the inclusion
+    // direction only and mark strictness via the bounded clique ladder:
+    auto clique = queries::MakeCliqueQuery(3);
+    report.Check("Q_clique_3 outside Mdistinct (not all of M^i collapse)",
+                 !InClass(*clique, MonotonicityClass::kDomainDistinct));
+  }
+
+  // ------------------------------------------------------------------
+  report.Section("row 3: semicon-Datalog¬ ( Mdisjoint = F2 = A2");
+  {
+    datalog::DatalogQuery qtc = queries::ComplementTcProgram();
+    report.Check("Q_TC program is semicon-Datalog¬",
+                 qtc.fragment().semi_connected &&
+                     !qtc.fragment().semi_positive);
+    report.Check("Q_TC in Mdisjoint",
+                 InClass(qtc, MonotonicityClass::kDomainDisjoint));
+    report.Check("Q_TC outside Mdistinct (rows are strict)",
+                 !InClass(qtc, MonotonicityClass::kDomainDistinct));
+
+    auto native_qtc = queries::MakeComplementTransitiveClosure();
+    auto request = MakeDomainRequestTransducer(native_qtc.get());
+    Network nodes{V(900), V(901)};
+    HashDomainGuidedPolicy policy(nodes);
+    Instance input = workload::Path(4);
+    report.Check("Q_TC in F2 (domain-request, domain-guided policies)",
+                 StrategyComputes(*native_qtc, *request, policy,
+                                  ModelOptions::PolicyAware(), input));
+    report.Check("Q_TC in A2 (domain-request, no All)",
+                 StrategyComputes(*native_qtc, *request, policy,
+                                  ModelOptions::PolicyAwareNoAll(), input));
+
+    // Strictness semicon ( Mdisjoint is witnessed by win-move: in
+    // Mdisjoint, yet not expressible in semicon-Datalog¬ under stratified
+    // semantics (it is unstratifiable); we verify its Mdisjoint membership
+    // and its F2 membership.
+    auto win = queries::MakeWinMove();
+    report.Check("win-move in Mdisjoint",
+                 InClass(*win, MonotonicityClass::kDomainDisjoint));
+    auto win_t = MakeDomainRequestTransducer(win.get());
+    Instance game{Fact("Move", {V(0), V(1)}), Fact("Move", {V(1), V(2)})};
+    report.Check("win-move in F2",
+                 StrategyComputes(*win, *win_t, policy,
+                                  ModelOptions::PolicyAware(), game));
+  }
+
+  // ------------------------------------------------------------------
+  report.Section("column strictness: M ( Mdistinct ( Mdisjoint ( C");
+  {
+    auto qtc = queries::MakeComplementTransitiveClosure();
+    auto win = queries::MakeWinMove();
+    auto tri = queries::MakeTrianglesUnlessTwoDisjoint();
+    report.Check("Q_TC: Mdisjoint yes / Mdistinct no",
+                 InClass(*qtc, MonotonicityClass::kDomainDisjoint) &&
+                     !InClass(*qtc, MonotonicityClass::kDomainDistinct));
+    report.Check("win-move: Mdisjoint yes / M no",
+                 InClass(*win, MonotonicityClass::kDomainDisjoint) &&
+                     !InClass(*win, MonotonicityClass::kMonotone));
+    Result<std::optional<Counterexample>> r = CheckPair(
+        *tri, workload::Cycle(3), workload::Cycle(3, /*base=*/100));
+    report.Check("triangle query computable but outside Mdisjoint",
+                 r.ok() && r->has_value());
+  }
+
+  return report.Finish();
+}

@@ -1,0 +1,67 @@
+#ifndef CALM_BENCH_REPORT_H_
+#define CALM_BENCH_REPORT_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace calm::bench {
+
+// Tiny reporting helper for the reproduction harnesses: prints sections and
+// verdict rows, tracks failures, and returns a process exit code. Each bench
+// binary re-derives one figure/theorem of the paper and prints the claims it
+// verified.
+class Report {
+ public:
+  explicit Report(const std::string& title) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+  }
+
+  void Section(const std::string& name) {
+    std::printf("\n--- %s ---\n", name.c_str());
+  }
+
+  // A free-form line.
+  void Line(const char* format, ...) __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, format);
+    std::vprintf(format, args);
+    va_end(args);
+    std::printf("\n");
+  }
+
+  // A verified claim: prints ok/FAIL and records the verdict.
+  void Check(const std::string& claim, bool ok, const std::string& detail = "") {
+    std::printf("  [%s] %s%s%s\n", ok ? " ok " : "FAIL", claim.c_str(),
+                detail.empty() ? "" : " — ", detail.c_str());
+    ++total_;
+    if (!ok) {
+      ++failed_;
+      failures_.push_back(claim);
+    }
+  }
+
+  // Prints the summary; returns 0 iff every check passed.
+  int Finish() {
+    std::printf("\n%zu/%zu claims verified", total_ - failed_, total_);
+    if (failed_ > 0) {
+      std::printf("; FAILED:\n");
+      for (const std::string& f : failures_) std::printf("  - %s\n", f.c_str());
+    } else {
+      std::printf(".\n");
+    }
+    return failed_ == 0 ? 0 : 1;
+  }
+
+ private:
+  size_t total_ = 0;
+  size_t failed_ = 0;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace calm::bench
+
+#endif  // CALM_BENCH_REPORT_H_

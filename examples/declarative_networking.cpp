@@ -1,0 +1,78 @@
+// Declarative networking end to end: distribute a graph over a simulated
+// asynchronous 3-node cluster, run the coordination-free broadcast strategy
+// for the (monotone) transitive-closure query under several fair schedules,
+// and confirm every run yields the same, correct answer — the CALM promise.
+
+#include <cstdio>
+#include <memory>
+
+#include "queries/graph_queries.h"
+#include "transducer/coordination.h"
+#include "transducer/network.h"
+#include "transducer/policy.h"
+#include "transducer/runner.h"
+#include "transducer/strategies.h"
+#include "workload/graph_gen.h"
+
+using namespace calm;             // NOLINT — example brevity
+using namespace calm::transducer; // NOLINT
+
+int main() {
+  auto tc = queries::MakeTransitiveClosure();
+  auto node_program = MakeBroadcastTransducer(tc.get());
+
+  Network nodes{Value::FromInt(100), Value::FromInt(101), Value::FromInt(102)};
+  HashPolicy policy(nodes);
+  Instance input = workload::RandomGraph(10, 0.2, /*seed=*/42);
+  Instance expected = tc->Eval(input).value();
+
+  std::printf("input: %zu edges over %zu vertices; expected closure: %zu pairs\n",
+              input.size(), input.ActiveDomain().size(), expected.size());
+
+  // Show the initial distribution.
+  TransducerNetwork network(nodes, node_program.get(), &policy,
+                            ModelOptions::Original());
+  if (!network.Initialize(input).ok()) return 1;
+  for (Value n : nodes) {
+    std::printf("  node %s holds %zu local edges\n",
+                ValueToString(n).c_str(), network.local_input(n).size());
+  }
+
+  // Run under round-robin and several random fair schedules.
+  std::printf("\n%-14s %-12s %-10s %-10s %-8s\n", "schedule", "transitions",
+              "sent", "delivered", "correct");
+  for (int run = 0; run < 4; ++run) {
+    TransducerNetwork net(nodes, node_program.get(), &policy,
+                          ModelOptions::Original());
+    if (!net.Initialize(input).ok()) return 1;
+    RunOptions ro;
+    std::string label;
+    if (run == 0) {
+      ro.scheduler = RunOptions::SchedulerKind::kRoundRobin;
+      label = "round-robin";
+    } else {
+      ro.scheduler = RunOptions::SchedulerKind::kRandom;
+      ro.seed = 1000 + run;
+      label = "random#" + std::to_string(run);
+    }
+    Result<RunResult> r = RunToQuiescence(net, ro);
+    if (!r.ok()) {
+      std::printf("run failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %-12zu %-10zu %-10zu %-8s\n", label.c_str(),
+                r->stats.transitions, r->stats.messages_sent,
+                r->stats.messages_delivered,
+                r->output == expected ? "yes" : "NO");
+  }
+
+  // Coordination-freeness witness (Definition 3): under the ideal all-to-one
+  // policy, one node computes the answer with heartbeats alone.
+  Result<bool> hb = HeartbeatPrefixComputes(*node_program,
+                                            ModelOptions::Original(), nodes,
+                                            nodes[0], input, expected);
+  std::printf("\nheartbeat-only prefix on the ideal distribution computes the "
+              "query: %s\n",
+              hb.ok() && hb.value() ? "yes" : "NO");
+  return 0;
+}

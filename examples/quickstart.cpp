@@ -1,0 +1,73 @@
+// Quickstart: parse a Datalog¬ program, classify its fragment, evaluate it,
+// and empirically place the query in the monotonicity hierarchy of the
+// paper's Figure 1.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "datalog/program.h"
+#include "monotonicity/checker.h"
+#include "workload/graph_gen.h"
+
+using calm::Instance;
+using calm::datalog::DatalogQuery;
+using calm::monotonicity::Counterexample;
+using calm::monotonicity::ExhaustiveOptions;
+using calm::monotonicity::FindViolation;
+using calm::monotonicity::MonotonicityClass;
+using calm::monotonicity::MonotonicityClassName;
+
+int main() {
+  // The complement-of-transitive-closure query Q_TC from the paper: a
+  // 2-stratum semicon-Datalog¬ program.
+  DatalogQuery query = DatalogQuery::FromTextOrDie(
+      "T(x, y) :- E(x, y).\n"
+      "T(x, z) :- T(x, y), E(y, z).\n"
+      "O(x, y) :- Adom(x), Adom(y), !T(x, y).\n",
+      "Q_TC");
+
+  std::printf("program:\n%s\n",
+              calm::datalog::ProgramToString(query.program()).c_str());
+  std::printf("fragment: %s\n", query.fragment().FragmentName().c_str());
+
+  // Evaluate on a small graph: a path 0 -> 1 -> 2 -> 3.
+  Instance input = calm::workload::Path(4);
+  calm::Result<Instance> output = query.Eval(input);
+  if (!output.ok()) {
+    std::printf("evaluation failed: %s\n", output.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("input:  %s\n", input.ToString().c_str());
+  std::printf("output: %s\n", output->ToString().c_str());
+
+  // Place the query in the monotonicity hierarchy (bounded evidence).
+  ExhaustiveOptions opts;
+  opts.domain_size = 2;
+  opts.max_facts_i = 2;
+  opts.fresh_values = 1;
+  opts.max_facts_j = 2;
+  for (MonotonicityClass cls :
+       {MonotonicityClass::kMonotone, MonotonicityClass::kDomainDistinct,
+        MonotonicityClass::kDomainDisjoint}) {
+    calm::Result<std::optional<Counterexample>> found =
+        FindViolation(query, cls, opts);
+    if (!found.ok()) {
+      std::printf("check failed: %s\n", found.status().ToString().c_str());
+      return 1;
+    }
+    if (found->has_value()) {
+      std::printf("NOT in %-10s  counterexample: %s\n",
+                  MonotonicityClassName(cls), found->value().ToString().c_str());
+    } else {
+      std::printf("in     %-10s  (no violation in the bounded search space)\n",
+                  MonotonicityClassName(cls));
+    }
+  }
+  std::printf(
+      "\n=> Q_TC sits in Mdisjoint \\ Mdistinct: by the paper's Theorem 4.4 it\n"
+      "   is computable coordination-free under domain-guided distribution,\n"
+      "   but not under arbitrary policies (Theorem 4.3).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "base/components.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+
+namespace calm {
+
+namespace {
+
+// Plain union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Merge(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Instance> Components(const Instance& instance) {
+  std::vector<Fact> facts = instance.AllFacts();
+  UnionFind uf(facts.size());
+
+  // Merge facts sharing a domain value: for each value, merge all facts
+  // containing it with the first such fact.
+  std::map<Value, size_t> first_fact_with;
+  for (size_t i = 0; i < facts.size(); ++i) {
+    for (Value v : facts[i].args) {
+      auto [it, inserted] = first_fact_with.emplace(v, i);
+      if (!inserted) uf.Merge(i, it->second);
+    }
+  }
+
+  std::map<size_t, Instance> by_root;
+  for (size_t i = 0; i < facts.size(); ++i) {
+    by_root[uf.Find(i)].Insert(facts[i]);
+  }
+
+  std::vector<Instance> out;
+  out.reserve(by_root.size());
+  for (auto& [root, comp] : by_root) out.push_back(std::move(comp));
+  // Deterministic order: facts vector is sorted, and map keys are the first
+  // (smallest-index) root encountered per component; sort by content anyway.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace calm

@@ -1,0 +1,19 @@
+#ifndef CALM_BASE_COMPONENTS_H_
+#define CALM_BASE_COMPONENTS_H_
+
+#include <vector>
+
+#include "base/instance.h"
+
+namespace calm {
+
+// Computes co(I), the components of I (Definition 5 context, Section 5.1):
+// J is a component of I when J is a minimal nonempty subset of I with
+// adom(J) disjoint from adom(I \ J). Equivalently, the facts of I grouped by
+// connected components of the "shares a value" graph on facts.
+// Returned in deterministic order (by each component's smallest fact).
+std::vector<Instance> Components(const Instance& instance);
+
+}  // namespace calm
+
+#endif  // CALM_BASE_COMPONENTS_H_

@@ -1,0 +1,76 @@
+#include "base/enumerator.h"
+
+namespace calm {
+
+std::vector<Fact> AllFactsOver(const Schema& schema,
+                               const std::vector<Value>& domain) {
+  std::vector<Fact> out;
+  if (domain.empty()) return out;
+  for (const RelationDecl& decl : schema.relations()) {
+    // Odometer over domain^arity.
+    std::vector<size_t> idx(decl.arity, 0);
+    while (true) {
+      Tuple t;
+      t.reserve(decl.arity);
+      for (size_t i : idx) t.push_back(domain[i]);
+      out.emplace_back(decl.name, std::move(t));
+      size_t pos = decl.arity;
+      while (pos > 0) {
+        --pos;
+        if (++idx[pos] < domain.size()) break;
+        idx[pos] = 0;
+        if (pos == 0) goto next_relation;
+      }
+      if (decl.arity == 0) break;  // unreachable (arity >= 1), defensive
+    }
+  next_relation:;
+  }
+  return out;
+}
+
+namespace {
+
+bool SubsetsRec(const std::vector<Fact>& facts, size_t start, size_t remaining,
+                Instance& current,
+                const std::function<bool(const Instance&)>& fn) {
+  if (remaining == 0 || start == facts.size()) return true;
+  for (size_t i = start; i < facts.size(); ++i) {
+    current.Insert(facts[i]);
+    if (!fn(current)) {
+      current.Erase(facts[i]);
+      return false;
+    }
+    if (!SubsetsRec(facts, i + 1, remaining - 1, current, fn)) {
+      current.Erase(facts[i]);
+      return false;
+    }
+    current.Erase(facts[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachFactSubset(const std::vector<Fact>& facts, size_t max_facts,
+                       const std::function<bool(const Instance&)>& fn) {
+  Instance current;
+  return SubsetsRec(facts, 0, max_facts, current, fn);
+}
+
+bool ForEachInstance(const Schema& schema, const std::vector<Value>& domain,
+                     size_t max_facts,
+                     const std::function<bool(const Instance&)>& fn) {
+  Instance empty;
+  if (!fn(empty)) return false;
+  std::vector<Fact> facts = AllFactsOver(schema, domain);
+  return ForEachFactSubset(facts, max_facts, fn);
+}
+
+std::vector<Value> IntDomain(size_t n, uint64_t offset) {
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Value::FromInt(offset + i));
+  return out;
+}
+
+}  // namespace calm

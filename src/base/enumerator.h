@@ -1,0 +1,38 @@
+#ifndef CALM_BASE_ENUMERATOR_H_
+#define CALM_BASE_ENUMERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/schema.h"
+
+namespace calm {
+
+// Exhaustive enumeration helpers used by the bounded monotonicity /
+// preservation checkers. All are exponential by nature; callers choose tiny
+// domains (the paper's separations are all witnessed at <= 6 values).
+
+// Every fact over `schema` whose values come from `domain`, in deterministic
+// order. Size = sum over relations of |domain|^arity.
+std::vector<Fact> AllFactsOver(const Schema& schema,
+                               const std::vector<Value>& domain);
+
+// Invokes `fn` for every instance over `schema` with values from `domain`
+// and at most `max_facts` facts (including the empty instance). Stops early
+// when fn returns false. Returns false iff stopped.
+bool ForEachInstance(const Schema& schema, const std::vector<Value>& domain,
+                     size_t max_facts,
+                     const std::function<bool(const Instance&)>& fn);
+
+// Invokes `fn` for every nonempty subset of `facts` of size at most
+// `max_facts`. Stops early when fn returns false. Returns false iff stopped.
+bool ForEachFactSubset(const std::vector<Fact>& facts, size_t max_facts,
+                       const std::function<bool(const Instance&)>& fn);
+
+// The integer domain {0, 1, ..., n-1} as Values.
+std::vector<Value> IntDomain(size_t n, uint64_t offset = 0);
+
+}  // namespace calm
+
+#endif  // CALM_BASE_ENUMERATOR_H_

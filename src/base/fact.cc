@@ -1,0 +1,26 @@
+#include "base/fact.h"
+
+namespace calm {
+
+Fact::Fact(std::string_view relation_name, Tuple tuple)
+    : relation(InternName(relation_name)), args(std::move(tuple)) {}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ValueToString(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string FactToString(const Fact& f) {
+  return NameOf(f.relation) + TupleToString(f.args);
+}
+
+std::ostream& operator<<(std::ostream& os, const Fact& f) {
+  return os << FactToString(f);
+}
+
+}  // namespace calm

@@ -1,0 +1,70 @@
+#ifndef CALM_BASE_FACT_H_
+#define CALM_BASE_FACT_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+
+namespace calm {
+
+// A tuple of domain values.
+using Tuple = std::vector<Value>;
+
+// Combines `h` into `seed` (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const noexcept {
+    size_t seed = t.size();
+    for (Value v : t) seed = HashCombine(seed, std::hash<Value>{}(v));
+    return seed;
+  }
+};
+
+// A fact R(d1, ..., dk): a relation name (interned id) applied to a tuple.
+// Facts order lexicographically by (relation name, tuple), giving instances a
+// deterministic iteration order.
+struct Fact {
+  uint32_t relation = 0;
+  Tuple args;
+
+  Fact() = default;
+  Fact(uint32_t relation_id, Tuple tuple)
+      : relation(relation_id), args(std::move(tuple)) {}
+  // Convenience: Fact("E", {a, b}).
+  Fact(std::string_view relation_name, Tuple tuple);
+
+  size_t arity() const { return args.size(); }
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation == b.relation && a.args == b.args;
+  }
+  friend bool operator!=(const Fact& a, const Fact& b) { return !(a == b); }
+  friend bool operator<(const Fact& a, const Fact& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.args < b.args;
+  }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const noexcept {
+    return HashCombine(std::hash<uint32_t>{}(f.relation),
+                       TupleHash{}(f.args));
+  }
+};
+
+// Renders "R(1, 2)".
+std::string FactToString(const Fact& f);
+std::string TupleToString(const Tuple& t);
+
+std::ostream& operator<<(std::ostream& os, const Fact& f);
+
+}  // namespace calm
+
+#endif  // CALM_BASE_FACT_H_

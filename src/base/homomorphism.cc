@@ -1,0 +1,77 @@
+#include "base/homomorphism.h"
+
+#include <set>
+
+namespace calm {
+
+bool IsHomomorphism(const std::map<Value, Value>& map, const Instance& i,
+                    const Instance& j) {
+  bool ok = true;
+  i.ForEachFact([&](uint32_t name, const Tuple& t) {
+    if (!ok) return;
+    Tuple mapped;
+    mapped.reserve(t.size());
+    for (Value v : t) {
+      auto it = map.find(v);
+      if (it == map.end()) {
+        ok = false;
+        return;
+      }
+      mapped.push_back(it->second);
+    }
+    if (!j.Contains(Fact(name, std::move(mapped)))) ok = false;
+  });
+  return ok;
+}
+
+namespace {
+
+// Backtracking assignment of adom(I) values to adom(J) values. Consistency
+// is checked only at the leaves; fine at the intended instance sizes.
+bool Enumerate(const std::vector<Value>& domain_i,
+               const std::vector<Value>& domain_j, size_t index, bool injective,
+               std::map<Value, Value>& partial, std::set<Value>& used,
+               const Instance& i, const Instance& j,
+               const std::function<bool(const std::map<Value, Value>&)>& fn) {
+  if (index == domain_i.size()) {
+    if (!IsHomomorphism(partial, i, j)) return true;
+    return fn(partial);
+  }
+  for (Value target : domain_j) {
+    if (injective && used.count(target) > 0) continue;
+    partial[domain_i[index]] = target;
+    if (injective) used.insert(target);
+    bool keep_going = Enumerate(domain_i, domain_j, index + 1, injective,
+                                partial, used, i, j, fn);
+    if (injective) used.erase(target);
+    partial.erase(domain_i[index]);
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachHomomorphism(
+    const Instance& i, const Instance& j, bool injective,
+    const std::function<bool(const std::map<Value, Value>&)>& fn) {
+  std::set<Value> adom_i_set = i.ActiveDomain();
+  std::set<Value> adom_j_set = j.ActiveDomain();
+  std::vector<Value> domain_i(adom_i_set.begin(), adom_i_set.end());
+  std::vector<Value> domain_j(adom_j_set.begin(), adom_j_set.end());
+  if (injective && domain_j.size() < domain_i.size()) return true;
+  std::map<Value, Value> partial;
+  std::set<Value> used;
+  return Enumerate(domain_i, domain_j, 0, injective, partial, used, i, j, fn);
+}
+
+bool HomomorphismExists(const Instance& i, const Instance& j, bool injective) {
+  bool found = false;
+  ForEachHomomorphism(i, j, injective, [&](const std::map<Value, Value>&) {
+    found = true;
+    return false;  // stop
+  });
+  return found;
+}
+
+}  // namespace calm

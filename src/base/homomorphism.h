@@ -1,0 +1,33 @@
+#ifndef CALM_BASE_HOMOMORPHISM_H_
+#define CALM_BASE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/instance.h"
+
+namespace calm {
+
+// A homomorphism from I to J is a mapping h : adom(I) -> adom(J) such that
+// R(d...) in I implies R(h(d)...) in J (Section 3.2). These enumerators are
+// exponential in |adom(I)| and intended for the small instances used by the
+// preservation-class checkers.
+
+// Whether `map` (total on adom(I)) is a homomorphism from `i` to `j`.
+bool IsHomomorphism(const std::map<Value, Value>& map, const Instance& i,
+                    const Instance& j);
+
+// Invokes `fn` for every (injective, if `injective`) homomorphism from `i`
+// to `j`, until fn returns false. Returns false iff enumeration was stopped
+// by fn.
+bool ForEachHomomorphism(const Instance& i, const Instance& j, bool injective,
+                         const std::function<bool(const std::map<Value, Value>&)>& fn);
+
+// Convenience: some homomorphism exists.
+bool HomomorphismExists(const Instance& i, const Instance& j, bool injective);
+
+}  // namespace calm
+
+#endif  // CALM_BASE_HOMOMORPHISM_H_

@@ -1,0 +1,205 @@
+#include "base/instance.h"
+
+#include <algorithm>
+
+namespace calm {
+
+namespace {
+const std::set<Tuple>& EmptyTupleSet() {
+  static const std::set<Tuple>* kEmpty = new std::set<Tuple>();
+  return *kEmpty;
+}
+}  // namespace
+
+Instance::Instance(std::initializer_list<Fact> facts) {
+  for (const Fact& f : facts) Insert(f);
+}
+
+bool Instance::Insert(const Fact& fact) {
+  auto [it, inserted] = relations_[fact.relation].insert(fact.args);
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool Instance::Insert(Fact&& fact) {
+  auto [it, inserted] =
+      relations_[fact.relation].insert(std::move(fact.args));
+  if (inserted) ++size_;
+  return inserted;
+}
+
+size_t Instance::InsertAll(const Instance& other) {
+  size_t added = 0;
+  for (const auto& [name, tuples] : other.relations_) {
+    std::set<Tuple>& mine = relations_[name];
+    for (const Tuple& t : tuples) {
+      if (mine.insert(t).second) ++added;
+    }
+  }
+  size_ += added;
+  return added;
+}
+
+bool Instance::Erase(const Fact& fact) {
+  auto it = relations_.find(fact.relation);
+  if (it == relations_.end()) return false;
+  if (it->second.erase(fact.args) == 0) return false;
+  --size_;
+  if (it->second.empty()) relations_.erase(it);
+  return true;
+}
+
+bool Instance::Contains(const Fact& fact) const {
+  auto it = relations_.find(fact.relation);
+  return it != relations_.end() && it->second.count(fact.args) > 0;
+}
+
+const std::set<Tuple>& Instance::TuplesOf(uint32_t name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return EmptyTupleSet();
+  return it->second;
+}
+
+std::vector<uint32_t> Instance::RelationNames() const {
+  std::vector<uint32_t> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, tuples] : relations_) {
+    if (!tuples.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<Fact> Instance::AllFacts() const {
+  std::vector<Fact> out;
+  out.reserve(size_);
+  ForEachFact([&](uint32_t name, const Tuple& t) { out.emplace_back(name, t); });
+  return out;
+}
+
+std::set<Value> Instance::ActiveDomain() const {
+  std::set<Value> out;
+  ForEachFact([&](uint32_t, const Tuple& t) {
+    for (Value v : t) out.insert(v);
+  });
+  return out;
+}
+
+Instance Instance::Restrict(const Schema& schema) const {
+  Instance out;
+  for (const auto& [name, tuples] : relations_) {
+    uint32_t arity = schema.ArityOf(name);
+    if (arity == 0) continue;
+    for (const Tuple& t : tuples) {
+      if (t.size() == arity) out.Insert(Fact(name, t));
+    }
+  }
+  return out;
+}
+
+bool Instance::IsOver(const Schema& schema) const {
+  for (const auto& [name, tuples] : relations_) {
+    uint32_t arity = schema.ArityOf(name);
+    if (arity == 0 && !tuples.empty()) return false;
+    for (const Tuple& t : tuples) {
+      if (t.size() != arity) return false;
+    }
+  }
+  return true;
+}
+
+Instance Instance::Union(const Instance& a, const Instance& b) {
+  Instance out = a;
+  out.InsertAll(b);
+  return out;
+}
+
+Instance Instance::Difference(const Instance& a, const Instance& b) {
+  Instance out;
+  a.ForEachFact([&](uint32_t name, const Tuple& t) {
+    Fact f(name, t);
+    if (!b.Contains(f)) out.Insert(std::move(f));
+  });
+  return out;
+}
+
+bool Instance::IsSubsetOf(const Instance& other) const {
+  if (size_ > other.size_) return false;
+  for (const auto& [name, tuples] : relations_) {
+    const std::set<Tuple>& theirs = other.TuplesOf(name);
+    for (const Tuple& t : tuples) {
+      if (theirs.count(t) == 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string Instance::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEachFact([&](uint32_t name, const Tuple& t) {
+    if (!first) out += ", ";
+    first = false;
+    out += FactToString(Fact(name, t));
+  });
+  out += "}";
+  return out;
+}
+
+bool FactDomainDistinctFrom(const Fact& f, const std::set<Value>& adom_i) {
+  for (Value v : f.args) {
+    if (adom_i.count(v) == 0) return true;  // contains a new element
+  }
+  return false;
+}
+
+bool FactDomainDisjointFrom(const Fact& f, const std::set<Value>& adom_i) {
+  for (Value v : f.args) {
+    if (adom_i.count(v) > 0) return false;
+  }
+  return true;
+}
+
+bool IsDomainDistinctFrom(const Instance& j, const Instance& i) {
+  std::set<Value> adom_i = i.ActiveDomain();
+  bool ok = true;
+  j.ForEachFact([&](uint32_t name, const Tuple& t) {
+    if (!FactDomainDistinctFrom(Fact(name, t), adom_i)) ok = false;
+  });
+  return ok;
+}
+
+bool IsDomainDisjointFrom(const Instance& j, const Instance& i) {
+  std::set<Value> adom_i = i.ActiveDomain();
+  bool ok = true;
+  j.ForEachFact([&](uint32_t name, const Tuple& t) {
+    if (!FactDomainDisjointFrom(Fact(name, t), adom_i)) ok = false;
+  });
+  return ok;
+}
+
+bool IsInducedSubinstance(const Instance& j, const Instance& i) {
+  if (!j.IsSubsetOf(i)) return false;
+  std::set<Value> adom_j = j.ActiveDomain();
+  bool induced = true;
+  i.ForEachFact([&](uint32_t name, const Tuple& t) {
+    bool within = std::all_of(t.begin(), t.end(),
+                              [&](Value v) { return adom_j.count(v) > 0; });
+    if (within && !j.Contains(Fact(name, t))) induced = false;
+  });
+  return induced;
+}
+
+Instance ApplyValueMap(const Instance& in, const std::map<Value, Value>& map) {
+  Instance out;
+  in.ForEachFact([&](uint32_t name, const Tuple& t) {
+    Tuple mapped = t;
+    for (Value& v : mapped) {
+      auto it = map.find(v);
+      if (it != map.end()) v = it->second;
+    }
+    out.Insert(Fact(name, std::move(mapped)));
+  });
+  return out;
+}
+
+}  // namespace calm

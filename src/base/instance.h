@@ -1,0 +1,114 @@
+#ifndef CALM_BASE_INSTANCE_H_
+#define CALM_BASE_INSTANCE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/fact.h"
+#include "base/schema.h"
+#include "base/value.h"
+
+namespace calm {
+
+// A database instance: a finite set of facts. Facts are grouped per relation
+// in sorted containers, so iteration is deterministic. An Instance is not
+// bound to a Schema; use Restrict / Admits for schema discipline.
+class Instance {
+ public:
+  Instance() = default;
+  Instance(std::initializer_list<Fact> facts);
+
+  // Inserts a fact; returns true if it was new.
+  bool Insert(const Fact& fact);
+  bool Insert(Fact&& fact);
+  // Inserts every fact of `other`; returns the number of new facts.
+  size_t InsertAll(const Instance& other);
+
+  // Removes a fact; returns true if it was present.
+  bool Erase(const Fact& fact);
+
+  bool Contains(const Fact& fact) const;
+
+  // Number of facts |I|.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    relations_.clear();
+    size_ = 0;
+  }
+
+  // The tuples of relation `name` (empty set if absent).
+  const std::set<Tuple>& TuplesOf(uint32_t name) const;
+
+  // Relation names with at least one tuple, in deterministic order.
+  std::vector<uint32_t> RelationNames() const;
+
+  // All facts in deterministic order.
+  std::vector<Fact> AllFacts() const;
+
+  // The active domain adom(I): every value occurring in some fact.
+  std::set<Value> ActiveDomain() const;
+
+  // I|sigma: the maximal subset of I over `schema`.
+  Instance Restrict(const Schema& schema) const;
+
+  // True if every fact is over `schema`.
+  bool IsOver(const Schema& schema) const;
+
+  // Set operations (by fact).
+  static Instance Union(const Instance& a, const Instance& b);
+  static Instance Difference(const Instance& a, const Instance& b);
+  bool IsSubsetOf(const Instance& other) const;
+
+  // Renders "{E(1, 2), S(3)}".
+  std::string ToString() const;
+
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.size_ == b.size_ && a.relations_ == b.relations_;
+  }
+  friend bool operator!=(const Instance& a, const Instance& b) {
+    return !(a == b);
+  }
+  // Lexicographic on the sorted fact sequence; only used for deterministic
+  // ordering in containers.
+  friend bool operator<(const Instance& a, const Instance& b) {
+    return a.relations_ < b.relations_;
+  }
+
+  // Invokes fn(relation_name, tuple) for every fact in deterministic order.
+  template <typename Fn>
+  void ForEachFact(Fn&& fn) const {
+    for (const auto& [name, tuples] : relations_) {
+      for (const Tuple& t : tuples) fn(name, t);
+    }
+  }
+
+ private:
+  std::map<uint32_t, std::set<Tuple>> relations_;
+  size_t size_ = 0;
+};
+
+// Whether fact/instance J is domain distinct / domain disjoint from I
+// (Section 3.1): `f` is domain distinct from I when adom(f) \ adom(I) != {};
+// domain disjoint when adom(f) and adom(I) are disjoint. An instance J is
+// domain distinct (disjoint) from I when every fact of J is.
+bool FactDomainDistinctFrom(const Fact& f, const std::set<Value>& adom_i);
+bool FactDomainDisjointFrom(const Fact& f, const std::set<Value>& adom_i);
+bool IsDomainDistinctFrom(const Instance& j, const Instance& i);
+bool IsDomainDisjointFrom(const Instance& j, const Instance& i);
+
+// J is an induced subinstance of I when J = {f in I | adom(f) <= adom(J)}
+// (Section 3.2).
+bool IsInducedSubinstance(const Instance& j, const Instance& i);
+
+// Applies a value mapping pointwise; values absent from `map` are unchanged.
+Instance ApplyValueMap(const Instance& in, const std::map<Value, Value>& map);
+
+}  // namespace calm
+
+#endif  // CALM_BASE_INSTANCE_H_

@@ -1,0 +1,21 @@
+#include "base/query.h"
+
+namespace calm {
+
+Status CheckGenericity(const Query& query, const Instance& input,
+                       const std::map<Value, Value>& pi) {
+  Result<Instance> direct = query.Eval(input);
+  if (!direct.ok()) return direct.status();
+  Result<Instance> permuted = query.Eval(ApplyValueMap(input, pi));
+  if (!permuted.ok()) return permuted.status();
+  Instance expected = ApplyValueMap(direct.value(), pi);
+  if (expected != permuted.value()) {
+    return InternalError("genericity violated for query '" + query.name() +
+                         "' on input " + input.ToString() + ": Q(pi(I)) = " +
+                         permuted.value().ToString() + " but pi(Q(I)) = " +
+                         expected.ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace calm

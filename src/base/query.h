@@ -1,0 +1,69 @@
+#ifndef CALM_BASE_QUERY_H_
+#define CALM_BASE_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/instance.h"
+#include "base/schema.h"
+#include "base/status.h"
+
+namespace calm {
+
+// A query: a generic mapping from instances over an input schema to
+// instances over an output schema (Section 2). Implementations must be
+// generic (commute with permutations of dom); GenericityProbe below
+// property-tests this.
+class Query {
+ public:
+  virtual ~Query() = default;
+
+  virtual const Schema& input_schema() const = 0;
+  virtual const Schema& output_schema() const = 0;
+
+  // Evaluates the query. `input` facts outside the input schema are ignored
+  // (callers should restrict first if that matters). Errors indicate
+  // evaluation failure (e.g. divergence limits), never "empty result".
+  virtual Result<Instance> Eval(const Instance& input) const = 0;
+
+  // A short human-readable identifier used in reports.
+  virtual std::string name() const = 0;
+};
+
+// Wraps a C++ function as a Query. The function receives the input restricted
+// to the input schema.
+class NativeQuery : public Query {
+ public:
+  using EvalFn = std::function<Result<Instance>(const Instance&)>;
+
+  NativeQuery(std::string name, Schema input, Schema output, EvalFn fn)
+      : name_(std::move(name)),
+        input_(std::move(input)),
+        output_(std::move(output)),
+        fn_(std::move(fn)) {}
+
+  const Schema& input_schema() const override { return input_; }
+  const Schema& output_schema() const override { return output_; }
+  std::string name() const override { return name_; }
+
+  Result<Instance> Eval(const Instance& input) const override {
+    return fn_(input.Restrict(input_));
+  }
+
+ private:
+  std::string name_;
+  Schema input_;
+  Schema output_;
+  EvalFn fn_;
+};
+
+// Checks Q(pi(I)) == pi(Q(I)) for the given permutation `pi` of adom(I)
+// (extended with identity elsewhere). Returns OK, or an error describing the
+// genericity violation / evaluation failure.
+Status CheckGenericity(const Query& query, const Instance& input,
+                       const std::map<Value, Value>& pi);
+
+}  // namespace calm
+
+#endif  // CALM_BASE_QUERY_H_

@@ -1,0 +1,87 @@
+#include "base/schema.h"
+
+#include <cassert>
+
+#include "base/value.h"
+
+namespace calm {
+
+RelationDecl::RelationDecl(std::string_view name_str, uint32_t a)
+    : name(InternName(name_str)), arity(a) {}
+
+Schema::Schema(std::initializer_list<RelationDecl> decls) {
+  for (const RelationDecl& d : decls) {
+    Status s = AddRelation(d);
+    assert(s.ok());
+    (void)s;
+  }
+}
+
+Status Schema::AddRelation(const RelationDecl& decl) {
+  if (decl.arity == 0) {
+    return InvalidArgumentError("nullary relation '" + NameOf(decl.name) +
+                                "' not allowed (paper assumes arity >= 1)");
+  }
+  auto [it, inserted] = arities_.emplace(decl.name, decl.arity);
+  if (!inserted && it->second != decl.arity) {
+    return InvalidArgumentError("conflicting arity for relation '" +
+                                NameOf(decl.name) + "'");
+  }
+  return Status::Ok();
+}
+
+Status Schema::AddRelation(std::string_view name, uint32_t arity) {
+  return AddRelation(RelationDecl(name, arity));
+}
+
+bool Schema::ContainsName(std::string_view name) const {
+  uint32_t id = GlobalSymbols().Find(name);
+  return id != UINT32_MAX && Contains(id);
+}
+
+uint32_t Schema::ArityOf(uint32_t name) const {
+  auto it = arities_.find(name);
+  return it == arities_.end() ? 0 : it->second;
+}
+
+std::vector<RelationDecl> Schema::relations() const {
+  std::vector<RelationDecl> out;
+  out.reserve(arities_.size());
+  for (auto [name, arity] : arities_) out.emplace_back(name, arity);
+  return out;
+}
+
+bool Schema::Includes(const Schema& other) const {
+  for (auto [name, arity] : other.arities_) {
+    auto it = arities_.find(name);
+    if (it == arities_.end() || it->second != arity) return false;
+  }
+  return true;
+}
+
+Result<Schema> Schema::Union(const Schema& a, const Schema& b) {
+  Schema out = a;
+  for (auto [name, arity] : b.arities_) {
+    CALM_RETURN_IF_ERROR(out.AddRelation(RelationDecl(name, arity)));
+  }
+  return out;
+}
+
+bool Schema::Admits(const Fact& fact) const {
+  auto it = arities_.find(fact.relation);
+  return it != arities_.end() && it->second == fact.args.size();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (auto [name, arity] : arities_) {
+    if (!first) out += ", ";
+    first = false;
+    out += NameOf(name) + "/" + std::to_string(arity);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace calm

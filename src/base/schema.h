@@ -1,0 +1,82 @@
+#ifndef CALM_BASE_SCHEMA_H_
+#define CALM_BASE_SCHEMA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/fact.h"
+#include "base/status.h"
+
+namespace calm {
+
+// A relation declaration: an interned name and an arity. The paper restricts
+// attention to arities >= 1 (no nullary relations, Section 2 / Section 7).
+struct RelationDecl {
+  uint32_t name = 0;
+  uint32_t arity = 0;
+
+  RelationDecl() = default;
+  RelationDecl(uint32_t name_id, uint32_t a) : name(name_id), arity(a) {}
+  RelationDecl(std::string_view name_str, uint32_t a);
+
+  friend bool operator==(const RelationDecl& a, const RelationDecl& b) {
+    return a.name == b.name && a.arity == b.arity;
+  }
+  friend bool operator<(const RelationDecl& a, const RelationDecl& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.arity < b.arity;
+  }
+};
+
+// A database schema: a finite set of relation declarations with distinct
+// names. Value-semantic and cheap to copy at the scales used here.
+class Schema {
+ public:
+  Schema() = default;
+  // Aborts (assert) on duplicate names or zero arity; use AddRelation for a
+  // checked build.
+  Schema(std::initializer_list<RelationDecl> decls);
+
+  // Adds a relation; errors on duplicate name or zero arity.
+  Status AddRelation(const RelationDecl& decl);
+  Status AddRelation(std::string_view name, uint32_t arity);
+
+  bool Contains(uint32_t name) const { return arities_.count(name) > 0; }
+  bool ContainsName(std::string_view name) const;
+
+  // Arity of `name`; 0 if absent.
+  uint32_t ArityOf(uint32_t name) const;
+
+  // Declarations in deterministic (interned-id) order.
+  std::vector<RelationDecl> relations() const;
+
+  size_t size() const { return arities_.size(); }
+  bool empty() const { return arities_.empty(); }
+
+  // True if every relation of `other` is in *this with the same arity.
+  bool Includes(const Schema& other) const;
+
+  // Set union; errors if a shared name has conflicting arities.
+  static Result<Schema> Union(const Schema& a, const Schema& b);
+
+  // True if `fact` is over this schema (declared name, matching arity).
+  bool Admits(const Fact& fact) const;
+
+  // "{E/2, S/1}".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.arities_ == b.arities_;
+  }
+
+ private:
+  std::map<uint32_t, uint32_t> arities_;  // name id -> arity
+};
+
+}  // namespace calm
+
+#endif  // CALM_BASE_SCHEMA_H_

@@ -1,0 +1,120 @@
+#ifndef CALM_BASE_STATUS_H_
+#define CALM_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace calm {
+
+// Error categories used across the library. The library does not use
+// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad program text, arity mismatch, ...)
+  kFailedPrecondition,// operation not applicable (e.g. unstratifiable program)
+  kResourceExhausted, // evaluation diverged past a configured limit
+  kInternal,          // invariant violation inside the library
+  kNotFound,
+};
+
+// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value, modeled after absl::Status.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: some message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors for the common error categories.
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status NotFoundError(std::string message);
+
+// Holds either a value of type T or an error Status, modeled after
+// absl::StatusOr. Accessing value() on an error aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return SomeStatus;` and `return some_value;` from Result-returning
+  // functions.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace calm
+
+// Propagates a non-OK Status from an expression that yields Status.
+#define CALM_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::calm::Status calm_status_ = (expr);         \
+    if (!calm_status_.ok()) return calm_status_;  \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// assigns the contained value to `lhs`.
+#define CALM_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto CALM_CONCAT_(calm_result_, __LINE__) = (expr); \
+  if (!CALM_CONCAT_(calm_result_, __LINE__).ok())     \
+    return CALM_CONCAT_(calm_result_, __LINE__).status(); \
+  lhs = std::move(CALM_CONCAT_(calm_result_, __LINE__)).value()
+
+#define CALM_CONCAT_(a, b) CALM_CONCAT_IMPL_(a, b)
+#define CALM_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CALM_BASE_STATUS_H_

@@ -1,0 +1,57 @@
+#include "base/value.h"
+
+#include <cstdint>
+
+namespace calm {
+
+uint32_t SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return UINT32_MAX;
+  return it->second;
+}
+
+SymbolTable& GlobalSymbols() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+Value Sym(std::string_view name) {
+  return Value::Symbol(GlobalSymbols().Intern(name));
+}
+
+uint32_t InternName(std::string_view name) {
+  return GlobalSymbols().Intern(name);
+}
+
+const std::string& NameOf(uint32_t id) { return GlobalSymbols().NameOf(id); }
+
+std::string ValueToString(Value v, const SymbolTable* symbols) {
+  if (symbols == nullptr) symbols = &GlobalSymbols();
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      return std::to_string(v.payload());
+    case Value::Kind::kSymbol:
+      if (v.payload() < symbols->size()) {
+        return symbols->NameOf(static_cast<uint32_t>(v.payload()));
+      }
+      return "sym#" + std::to_string(v.payload());
+    case Value::Kind::kInvented:
+      return "&" + std::to_string(v.payload());
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Value v) {
+  return os << ValueToString(v);
+}
+
+}  // namespace calm

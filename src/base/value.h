@@ -1,0 +1,115 @@
+#ifndef CALM_BASE_VALUE_H_
+#define CALM_BASE_VALUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace calm {
+
+// A domain value. The paper assumes an infinite domain `dom`; we model it as
+// tagged 64-bit identifiers. Three kinds exist:
+//   * integer values (the common case in generated workloads),
+//   * interned symbols (named constants from parsed programs / facts),
+//   * invented values (Skolem terms created by ILOG evaluation).
+// Values are totally ordered and hashable so instances can be kept in
+// deterministic sorted containers. The order is internal (by tag then id) and
+// carries no semantic meaning; queries must be generic (Section 2).
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kSymbol = 1, kInvented = 2 };
+
+  // A default-constructed Value is the integer 0.
+  Value() : raw_(0) {}
+
+  static Value FromInt(uint64_t i) { return Value(Make(Kind::kInt, i)); }
+  static Value Symbol(uint32_t symbol_id) {
+    return Value(Make(Kind::kSymbol, symbol_id));
+  }
+  static Value Invented(uint64_t id) { return Value(Make(Kind::kInvented, id)); }
+
+  Kind kind() const { return static_cast<Kind>(raw_ >> 62); }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_symbol() const { return kind() == Kind::kSymbol; }
+  bool is_invented() const { return kind() == Kind::kInvented; }
+
+  // Payload: the integer, symbol id, or invented id depending on kind().
+  uint64_t payload() const { return raw_ & kPayloadMask; }
+  uint64_t raw() const { return raw_; }
+
+  friend bool operator==(Value a, Value b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Value a, Value b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Value a, Value b) { return a.raw_ < b.raw_; }
+  friend bool operator>(Value a, Value b) { return a.raw_ > b.raw_; }
+  friend bool operator<=(Value a, Value b) { return a.raw_ <= b.raw_; }
+  friend bool operator>=(Value a, Value b) { return a.raw_ >= b.raw_; }
+
+ private:
+  static constexpr uint64_t kPayloadMask = (uint64_t{1} << 62) - 1;
+  static uint64_t Make(Kind kind, uint64_t payload) {
+    return (static_cast<uint64_t>(kind) << 62) | (payload & kPayloadMask);
+  }
+  explicit Value(uint64_t raw) : raw_(raw) {}
+
+  uint64_t raw_;
+};
+
+// Interns strings to dense 32-bit ids. Used for named constants and relation
+// names. Not thread-safe; the library uses a single process-wide instance
+// (GlobalSymbols) because all executables here are single-threaded drivers.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id for `name`, interning it if new.
+  uint32_t Intern(std::string_view name);
+
+  // Returns the name for a previously interned id. The reference stays
+  // valid across later Intern calls (deque storage).
+  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+
+  // Returns the id of `name` if interned, or UINT32_MAX otherwise.
+  uint32_t Find(std::string_view name) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::deque<std::string> names_;  // deque: stable references under growth
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+// The process-wide interner. Relation names and symbolic constants share it;
+// identity of both is "interned id", so equal names always compare equal.
+SymbolTable& GlobalSymbols();
+
+// Shorthand: the symbolic Value named `name` (interned on first use).
+Value Sym(std::string_view name);
+
+// Shorthand: the interned id for relation name `name`.
+uint32_t InternName(std::string_view name);
+
+// The name for an id interned via InternName/Sym.
+const std::string& NameOf(uint32_t id);
+
+// Renders a value. Symbols are rendered through `symbols` when provided,
+// defaulting to the global table. Invented values render as "&<id>".
+std::string ValueToString(Value v, const SymbolTable* symbols = nullptr);
+
+std::ostream& operator<<(std::ostream& os, Value v);
+
+}  // namespace calm
+
+template <>
+struct std::hash<calm::Value> {
+  size_t operator()(calm::Value v) const noexcept {
+    return std::hash<uint64_t>{}(v.raw());
+  }
+};
+
+#endif  // CALM_BASE_VALUE_H_

@@ -1,0 +1,89 @@
+#include "datalog/ast.h"
+
+namespace calm::datalog {
+
+Term Term::Var(std::string_view name) {
+  Term t;
+  t.kind = Kind::kVar;
+  t.var = InternName(name);
+  return t;
+}
+
+Atom::Atom(std::string_view relation_name, std::vector<Term> terms)
+    : relation(InternName(relation_name)), args(std::move(terms)) {}
+
+std::set<uint32_t> Rule::Variables() const {
+  std::set<uint32_t> out = PositiveVariables();
+  for (const Term& t : head.args) {
+    if (t.is_var()) out.insert(t.var);
+  }
+  for (const Atom& a : neg) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) out.insert(t.var);
+    }
+  }
+  for (const auto& [l, r] : ineqs) {
+    if (l.is_var()) out.insert(l.var);
+    if (r.is_var()) out.insert(r.var);
+  }
+  return out;
+}
+
+std::set<uint32_t> Rule::PositiveVariables() const {
+  std::set<uint32_t> out;
+  for (const Atom& a : pos) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) out.insert(t.var);
+    }
+  }
+  return out;
+}
+
+std::string TermToString(const Term& t) {
+  if (t.is_var()) return NameOf(t.var);
+  return ValueToString(t.constant);
+}
+
+std::string AtomToString(const Atom& a) {
+  std::string out = NameOf(a.relation) + "(";
+  if (a.invents) out += "*";
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (i > 0 || a.invents) out += ", ";
+    out += TermToString(a.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string RuleToString(const Rule& r) {
+  std::string out = AtomToString(r.head) + " :- ";
+  bool first = true;
+  for (const Atom& a : r.pos) {
+    if (!first) out += ", ";
+    first = false;
+    out += AtomToString(a);
+  }
+  for (const Atom& a : r.neg) {
+    if (!first) out += ", ";
+    first = false;
+    out += "!" + AtomToString(a);
+  }
+  for (const auto& [l, rt] : r.ineqs) {
+    if (!first) out += ", ";
+    first = false;
+    out += TermToString(l) + " != " + TermToString(rt);
+  }
+  out += ".";
+  return out;
+}
+
+std::string ProgramToString(const Program& p) {
+  std::string out;
+  for (const Rule& r : p.rules) {
+    out += RuleToString(r);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace calm::datalog

@@ -1,0 +1,107 @@
+#ifndef CALM_DATALOG_AST_H_
+#define CALM_DATALOG_AST_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/fact.h"
+#include "base/value.h"
+
+namespace calm::datalog {
+
+// A term: a variable (interned name) or a constant domain value.
+struct Term {
+  enum class Kind : uint8_t { kVar, kConst };
+
+  Kind kind = Kind::kVar;
+  uint32_t var = 0;  // interned variable name, when kVar
+  Value constant;    // when kConst
+
+  static Term Var(std::string_view name);
+  static Term VarId(uint32_t var_id) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = var_id;
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = v;
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVar; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return false;
+    return a.is_var() ? a.var == b.var : a.constant == b.constant;
+  }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.is_var() ? a.var < b.var : a.constant < b.constant;
+  }
+};
+
+// An atom R(t1, ..., tk). In ILOG¬ programs a head atom may additionally be
+// an invention atom R(*, t1, ..., tk); `invents` marks the leading `*`
+// (Section 5.2). Invention atoms never occur in rule bodies.
+struct Atom {
+  uint32_t relation = 0;
+  std::vector<Term> args;
+  bool invents = false;
+
+  Atom() = default;
+  Atom(std::string_view relation_name, std::vector<Term> terms);
+  Atom(uint32_t relation_id, std::vector<Term> terms)
+      : relation(relation_id), args(std::move(terms)) {}
+
+  // Arity as written; for invention atoms this excludes the `*`.
+  size_t arity() const { return args.size(); }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.invents == b.invents &&
+           a.args == b.args;
+  }
+};
+
+// A Datalog¬ rule: the quadruple (head, pos, neg, ineq) of Section 2.
+// Well-formedness (checked by Validate in analysis.h): pos is non-empty and
+// every variable of the rule occurs in pos.
+struct Rule {
+  Atom head;
+  std::vector<Atom> pos;
+  std::vector<Atom> neg;
+  std::vector<std::pair<Term, Term>> ineqs;
+
+  // All variables occurring anywhere in the rule.
+  std::set<uint32_t> Variables() const;
+  // Variables occurring in positive body atoms.
+  std::set<uint32_t> PositiveVariables() const;
+
+  bool IsPositive() const { return neg.empty(); }
+};
+
+// A Datalog¬ program: a set of rules plus the idb relations marked as the
+// intended output (the paper's convention is a relation named "O"; the
+// parser applies that default when no explicit output is named).
+struct Program {
+  std::vector<Rule> rules;
+  std::set<uint32_t> output_relations;
+
+  bool empty() const { return rules.empty(); }
+};
+
+// Pretty-printers (conventional syntax, e.g. "T(x, y) :- R(x, y), !S(y).").
+std::string TermToString(const Term& t);
+std::string AtomToString(const Atom& a);
+std::string RuleToString(const Rule& r);
+std::string ProgramToString(const Program& p);
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_AST_H_

@@ -1,0 +1,117 @@
+#include "datalog/fragment.h"
+
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "datalog/stratifier.h"
+
+namespace calm::datalog {
+
+bool IsConnectedRule(const Rule& rule) {
+  std::set<uint32_t> vars = rule.PositiveVariables();
+  if (vars.size() <= 1) return true;
+
+  // Union-find over variables, merging variables of each positive atom.
+  std::map<uint32_t, uint32_t> parent;
+  for (uint32_t v : vars) parent[v] = v;
+  auto find = [&](uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Atom& a : rule.pos) {
+    uint32_t first = UINT32_MAX;
+    for (const Term& t : a.args) {
+      if (!t.is_var()) continue;
+      if (first == UINT32_MAX) {
+        first = t.var;
+      } else {
+        parent[find(t.var)] = find(first);
+      }
+    }
+  }
+  uint32_t root = find(*vars.begin());
+  for (uint32_t v : vars) {
+    if (find(v) != root) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// A program is semicon-Datalog¬ iff it is stratifiable and every head
+// predicate of a disconnected rule can be placed in the last stratum. A
+// predicate T can be in the last stratum iff no negative dependency edge
+// leaves the set of predicates transitively depending on T (any such edge
+// would force a strictly higher stratum above T's).
+bool CheckSemiConnected(const Program& program, const ProgramInfo& info) {
+  std::set<uint32_t> bad_heads;
+  for (const Rule& r : program.rules) {
+    if (!IsConnectedRule(r)) bad_heads.insert(r.head.relation);
+  }
+  if (bad_heads.empty()) return true;
+
+  // used_by: predicate -> predicates whose rules mention it in the body.
+  std::map<uint32_t, std::vector<std::pair<uint32_t, bool>>> used_by;
+  for (const ProgramInfo::Edge& e : info.idb_edges) {
+    used_by[e.from].emplace_back(e.to, e.negative);
+  }
+
+  for (uint32_t t : bad_heads) {
+    // BFS upward from t; any negative edge reachable from t (including out
+    // of t itself) forces a higher stratum above t.
+    std::set<uint32_t> seen{t};
+    std::queue<uint32_t> queue;
+    queue.push(t);
+    while (!queue.empty()) {
+      uint32_t cur = queue.front();
+      queue.pop();
+      auto it = used_by.find(cur);
+      if (it == used_by.end()) continue;
+      for (auto [next, negative] : it->second) {
+        if (negative) return false;
+        if (seen.insert(next).second) queue.push(next);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FragmentInfo ClassifyFragment(const Program& program,
+                              const ProgramInfo& info) {
+  FragmentInfo out;
+  out.stratifiable = IsStratifiable(program, info);
+  out.positive = true;
+  out.uses_inequalities = false;
+  out.semi_positive = true;
+  out.all_rules_connected = true;
+  for (const Rule& r : program.rules) {
+    if (!r.neg.empty()) out.positive = false;
+    if (!r.ineqs.empty()) out.uses_inequalities = true;
+    for (const Atom& a : r.neg) {
+      if (info.idb.Contains(a.relation)) out.semi_positive = false;
+    }
+    if (!IsConnectedRule(r)) out.all_rules_connected = false;
+  }
+  out.connected_stratified = out.stratifiable && out.all_rules_connected;
+  out.semi_connected = out.stratifiable && CheckSemiConnected(program, info);
+  return out;
+}
+
+std::string FragmentInfo::FragmentName() const {
+  if (!stratifiable) return "unstratifiable";
+  if (positive && !uses_inequalities) return "Datalog";
+  if (positive) return "Datalog(!=)";
+  if (semi_positive) return "SP-Datalog";
+  if (connected_stratified) return "con-Datalog~";
+  if (semi_connected) return "semicon-Datalog~";
+  return "Datalog~";
+}
+
+}  // namespace calm::datalog

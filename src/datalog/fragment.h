@@ -1,0 +1,44 @@
+#ifndef CALM_DATALOG_FRAGMENT_H_
+#define CALM_DATALOG_FRAGMENT_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+
+namespace calm::datalog {
+
+// Syntactic fragment classification (Sections 2 and 5.1).
+struct FragmentInfo {
+  bool stratifiable = false;
+  bool positive = false;          // no negated atoms anywhere
+  bool uses_inequalities = false;
+  // Negation only over edb(P): the program is semi-positive (SP-Datalog).
+  bool semi_positive = false;
+  // Every rule is connected (graph+ of each rule is connected).
+  bool all_rules_connected = false;
+  // con-Datalog¬: stratifiable and every rule connected (rule connectivity
+  // does not depend on the chosen stratification).
+  bool connected_stratified = false;
+  // semicon-Datalog¬: some stratification places every disconnected rule in
+  // the last stratum.
+  bool semi_connected = false;
+
+  // The most specific fragment name: "Datalog", "Datalog(!=)", "SP-Datalog",
+  // "con-Datalog~", "semicon-Datalog~", "Datalog~" or "unstratifiable".
+  std::string FragmentName() const;
+};
+
+// Whether graph+(rule) is connected: nodes are the variables of positive
+// body atoms; edges join variables co-occurring in a positive body atom
+// (Section 5.1). Rules whose positive atoms carry <= 1 variable are
+// connected.
+bool IsConnectedRule(const Rule& rule);
+
+// Classifies `program`. `info` must come from Analyze(program).
+FragmentInfo ClassifyFragment(const Program& program, const ProgramInfo& info);
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_FRAGMENT_H_

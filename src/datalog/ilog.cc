@@ -1,0 +1,135 @@
+#include "datalog/ilog.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datalog/parser.h"
+#include "datalog/stratifier.h"
+
+namespace calm::datalog {
+
+Result<std::set<uint32_t>> InventionRelations(const Program& program) {
+  std::set<uint32_t> inventing;
+  std::set<uint32_t> plain;
+  for (const Rule& r : program.rules) {
+    (r.head.invents ? inventing : plain).insert(r.head.relation);
+  }
+  for (uint32_t rel : inventing) {
+    if (plain.count(rel) > 0) {
+      return InvalidArgumentError("relation '" + NameOf(rel) +
+                                  "' has both inventing and plain rules");
+    }
+  }
+  return inventing;
+}
+
+std::set<std::pair<uint32_t, uint32_t>> UnsafePositions(
+    const Program& program, const std::set<uint32_t>& invention_relations) {
+  std::set<std::pair<uint32_t, uint32_t>> unsafe;
+  for (uint32_t rel : invention_relations) unsafe.emplace(rel, 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules) {
+      const Atom& head = rule.head;
+      for (const Atom& body : rule.pos) {
+        for (size_t i = 0; i < body.args.size(); ++i) {
+          // Body atoms never carry the `*`, so position i+1 is args[i].
+          if (!body.args[i].is_var()) continue;
+          if (unsafe.count({body.relation,
+                            static_cast<uint32_t>(i + 1)}) == 0) {
+            continue;
+          }
+          uint32_t var = body.args[i].var;
+          for (size_t j = 0; j < head.args.size(); ++j) {
+            if (head.args[j].is_var() && head.args[j].var == var) {
+              uint32_t head_pos =
+                  static_cast<uint32_t>(j + 1 + (head.invents ? 1 : 0));
+              if (unsafe.emplace(head.relation, head_pos).second) {
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return unsafe;
+}
+
+bool IsWeaklySafe(const Program& program,
+                  const std::set<uint32_t>& invention_relations) {
+  std::set<std::pair<uint32_t, uint32_t>> unsafe =
+      UnsafePositions(program, invention_relations);
+  for (const auto& [rel, pos] : unsafe) {
+    if (program.output_relations.count(rel) > 0) return false;
+  }
+  return true;
+}
+
+Result<IlogQuery> IlogQuery::Create(Program program, std::string name,
+                                    EvalOptions options) {
+  IlogQuery q;
+  CALM_ASSIGN_OR_RETURN(q.info_, Analyze(program, /*allow_invention=*/true));
+  CALM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program, q.info_));
+  (void)strat;
+  CALM_ASSIGN_OR_RETURN(std::set<uint32_t> inventing,
+                        InventionRelations(program));
+  if (!IsWeaklySafe(program, inventing)) {
+    return InvalidArgumentError(
+        "ILOG¬ program is not weakly safe: an output relation has an unsafe "
+        "position (invented values could leak into the output)");
+  }
+  q.fragment_ = ClassifyFragment(program, q.info_);
+  CALM_ASSIGN_OR_RETURN(q.output_schema_, OutputSchema(program, q.info_));
+  if (q.output_schema_.empty()) {
+    return InvalidArgumentError("ILOG¬ program has no output relations");
+  }
+  for (const RelationDecl& r : q.info_.edb.relations()) {
+    if (r.name == AdomRelation()) continue;
+    CALM_RETURN_IF_ERROR(q.input_schema_.AddRelation(r));
+  }
+  q.program_ = std::move(program);
+  q.name_ = std::move(name);
+  q.options_ = options;
+  return q;
+}
+
+IlogQuery IlogQuery::FromTextOrDie(std::string_view text, std::string name,
+                                   EvalOptions options) {
+  Result<Program> program = Parse(text);
+  if (!program.ok()) {
+    std::fprintf(stderr, "IlogQuery parse error: %s\n",
+                 program.status().ToString().c_str());
+    std::abort();
+  }
+  Result<IlogQuery> q =
+      Create(std::move(program).value(), std::move(name), options);
+  if (!q.ok()) {
+    std::fprintf(stderr, "IlogQuery invalid program: %s\n",
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+Result<Instance> IlogQuery::Eval(const Instance& input) const {
+  Instance restricted = input.Restrict(input_schema_);
+  CALM_ASSIGN_OR_RETURN(Instance full,
+                        EvaluateIlog(program_, restricted, options_));
+  Instance out = full.Restrict(output_schema_);
+  // Weak safety guarantees invention-free output; verify defensively.
+  bool clean = true;
+  out.ForEachFact([&](uint32_t, const Tuple& t) {
+    for (Value v : t) {
+      if (v.is_invented()) clean = false;
+    }
+  });
+  if (!clean) {
+    return InternalError("weakly safe program emitted an invented value");
+  }
+  return out;
+}
+
+}  // namespace calm::datalog

@@ -1,0 +1,71 @@
+#ifndef CALM_DATALOG_ILOG_H_
+#define CALM_DATALOG_ILOG_H_
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "base/query.h"
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/fragment.h"
+
+namespace calm::datalog {
+
+// ILOG¬ support (Section 5.2): Datalog¬ where head atoms may be invention
+// atoms R(*, u1..uk). Relation names whose rules invent are "invention
+// relations"; their first position is the invention position.
+
+// The invention relations of `program` (relations with an inventing head).
+// Errors if a relation has both inventing and non-inventing rules.
+Result<std::set<uint32_t>> InventionRelations(const Program& program);
+
+// The set of unsafe positions (1-based pairs (relation, position)): the
+// smallest set containing (R, 1) for every invention relation R and closed
+// under propagation through rules (paper's definition in Section 5.2).
+std::set<std::pair<uint32_t, uint32_t>> UnsafePositions(
+    const Program& program, const std::set<uint32_t>& invention_relations);
+
+// A program is weakly safe when its output relations contain no unsafe
+// position; weakly safe programs never emit invented values (wILOG¬).
+bool IsWeaklySafe(const Program& program,
+                  const std::set<uint32_t>& invention_relations);
+
+// An ILOG¬ program packaged as a Query. Create validates weak safety (so the
+// query's outputs are invention-free) and stratifiability. Divergent
+// evaluations surface as ResourceExhausted ("output undefined" in the
+// paper).
+class IlogQuery : public Query {
+ public:
+  static Result<IlogQuery> Create(Program program, std::string name,
+                                  EvalOptions options = {});
+  static IlogQuery FromTextOrDie(std::string_view text, std::string name,
+                                 EvalOptions options = {});
+
+  const Schema& input_schema() const override { return input_schema_; }
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return name_; }
+  Result<Instance> Eval(const Instance& input) const override;
+
+  const Program& program() const { return program_; }
+  // Fragment of the program viewed as (w)ILOG¬: the same connectivity and
+  // negation-placement classification as for Datalog¬ (SP-wILOG,
+  // semicon-wILOG¬, ...).
+  const FragmentInfo& fragment() const { return fragment_; }
+
+ private:
+  IlogQuery() = default;
+
+  Program program_;
+  ProgramInfo info_;
+  FragmentInfo fragment_;
+  Schema input_schema_;
+  Schema output_schema_;
+  std::string name_;
+  EvalOptions options_;
+};
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_ILOG_H_

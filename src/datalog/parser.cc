@@ -1,0 +1,323 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace calm::datalog {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kArrow,     // :- or <-
+  kNeq,       // !=
+  kBang,      // !
+  kStar,      // *
+  kDirective, // .output
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(LexNumber());
+      } else if (c == '"') {
+        CALM_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else if (c == '(') {
+        out.push_back(Single(TokenKind::kLParen));
+      } else if (c == ')') {
+        out.push_back(Single(TokenKind::kRParen));
+      } else if (c == ',') {
+        out.push_back(Single(TokenKind::kComma));
+      } else if (c == '*') {
+        out.push_back(Single(TokenKind::kStar));
+      } else if (c == '.') {
+        // ".output" directive vs end-of-rule dot.
+        if (text_.substr(pos_).rfind(".output", 0) == 0) {
+          out.push_back(Token{TokenKind::kDirective, ".output", line_});
+          pos_ += 7;
+        } else {
+          out.push_back(Single(TokenKind::kDot));
+        }
+      } else if (c == ':' && Peek(1) == '-') {
+        out.push_back(Token{TokenKind::kArrow, ":-", line_});
+        pos_ += 2;
+      } else if (c == '<' && Peek(1) == '-') {
+        out.push_back(Token{TokenKind::kArrow, "<-", line_});
+        pos_ += 2;
+      } else if (c == '!' && Peek(1) == '=') {
+        out.push_back(Token{TokenKind::kNeq, "!=", line_});
+        pos_ += 2;
+      } else if (c == '!') {
+        out.push_back(Single(TokenKind::kBang));
+      } else {
+        return InvalidArgumentError("line " + std::to_string(line_) +
+                                    ": unexpected character '" +
+                                    std::string(1, c) + "'");
+      }
+    }
+    out.push_back(Token{TokenKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  Token Single(TokenKind kind) {
+    Token t{kind, std::string(1, text_[pos_]), line_};
+    ++pos_;
+    return t;
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{TokenKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+                 line_};
+  }
+
+  Token LexNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return Token{TokenKind::kNumber,
+                 std::string(text_.substr(start, pos_ - start)), line_};
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("line " + std::to_string(line_) +
+                                  ": unterminated string");
+    }
+    Token t{TokenKind::kString, std::string(text_.substr(start, pos_ - start)),
+            line_};
+    ++pos_;  // closing quote
+    return t;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || (c == '/' && Peek(1) == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Run() {
+    Program program;
+    bool explicit_output = false;
+    while (!At(TokenKind::kEnd)) {
+      if (At(TokenKind::kDirective)) {
+        Advance();
+        CALM_RETURN_IF_ERROR(ParseOutputList(program));
+        explicit_output = true;
+        continue;
+      }
+      CALM_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      program.rules.push_back(std::move(rule));
+    }
+    if (!explicit_output) {
+      // Paper convention: relation "O" is the intended output when defined.
+      uint32_t o = GlobalSymbols().Find("O");
+      for (const Rule& r : program.rules) {
+        if (o != UINT32_MAX && r.head.relation == o) {
+          program.output_relations.insert(o);
+          break;
+        }
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[index_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  void Advance() { ++index_; }
+
+  Status Err(const std::string& what) const {
+    return InvalidArgumentError("line " + std::to_string(Cur().line) + ": " +
+                                what + " (got '" + Cur().text + "')");
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!At(kind)) return Err(std::string("expected ") + what);
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseOutputList(Program& program) {
+    while (true) {
+      if (!At(TokenKind::kIdent)) return Err("expected relation name");
+      program.output_relations.insert(InternName(Cur().text));
+      Advance();
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    // Optional trailing dot after the directive.
+    if (At(TokenKind::kDot)) Advance();
+    return Status::Ok();
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(TokenKind::kIdent)) {
+      Term t = Term::Var(Cur().text);
+      Advance();
+      return t;
+    }
+    if (At(TokenKind::kNumber)) {
+      Term t = Term::Const(Value::FromInt(std::strtoull(Cur().text.c_str(),
+                                                        nullptr, 10)));
+      Advance();
+      return t;
+    }
+    if (At(TokenKind::kString)) {
+      Term t = Term::Const(Sym(Cur().text));
+      Advance();
+      return t;
+    }
+    return Err("expected term");
+  }
+
+  Result<Atom> ParseAtom(bool allow_invention) {
+    if (!At(TokenKind::kIdent)) return Err("expected relation name");
+    Atom atom;
+    atom.relation = InternName(Cur().text);
+    Advance();
+    CALM_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    if (At(TokenKind::kStar)) {
+      if (!allow_invention) return Err("invention '*' only allowed in heads");
+      atom.invents = true;
+      Advance();
+      if (At(TokenKind::kComma)) Advance();
+    }
+    if (!At(TokenKind::kRParen)) {
+      while (true) {
+        CALM_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        atom.args.push_back(t);
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    CALM_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return atom;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    CALM_ASSIGN_OR_RETURN(rule.head, ParseAtom(/*allow_invention=*/true));
+    CALM_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "':-'"));
+    while (true) {
+      if (At(TokenKind::kBang) ||
+          (At(TokenKind::kIdent) && Cur().text == "not" &&
+           tokens_[index_ + 1].kind == TokenKind::kIdent)) {
+        Advance();
+        CALM_ASSIGN_OR_RETURN(Atom a, ParseAtom(/*allow_invention=*/false));
+        rule.neg.push_back(std::move(a));
+      } else if (At(TokenKind::kIdent) &&
+                 tokens_[index_ + 1].kind == TokenKind::kLParen) {
+        CALM_ASSIGN_OR_RETURN(Atom a, ParseAtom(/*allow_invention=*/false));
+        rule.pos.push_back(std::move(a));
+      } else {
+        // Inequality: term != term.
+        CALM_ASSIGN_OR_RETURN(Term l, ParseTerm());
+        CALM_RETURN_IF_ERROR(Expect(TokenKind::kNeq, "'!='"));
+        CALM_ASSIGN_OR_RETURN(Term r, ParseTerm());
+        rule.ineqs.emplace_back(l, r);
+      }
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    CALM_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
+    return rule;
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view text) {
+  Lexer lexer(text);
+  CALM_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+Program ParseOrDie(std::string_view text) {
+  Result<Program> result = Parse(text);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ParseOrDie failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace calm::datalog

@@ -1,0 +1,36 @@
+#ifndef CALM_DATALOG_PARSER_H_
+#define CALM_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "datalog/ast.h"
+
+namespace calm::datalog {
+
+// Parses a Datalog¬ program in conventional syntax:
+//
+//   % comment (also //)
+//   T(x, y)  :- R(x, y), !S(y), x != y.
+//   Win(x)   :- Move(x, y), !Win(y).
+//   R2(*, x) :- E(x, y).                  % ILOG invention atom
+//   .output T, Win                        % mark output relations
+//
+// Conventions:
+//   * Any identifier in an argument position is a variable.
+//   * Constants are integers (42) or quoted symbols ("a").
+//   * Negated body atoms are written with `!` or `not`.
+//   * Inequalities are written `t1 != t2`.
+//   * If no `.output` directive appears, the relation named "O" (if any rule
+//     defines it) is the output, matching the paper's convention.
+//
+// Parsing performs only syntactic checks; use Validate / analysis for
+// well-formedness (safety, arity consistency, stratifiability).
+Result<Program> Parse(std::string_view text);
+
+// Parses or aborts; convenience for tests and statically known programs.
+Program ParseOrDie(std::string_view text);
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_PARSER_H_

@@ -1,0 +1,69 @@
+#include "datalog/program.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datalog/parser.h"
+#include "datalog/stratifier.h"
+#include "datalog/wellfounded.h"
+
+namespace calm::datalog {
+
+Result<DatalogQuery> DatalogQuery::Create(Program program, std::string name,
+                                          Semantics semantics,
+                                          EvalOptions options) {
+  DatalogQuery q;
+  CALM_ASSIGN_OR_RETURN(q.info_, Analyze(program));
+  if (semantics == Semantics::kStratified) {
+    CALM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program, q.info_));
+    (void)strat;
+  }
+  q.fragment_ = ClassifyFragment(program, q.info_);
+  CALM_ASSIGN_OR_RETURN(q.output_schema_, OutputSchema(program, q.info_));
+  if (q.output_schema_.empty()) {
+    return InvalidArgumentError(
+        "program has no output relations (mark one with .output or name it O)");
+  }
+  for (const RelationDecl& r : q.info_.edb.relations()) {
+    if (r.name == AdomRelation()) continue;
+    CALM_RETURN_IF_ERROR(q.input_schema_.AddRelation(r));
+  }
+  q.program_ = std::move(program);
+  q.name_ = name.empty() ? q.fragment_.FragmentName() : std::move(name);
+  q.semantics_ = semantics;
+  q.options_ = options;
+  return q;
+}
+
+DatalogQuery DatalogQuery::FromTextOrDie(std::string_view text,
+                                         std::string name, Semantics semantics,
+                                         EvalOptions options) {
+  Result<Program> program = Parse(text);
+  if (!program.ok()) {
+    std::fprintf(stderr, "FromTextOrDie parse error: %s\n",
+                 program.status().ToString().c_str());
+    std::abort();
+  }
+  Result<DatalogQuery> q = Create(std::move(program).value(), std::move(name),
+                                  semantics, options);
+  if (!q.ok()) {
+    std::fprintf(stderr, "FromTextOrDie invalid program: %s\n",
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+Result<Instance> DatalogQuery::Eval(const Instance& input) const {
+  Instance restricted = input.Restrict(input_schema_);
+  if (semantics_ == Semantics::kStratified) {
+    CALM_ASSIGN_OR_RETURN(Instance full,
+                          Evaluate(program_, restricted, options_));
+    return full.Restrict(output_schema_);
+  }
+  CALM_ASSIGN_OR_RETURN(WellFoundedModel model,
+                        EvaluateWellFounded(program_, restricted, options_));
+  return model.definitely.Restrict(output_schema_);
+}
+
+}  // namespace calm::datalog

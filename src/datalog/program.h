@@ -1,0 +1,63 @@
+#ifndef CALM_DATALOG_PROGRAM_H_
+#define CALM_DATALOG_PROGRAM_H_
+
+#include <memory>
+#include <string>
+
+#include "base/query.h"
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/fragment.h"
+
+namespace calm::datalog {
+
+// A Datalog¬ program packaged as a Query (Section 2, "P computes Q when
+// Q(I) = P(I)|sigma' "): the input schema is edb(P) minus the Adom
+// convenience relation, the output schema is the program's marked output
+// relations, and evaluation restricts P(I) to the output schema.
+class DatalogQuery : public Query {
+ public:
+  enum class Semantics {
+    kStratified,   // Section 2 semantics; requires stratifiability
+    kWellFounded,  // output = definitely-true facts (used for win-move)
+  };
+
+  // Validates the program (analysis; stratifiability when kStratified) and
+  // builds the query. `name` defaults to the fragment name when empty.
+  static Result<DatalogQuery> Create(Program program, std::string name,
+                                     Semantics semantics = Semantics::kStratified,
+                                     EvalOptions options = {});
+
+  // Create from program text (see parser.h), aborting on invalid programs;
+  // for statically known programs in tests/benches/examples.
+  static DatalogQuery FromTextOrDie(std::string_view text, std::string name,
+                                    Semantics semantics = Semantics::kStratified,
+                                    EvalOptions options = {});
+
+  const Schema& input_schema() const override { return input_schema_; }
+  const Schema& output_schema() const override { return output_schema_; }
+  std::string name() const override { return name_; }
+  Result<Instance> Eval(const Instance& input) const override;
+
+  const Program& program() const { return program_; }
+  const ProgramInfo& info() const { return info_; }
+  const FragmentInfo& fragment() const { return fragment_; }
+  Semantics semantics() const { return semantics_; }
+
+ private:
+  DatalogQuery() = default;
+
+  Program program_;
+  ProgramInfo info_;
+  FragmentInfo fragment_;
+  Schema input_schema_;
+  Schema output_schema_;
+  std::string name_;
+  Semantics semantics_ = Semantics::kStratified;
+  EvalOptions options_;
+};
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_PROGRAM_H_

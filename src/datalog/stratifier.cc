@@ -1,0 +1,50 @@
+#include "datalog/stratifier.h"
+
+namespace calm::datalog {
+
+Result<Stratification> Stratify(const Program& program,
+                                const ProgramInfo& info) {
+  Stratification strat;
+  std::vector<RelationDecl> idb = info.idb.relations();
+  if (idb.empty()) return strat;
+
+  for (const RelationDecl& r : idb) strat.stratum_of[r.name] = 1;
+
+  // Classic iterative lifting: stratum(to) >= stratum(from) (+1 if negative).
+  // If any stratum exceeds |idb|, there is a cycle through negation.
+  const uint32_t limit = static_cast<uint32_t>(idb.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const ProgramInfo::Edge& e : info.idb_edges) {
+      uint32_t need = strat.stratum_of[e.from] + (e.negative ? 1 : 0);
+      uint32_t& cur = strat.stratum_of[e.to];
+      if (cur < need) {
+        cur = need;
+        if (cur > limit) {
+          return FailedPreconditionError(
+              "program is not syntactically stratifiable: dependency cycle "
+              "through negation involves '" +
+              NameOf(e.to) + "'");
+        }
+        changed = true;
+      }
+    }
+  }
+
+  for (auto [name, s] : strat.stratum_of) {
+    strat.stratum_count = std::max(strat.stratum_count, s);
+  }
+  strat.rules_per_stratum.assign(strat.stratum_count, {});
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    uint32_t s = strat.stratum_of[program.rules[i].head.relation];
+    strat.rules_per_stratum[s - 1].push_back(i);
+  }
+  return strat;
+}
+
+bool IsStratifiable(const Program& program, const ProgramInfo& info) {
+  return Stratify(program, info).ok();
+}
+
+}  // namespace calm::datalog

@@ -1,0 +1,36 @@
+#ifndef CALM_DATALOG_STRATIFIER_H_
+#define CALM_DATALOG_STRATIFIER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+
+namespace calm::datalog {
+
+// A syntactic stratification of a program (Section 2): stratum numbers per
+// idb predicate such that positive idb dependencies never go down and
+// negative idb dependencies go strictly up. Strata are numbered from 1.
+struct Stratification {
+  std::map<uint32_t, uint32_t> stratum_of;  // idb predicate -> stratum (1-based)
+  uint32_t stratum_count = 0;
+  // rules_per_stratum[i] lists the indices (into program.rules) of the rules
+  // whose head predicate has stratum number i + 1.
+  std::vector<std::vector<size_t>> rules_per_stratum;
+};
+
+// Computes the minimal syntactic stratification, or FailedPrecondition if
+// the program is not syntactically stratifiable (a dependency cycle through
+// negation exists).
+Result<Stratification> Stratify(const Program& program,
+                                const ProgramInfo& info);
+
+// Convenience: true iff the program is syntactically stratifiable.
+bool IsStratifiable(const Program& program, const ProgramInfo& info);
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_STRATIFIER_H_

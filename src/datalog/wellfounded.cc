@@ -1,0 +1,110 @@
+#include "datalog/wellfounded.h"
+
+#include <string>
+
+#include "datalog/analysis.h"
+
+namespace calm::datalog {
+
+Result<WellFoundedModel> EvaluateWellFounded(const Program& program,
+                                             const Instance& input,
+                                             const EvalOptions& options) {
+  CALM_ASSIGN_OR_RETURN(ProgramInfo info, Analyze(program));
+  Instance restricted = input.Restrict(info.sch);
+
+  // Gamma(S): least fixpoint with negation tested against fixed S.
+  auto gamma = [&](const Instance& s) -> Result<Instance> {
+    return EvaluateWithFixedNegation(program, restricted, s, options);
+  };
+
+  // Alternating fixpoint: lo underapproximates the true facts, hi
+  // overapproximates them; both are fixed after finitely many rounds.
+  Instance lo = restricted;
+  CALM_ASSIGN_OR_RETURN(Instance hi, gamma(lo));
+  while (true) {
+    CALM_ASSIGN_OR_RETURN(Instance new_lo, gamma(hi));
+    CALM_ASSIGN_OR_RETURN(Instance new_hi, gamma(new_lo));
+    if (new_lo == lo && new_hi == hi) break;
+    lo = std::move(new_lo);
+    hi = std::move(new_hi);
+  }
+
+  WellFoundedModel model;
+  model.definitely = std::move(lo);
+  model.possibly = std::move(hi);
+  return model;
+}
+
+std::string DoubledProgram::LoName(const std::string& rel, size_t round) {
+  return rel + "__lo" + std::to_string(round);
+}
+std::string DoubledProgram::HiName(const std::string& rel, size_t round) {
+  return rel + "__hi" + std::to_string(round);
+}
+
+namespace {
+
+// Renames an idb atom to its round-r lo or hi copy; edb atoms are unchanged.
+Atom RenameAtom(const Atom& atom, const ProgramInfo& info, size_t round,
+                bool hi) {
+  if (!info.idb.Contains(atom.relation)) return atom;
+  const std::string& base = NameOf(atom.relation);
+  std::string renamed = hi ? DoubledProgram::HiName(base, round)
+                           : DoubledProgram::LoName(base, round);
+  Atom out = atom;
+  out.relation = InternName(renamed);
+  return out;
+}
+
+}  // namespace
+
+DoubledProgram BuildDoubledProgram(const Program& program,
+                                   const ProgramInfo& info, size_t steps) {
+  DoubledProgram out;
+  for (size_t r = 1; r <= steps; ++r) {
+    for (const Rule& rule : program.rules) {
+      // hi^r: positives from hi^r, idb negatives from lo^{r-1}. At r == 1
+      // lo^0 is empty, so those literals are vacuously true and dropped.
+      Rule hi_rule;
+      hi_rule.head = RenameAtom(rule.head, info, r, /*hi=*/true);
+      for (const Atom& a : rule.pos) {
+        hi_rule.pos.push_back(RenameAtom(a, info, r, /*hi=*/true));
+      }
+      for (const Atom& a : rule.neg) {
+        if (!info.idb.Contains(a.relation)) {
+          hi_rule.neg.push_back(a);
+        } else if (r > 1) {
+          hi_rule.neg.push_back(RenameAtom(a, info, r - 1, /*hi=*/false));
+        }
+      }
+      hi_rule.ineqs = rule.ineqs;
+      out.program.rules.push_back(std::move(hi_rule));
+
+      // lo^r: positives from lo^r, idb negatives from hi^r.
+      Rule lo_rule;
+      lo_rule.head = RenameAtom(rule.head, info, r, /*hi=*/false);
+      for (const Atom& a : rule.pos) {
+        lo_rule.pos.push_back(RenameAtom(a, info, r, /*hi=*/false));
+      }
+      for (const Atom& a : rule.neg) {
+        if (!info.idb.Contains(a.relation)) {
+          lo_rule.neg.push_back(a);
+        } else {
+          lo_rule.neg.push_back(RenameAtom(a, info, r, /*hi=*/true));
+        }
+      }
+      lo_rule.ineqs = rule.ineqs;
+      out.program.rules.push_back(std::move(lo_rule));
+    }
+  }
+  for (uint32_t rel : program.output_relations) {
+    const std::string& base = NameOf(rel);
+    out.program.output_relations.insert(
+        InternName(DoubledProgram::LoName(base, steps)));
+    out.program.output_relations.insert(
+        InternName(DoubledProgram::HiName(base, steps)));
+  }
+  return out;
+}
+
+}  // namespace calm::datalog

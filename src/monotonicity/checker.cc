@@ -1,0 +1,148 @@
+#include "monotonicity/checker.h"
+
+#include <vector>
+
+#include "base/enumerator.h"
+#include "workload/instance_gen.h"
+
+namespace calm::monotonicity {
+
+const char* MonotonicityClassName(MonotonicityClass cls) {
+  switch (cls) {
+    case MonotonicityClass::kMonotone:
+      return "M";
+    case MonotonicityClass::kDomainDistinct:
+      return "Mdistinct";
+    case MonotonicityClass::kDomainDisjoint:
+      return "Mdisjoint";
+  }
+  return "?";
+}
+
+std::string Counterexample::ToString() const {
+  return "I = " + i.ToString() + ", J = " + j.ToString() +
+         ", retracted output fact: " + FactToString(retracted);
+}
+
+Result<std::optional<Counterexample>> CheckPair(const Query& query,
+                                                const Instance& i,
+                                                const Instance& j) {
+  Result<Instance> out_i = query.Eval(i);
+  if (!out_i.ok()) return out_i.status();
+  Result<Instance> out_ij = query.Eval(Instance::Union(i, j));
+  if (!out_ij.ok()) return out_ij.status();
+
+  std::optional<Counterexample> found;
+  out_i->ForEachFact([&](uint32_t name, const Tuple& t) {
+    if (found.has_value()) return;
+    Fact f(name, t);
+    if (!out_ij->Contains(f)) {
+      found = Counterexample{i, j, std::move(f)};
+    }
+  });
+  return found;
+}
+
+namespace {
+
+// Candidate facts for J given I, per class:
+//  * kMonotone:       every fact over adom(I) + fresh values
+//  * kDomainDistinct: facts containing at least one fresh value
+//  * kDomainDisjoint: facts over fresh values only
+std::vector<Fact> CandidateJFacts(const Schema& schema, const Instance& i,
+                                  const std::vector<Value>& fresh,
+                                  MonotonicityClass cls) {
+  std::set<Value> adom_i = i.ActiveDomain();
+  std::vector<Value> mixed(adom_i.begin(), adom_i.end());
+  mixed.insert(mixed.end(), fresh.begin(), fresh.end());
+
+  std::vector<Fact> all;
+  switch (cls) {
+    case MonotonicityClass::kMonotone:
+      all = AllFactsOver(schema, mixed);
+      break;
+    case MonotonicityClass::kDomainDistinct: {
+      for (Fact& f : AllFactsOver(schema, mixed)) {
+        if (FactDomainDistinctFrom(f, adom_i)) all.push_back(std::move(f));
+      }
+      break;
+    }
+    case MonotonicityClass::kDomainDisjoint:
+      all = AllFactsOver(schema, fresh);
+      break;
+  }
+  // Drop facts already in I (their addition is a no-op).
+  std::vector<Fact> out;
+  for (Fact& f : all) {
+    if (!i.Contains(f)) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::optional<Counterexample>> FindViolation(
+    const Query& query, MonotonicityClass cls,
+    const ExhaustiveOptions& options) {
+  const Schema& schema = query.input_schema();
+  std::vector<Value> domain = IntDomain(options.domain_size);
+  std::vector<Value> fresh = IntDomain(options.fresh_values, 1000);
+
+  std::optional<Counterexample> found;
+  Status failure;
+
+  ForEachInstance(schema, domain, options.max_facts_i, [&](const Instance& i) {
+    std::vector<Fact> candidates = CandidateJFacts(schema, i, fresh, cls);
+    ForEachFactSubset(candidates, options.max_facts_j, [&](const Instance& j) {
+      Result<std::optional<Counterexample>> r = CheckPair(query, i, j);
+      if (!r.ok()) {
+        failure = r.status();
+        return false;
+      }
+      if (r->has_value()) {
+        found = std::move(r.value());
+        return false;
+      }
+      return true;
+    });
+    return !found.has_value() && failure.ok();
+  });
+
+  if (!failure.ok()) return failure;
+  return found;
+}
+
+Result<std::optional<Counterexample>> FindViolationRandom(
+    const Query& query, MonotonicityClass cls, const RandomOptions& options) {
+  const Schema& schema = query.input_schema();
+  for (size_t trial = 0; trial < options.trials; ++trial) {
+    uint64_t seed = options.seed * 1000003 + trial;
+    Instance i =
+        workload::RandomInstance(schema, options.facts_i, options.domain_size,
+                                 seed);
+    Instance j;
+    switch (cls) {
+      case MonotonicityClass::kMonotone:
+        // Arbitrary J: another random instance over a slightly larger
+        // domain, so it overlaps adom(I) but also brings new values.
+        j = workload::RandomInstance(schema, options.facts_j,
+                                     options.domain_size + options.fresh_values,
+                                     seed + 1);
+        break;
+      case MonotonicityClass::kDomainDistinct:
+        j = workload::RandomDomainDistinctExtension(
+            schema, i, options.facts_j, options.fresh_values, seed + 1);
+        break;
+      case MonotonicityClass::kDomainDisjoint:
+        j = workload::RandomDomainDisjointExtension(
+            schema, i, options.facts_j, options.fresh_values, seed + 1);
+        break;
+    }
+    Result<std::optional<Counterexample>> r = CheckPair(query, i, j);
+    if (!r.ok()) return r.status();
+    if (r->has_value()) return r;
+  }
+  return std::optional<Counterexample>();
+}
+
+}  // namespace calm::monotonicity

@@ -1,0 +1,77 @@
+#ifndef CALM_MONOTONICITY_CHECKER_H_
+#define CALM_MONOTONICITY_CHECKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "base/instance.h"
+#include "base/query.h"
+#include "base/status.h"
+
+namespace calm::monotonicity {
+
+// The monotonicity hierarchy of Section 3.1 (Definition 1):
+//   kMonotone        M          : Q(I) <= Q(I u J) for all J
+//   kDomainDistinct  Mdistinct  : ... for J domain distinct from I
+//   kDomainDisjoint  Mdisjoint  : ... for J domain disjoint from I
+enum class MonotonicityClass {
+  kMonotone,
+  kDomainDistinct,
+  kDomainDisjoint,
+};
+
+const char* MonotonicityClassName(MonotonicityClass cls);
+
+// A witness that Q is not in the checked class: some output fact of Q(i) is
+// missing from Q(i u j), where j is of the class-appropriate kind w.r.t. i.
+struct Counterexample {
+  Instance i;
+  Instance j;
+  Fact retracted;  // in Q(i) \ Q(i u j)
+
+  std::string ToString() const;
+};
+
+struct ExhaustiveOptions {
+  // I ranges over instances with values {0..domain_size-1} and at most
+  // max_facts_i facts.
+  size_t domain_size = 3;
+  size_t max_facts_i = 3;
+  // J draws on fresh values {1000..1000+fresh_values-1} (plus adom(I) for
+  // the domain-distinct case) and has at most max_facts_j facts. Bounding
+  // max_facts_j to i checks the bounded class M^i (Section 3.1).
+  size_t fresh_values = 2;
+  size_t max_facts_j = 4;
+};
+
+// Exhaustively searches the bounded space for a violation of `cls`.
+// Returns a counterexample, or nullopt when the query satisfies the
+// monotonicity condition on every enumerated pair (evidence, not proof).
+// For kMonotone, J additionally ranges over facts made purely of old values.
+Result<std::optional<Counterexample>> FindViolation(
+    const Query& query, MonotonicityClass cls,
+    const ExhaustiveOptions& options = {});
+
+struct RandomOptions {
+  size_t trials = 100;
+  size_t domain_size = 8;
+  size_t facts_i = 10;
+  size_t facts_j = 4;
+  size_t fresh_values = 4;
+  uint64_t seed = 0;
+};
+
+// Randomized search over larger instances.
+Result<std::optional<Counterexample>> FindViolationRandom(
+    const Query& query, MonotonicityClass cls, const RandomOptions& options);
+
+// Checks one specific pair: returns a counterexample iff Q(i) is not a
+// subset of Q(i u j). Callers are responsible for j's kind.
+Result<std::optional<Counterexample>> CheckPair(const Query& query,
+                                                const Instance& i,
+                                                const Instance& j);
+
+}  // namespace calm::monotonicity
+
+#endif  // CALM_MONOTONICITY_CHECKER_H_

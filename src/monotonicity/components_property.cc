@@ -1,0 +1,66 @@
+#include "monotonicity/components_property.h"
+
+#include <vector>
+
+#include "base/components.h"
+#include "workload/instance_gen.h"
+
+namespace calm::monotonicity {
+
+Result<std::optional<ComponentsViolation>> CheckDistributesOverComponents(
+    const Query& query, const Instance& i) {
+  Result<Instance> whole = query.Eval(i);
+  if (!whole.ok()) return whole.status();
+
+  std::vector<Instance> comps = Components(i);
+  Instance united;
+  std::vector<std::set<Value>> adoms;
+  for (const Instance& c : comps) {
+    Result<Instance> part = query.Eval(c);
+    if (!part.ok()) return part.status();
+    united.InsertAll(part.value());
+    adoms.push_back(part->ActiveDomain());
+  }
+
+  if (united != whole.value()) {
+    Instance only_whole = Instance::Difference(whole.value(), united);
+    Instance only_parts = Instance::Difference(united, whole.value());
+    return std::optional<ComponentsViolation>(ComponentsViolation{
+        i, "Q(I) != union of Q(C): missing from union " +
+               only_whole.ToString() + ", extra in union " +
+               only_parts.ToString()});
+  }
+  for (size_t a = 0; a < adoms.size(); ++a) {
+    for (size_t b = a + 1; b < adoms.size(); ++b) {
+      for (Value v : adoms[a]) {
+        if (adoms[b].count(v) > 0) {
+          return std::optional<ComponentsViolation>(ComponentsViolation{
+              i, "outputs of two components share value " + ValueToString(v)});
+        }
+      }
+    }
+  }
+  return std::optional<ComponentsViolation>();
+}
+
+Result<std::optional<ComponentsViolation>> FindComponentsViolationRandom(
+    const Query& query, const ComponentsCheckOptions& options) {
+  const Schema& schema = query.input_schema();
+  for (size_t trial = 0; trial < options.trials; ++trial) {
+    Instance input;
+    for (size_t part = 0; part < options.parts; ++part) {
+      uint64_t base = part * 1000 + 1;
+      Instance piece = workload::RandomInstance(
+          schema, options.part_facts, options.part_domain,
+          options.seed * 7919 + trial * 31 + part, base);
+      input.InsertAll(piece);
+    }
+    Result<std::optional<ComponentsViolation>> r =
+        CheckDistributesOverComponents(query, input);
+    if (!r.ok()) return r.status();
+    if (r->has_value()) return r;
+  }
+  return std::optional<ComponentsViolation>();
+}
+
+}  // namespace calm::monotonicity

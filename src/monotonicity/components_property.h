@@ -1,0 +1,42 @@
+#ifndef CALM_MONOTONICITY_COMPONENTS_PROPERTY_H_
+#define CALM_MONOTONICITY_COMPONENTS_PROPERTY_H_
+
+#include <optional>
+#include <string>
+
+#include "base/instance.h"
+#include "base/query.h"
+#include "base/status.h"
+
+namespace calm::monotonicity {
+
+// Definition 5: Q distributes over components when for all I,
+// (1) Q(I) = union of Q(C) over components C of I, and
+// (2) adom(Q(C)) and adom(Q(C')) are disjoint for distinct components.
+// Lemma 5.2: every con-Datalog¬ query distributes over components.
+
+struct ComponentsViolation {
+  Instance i;
+  std::string reason;  // which condition failed and how
+  std::string ToString() const { return "I = " + i.ToString() + ": " + reason; }
+};
+
+// Checks Definition 5 on one instance.
+Result<std::optional<ComponentsViolation>> CheckDistributesOverComponents(
+    const Query& query, const Instance& i);
+
+struct ComponentsCheckOptions {
+  size_t trials = 50;
+  size_t parts = 3;       // number of domain-disjoint parts per input
+  size_t part_facts = 4;  // facts per part
+  size_t part_domain = 4;
+  uint64_t seed = 0;
+};
+
+// Randomized multi-component inputs (disjoint unions of random parts).
+Result<std::optional<ComponentsViolation>> FindComponentsViolationRandom(
+    const Query& query, const ComponentsCheckOptions& options);
+
+}  // namespace calm::monotonicity
+
+#endif  // CALM_MONOTONICITY_COMPONENTS_PROPERTY_H_

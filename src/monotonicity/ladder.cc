@@ -1,0 +1,55 @@
+#include "monotonicity/ladder.h"
+
+namespace calm::monotonicity {
+
+size_t Ladder::FirstDistinctViolation() const {
+  for (const LadderRow& row : rows) {
+    if (!row.in_distinct) return row.i;
+  }
+  return 0;
+}
+
+size_t Ladder::FirstDisjointViolation() const {
+  for (const LadderRow& row : rows) {
+    if (!row.in_disjoint) return row.i;
+  }
+  return 0;
+}
+
+std::string Ladder::ToString() const {
+  std::string out = "  i  M^i  M^i_distinct  M^i_disjoint\n";
+  for (const LadderRow& row : rows) {
+    out += "  " + std::to_string(row.i) + "  " + (row.in_m ? "yes" : "no ") +
+           "  " + (row.in_distinct ? "yes" : "no ") + "           " +
+           (row.in_disjoint ? "yes" : "no ") + "\n";
+  }
+  return out;
+}
+
+Result<Ladder> ComputeLadder(const Query& query, size_t max_i,
+                             ExhaustiveOptions base) {
+  Ladder ladder;
+  for (size_t i = 1; i <= max_i; ++i) {
+    ExhaustiveOptions o = base;
+    o.max_facts_j = i;
+    LadderRow row;
+    row.i = i;
+
+    CALM_ASSIGN_OR_RETURN(
+        row.m_witness, FindViolation(query, MonotonicityClass::kMonotone, o));
+    row.in_m = !row.m_witness.has_value();
+    CALM_ASSIGN_OR_RETURN(
+        row.distinct_witness,
+        FindViolation(query, MonotonicityClass::kDomainDistinct, o));
+    row.in_distinct = !row.distinct_witness.has_value();
+    CALM_ASSIGN_OR_RETURN(
+        row.disjoint_witness,
+        FindViolation(query, MonotonicityClass::kDomainDisjoint, o));
+    row.in_disjoint = !row.disjoint_witness.has_value();
+
+    ladder.rows.push_back(std::move(row));
+  }
+  return ladder;
+}
+
+}  // namespace calm::monotonicity

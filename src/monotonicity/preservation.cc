@@ -1,0 +1,147 @@
+#include "monotonicity/preservation.h"
+
+#include <vector>
+
+#include "base/enumerator.h"
+#include "base/homomorphism.h"
+
+namespace calm::monotonicity {
+
+const char* PreservationClassName(PreservationClass cls) {
+  switch (cls) {
+    case PreservationClass::kHomomorphisms:
+      return "H";
+    case PreservationClass::kInjectiveHomomorphisms:
+      return "Hinj";
+    case PreservationClass::kExtensions:
+      return "E";
+  }
+  return "?";
+}
+
+std::string PreservationViolation::ToString() const {
+  return "I = " + i.ToString() + ", J = " + j.ToString() +
+         ", fact not preserved: " + FactToString(not_preserved);
+}
+
+namespace {
+
+// Checks preservation of Q under (injective) homomorphisms from i to j.
+Result<std::optional<PreservationViolation>> CheckHomPair(const Query& query,
+                                                          const Instance& i,
+                                                          const Instance& j,
+                                                          bool injective) {
+  Result<Instance> out_i = query.Eval(i);
+  if (!out_i.ok()) return out_i.status();
+  Result<Instance> out_j = query.Eval(j);
+  if (!out_j.ok()) return out_j.status();
+
+  std::optional<PreservationViolation> found;
+  ForEachHomomorphism(i, j, injective, [&](const std::map<Value, Value>& h) {
+    Instance mapped = ApplyValueMap(out_i.value(), h);
+    mapped.ForEachFact([&](uint32_t name, const Tuple& t) {
+      if (found.has_value()) return;
+      Fact f(name, t);
+      // Only facts whose values all lie in the domain of h are constrained
+      // (Definition 2 maps adom(I); output facts use adom(I) by genericity).
+      if (!out_j->Contains(f)) found = PreservationViolation{i, j, f};
+    });
+    return !found.has_value();
+  });
+  return found;
+}
+
+// Induced subinstance of `i` on the value subset `keep`.
+Instance InducedOn(const Instance& i, const std::set<Value>& keep) {
+  Instance out;
+  i.ForEachFact([&](uint32_t name, const Tuple& t) {
+    for (Value v : t) {
+      if (keep.count(v) == 0) return;
+    }
+    out.Insert(Fact(name, t));
+  });
+  return out;
+}
+
+Result<std::optional<PreservationViolation>> CheckExtensions(
+    const Query& query, const Instance& i) {
+  Result<Instance> out_i = query.Eval(i);
+  if (!out_i.ok()) return out_i.status();
+
+  // Enumerate value subsets of adom(i); each yields an induced subinstance.
+  std::set<Value> adom_set = i.ActiveDomain();
+  std::vector<Value> adom(adom_set.begin(), adom_set.end());
+  size_t n = adom.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    std::set<Value> keep;
+    for (size_t b = 0; b < n; ++b) {
+      if (mask & (uint64_t{1} << b)) keep.insert(adom[b]);
+    }
+    Instance j = InducedOn(i, keep);
+    Result<Instance> out_j = query.Eval(j);
+    if (!out_j.ok()) return out_j.status();
+    std::optional<PreservationViolation> found;
+    out_j->ForEachFact([&](uint32_t name, const Tuple& t) {
+      if (found.has_value()) return;
+      Fact f(name, t);
+      if (!out_i->Contains(f)) found = PreservationViolation{i, j, f};
+    });
+    if (found.has_value()) return found;
+  }
+  return std::optional<PreservationViolation>();
+}
+
+}  // namespace
+
+Result<std::optional<PreservationViolation>> FindPreservationViolation(
+    const Query& query, PreservationClass cls,
+    const PreservationOptions& options) {
+  const Schema& schema = query.input_schema();
+  std::vector<Value> domain = IntDomain(options.domain_size);
+
+  std::optional<PreservationViolation> found;
+  Status failure;
+
+  if (cls == PreservationClass::kExtensions) {
+    ForEachInstance(schema, domain, options.max_facts, [&](const Instance& i) {
+      Result<std::optional<PreservationViolation>> r =
+          CheckExtensions(query, i);
+      if (!r.ok()) {
+        failure = r.status();
+        return false;
+      }
+      if (r->has_value()) {
+        found = std::move(r.value());
+        return false;
+      }
+      return true;
+    });
+  } else {
+    bool injective = cls == PreservationClass::kInjectiveHomomorphisms;
+    // For injective homomorphisms the target needs spare values, so J ranges
+    // over a domain twice the size.
+    std::vector<Value> domain_j = IntDomain(2 * options.domain_size);
+    ForEachInstance(schema, domain, options.max_facts, [&](const Instance& i) {
+      ForEachInstance(schema, domain_j, options.max_facts,
+                      [&](const Instance& j) {
+        Result<std::optional<PreservationViolation>> r =
+            CheckHomPair(query, i, j, injective);
+        if (!r.ok()) {
+          failure = r.status();
+          return false;
+        }
+        if (r->has_value()) {
+          found = std::move(r.value());
+          return false;
+        }
+        return true;
+      });
+      return !found.has_value() && failure.ok();
+    });
+  }
+
+  if (!failure.ok()) return failure;
+  return found;
+}
+
+}  // namespace calm::monotonicity

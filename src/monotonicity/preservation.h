@@ -1,0 +1,49 @@
+#ifndef CALM_MONOTONICITY_PRESERVATION_H_
+#define CALM_MONOTONICITY_PRESERVATION_H_
+
+#include <optional>
+#include <string>
+
+#include "base/instance.h"
+#include "base/query.h"
+#include "base/status.h"
+
+namespace calm::monotonicity {
+
+// Preservation classes of Section 3.2 (Definition 2): H (preserved under
+// homomorphisms), Hinj (injective homomorphisms), E (extensions). Lemma 3.2:
+// H ( Hinj = M ( E = Mdistinct. These bounded checkers let the benches
+// re-derive the lemma's equalities empirically.
+enum class PreservationClass {
+  kHomomorphisms,           // H
+  kInjectiveHomomorphisms,  // Hinj
+  kExtensions,              // E
+};
+
+const char* PreservationClassName(PreservationClass cls);
+
+struct PreservationViolation {
+  Instance i;
+  Instance j;
+  Fact not_preserved;  // h(f) missing from Q(J) (or f missing from Q(I) for E)
+  std::string ToString() const;
+};
+
+struct PreservationOptions {
+  // Instances range over {0..domain_size-1} with at most max_facts facts;
+  // target instances for homomorphism checks use the same bounds.
+  size_t domain_size = 3;
+  size_t max_facts = 3;
+};
+
+// Exhaustively searches the bounded space for a preservation violation.
+// For H / Hinj: some (injective) homomorphism h : I -> J and fact f in Q(I)
+// with h(f) not in Q(J). For E: some induced subinstance J of I and fact in
+// Q(J) \ Q(I).
+Result<std::optional<PreservationViolation>> FindPreservationViolation(
+    const Query& query, PreservationClass cls,
+    const PreservationOptions& options = {});
+
+}  // namespace calm::monotonicity
+
+#endif  // CALM_MONOTONICITY_PRESERVATION_H_

@@ -1,0 +1,32 @@
+#include "net/message_buffer.h"
+
+#include <algorithm>
+
+namespace calm::net {
+
+Instance MessageBuffer::TakeCollapsed(const std::vector<size_t>& indices) {
+  Instance delivered;
+  // Remove back to front so earlier indices stay valid.
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    size_t i = *it;
+    delivered.Insert(std::move(entries_[i].fact));
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+  }
+  return delivered;
+}
+
+std::vector<size_t> MessageBuffer::AllIndices() const {
+  std::vector<size_t> out(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) out[i] = i;
+  return out;
+}
+
+std::vector<size_t> MessageBuffer::IndicesOlderThan(uint64_t tick) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].enqueued_at <= tick) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace calm::net

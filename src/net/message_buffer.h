@@ -1,0 +1,58 @@
+#ifndef CALM_NET_MESSAGE_BUFFER_H_
+#define CALM_NET_MESSAGE_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/fact.h"
+#include "base/instance.h"
+
+namespace calm::net {
+
+// A node's incoming message buffer: a *multiset* of facts (Section 4.1.3 —
+// the same message can be in flight multiple times). Entries remember the
+// tick at which they were enqueued so schedulers can bound delays (fairness
+// condition (ii): no message is delayed forever).
+class MessageBuffer {
+ public:
+  struct Entry {
+    Fact fact;
+    uint64_t enqueued_at = 0;
+  };
+
+  void Add(Fact fact, uint64_t tick) {
+    entries_.push_back(Entry{std::move(fact), tick});
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Removes the entries at `indices` (strictly increasing) and returns the
+  // delivered submultiset collapsed to a set (the transition's M).
+  Instance TakeCollapsed(const std::vector<size_t>& indices);
+
+  // Indices of every entry (deliver-all).
+  std::vector<size_t> AllIndices() const;
+
+  // Indices of entries enqueued at or before `tick` (for delay bounding).
+  std::vector<size_t> IndicesOlderThan(uint64_t tick) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// Statistics of a simulated run.
+struct RunStats {
+  size_t transitions = 0;
+  size_t heartbeats = 0;          // transitions delivering no messages
+  size_t messages_sent = 0;       // buffer insertions (fact x recipient)
+  size_t messages_delivered = 0;  // buffer removals
+  size_t output_facts = 0;
+  // Transition index at which the final output fact appeared (0 if none).
+  size_t output_complete_at = 0;
+};
+
+}  // namespace calm::net
+
+#endif  // CALM_NET_MESSAGE_BUFFER_H_

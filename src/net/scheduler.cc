@@ -1,0 +1,64 @@
+#include "net/scheduler.h"
+
+namespace calm::net {
+
+Scheduler::Choice RoundRobinScheduler::Next(
+    const std::vector<MessageBuffer>& buffers, uint64_t tick) {
+  (void)tick;
+  Choice c;
+  c.node_index = next_node_;
+  next_node_ = (next_node_ + 1) % node_count_;
+  c.deliveries = buffers[c.node_index].AllIndices();
+  return c;
+}
+
+RandomScheduler::RandomScheduler(size_t node_count, uint64_t seed,
+                                 double deliver_prob, uint64_t max_delay)
+    : node_count_(node_count),
+      rng_(seed),
+      deliver_prob_(deliver_prob),
+      max_delay_(max_delay),
+      last_active_(node_count, 0) {}
+
+Scheduler::Choice RandomScheduler::Next(
+    const std::vector<MessageBuffer>& buffers, uint64_t tick) {
+  Choice c;
+  // Starvation bound: if some node has not been active for 4 * node_count
+  // ticks, activate it; otherwise pick uniformly.
+  size_t forced = node_count_;
+  for (size_t i = 0; i < node_count_; ++i) {
+    if (tick - last_active_[i] > 4 * node_count_ + 4) {
+      forced = i;
+      break;
+    }
+  }
+  if (forced < node_count_) {
+    c.node_index = forced;
+  } else {
+    std::uniform_int_distribution<size_t> pick(0, node_count_ - 1);
+    c.node_index = pick(rng_);
+  }
+  last_active_[c.node_index] = tick;
+
+  const MessageBuffer& buffer = buffers[c.node_index];
+  std::bernoulli_distribution deliver(deliver_prob_);
+  uint64_t oldest_allowed = tick > max_delay_ ? tick - max_delay_ : 0;
+  for (size_t i = 0; i < buffer.entries().size(); ++i) {
+    if (buffer.entries()[i].enqueued_at <= oldest_allowed || deliver(rng_)) {
+      c.deliveries.push_back(i);
+    }
+  }
+  return c;
+}
+
+Scheduler::Choice AdversarialDelayScheduler::Next(
+    const std::vector<MessageBuffer>& buffers, uint64_t tick) {
+  Choice c;
+  c.node_index = next_node_;
+  next_node_ = (next_node_ + 1) % node_count_;
+  uint64_t oldest_allowed = tick > max_delay_ ? tick - max_delay_ : 0;
+  c.deliveries = buffers[c.node_index].IndicesOlderThan(oldest_allowed);
+  return c;
+}
+
+}  // namespace calm::net

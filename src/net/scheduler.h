@@ -1,0 +1,81 @@
+#ifndef CALM_NET_SCHEDULER_H_
+#define CALM_NET_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "base/value.h"
+#include "net/message_buffer.h"
+
+namespace calm::net {
+
+// Chooses, per transition, the active node and the submultiset of its buffer
+// to deliver (the run nondeterminism of Section 4.1.3). Implementations must
+// be *fair*: every node active infinitely often, no message postponed
+// forever. Simulated runs are finite prefixes, so fairness is realized as
+// bounded postponement.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  struct Choice {
+    size_t node_index = 0;             // into the network's node list
+    std::vector<size_t> deliveries;    // strictly increasing buffer indices
+  };
+
+  // `buffers[i]` is node i's buffer; `tick` the global transition counter.
+  virtual Choice Next(const std::vector<MessageBuffer>& buffers,
+                      uint64_t tick) = 0;
+};
+
+// Cycles through nodes, delivering the full buffer each activation. The
+// canonical "synchronous-ish" fair schedule.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(size_t node_count) : node_count_(node_count) {}
+  Choice Next(const std::vector<MessageBuffer>& buffers, uint64_t tick) override;
+
+ private:
+  size_t node_count_;
+  size_t next_node_ = 0;
+};
+
+// Picks a random node and delivers each buffered message with probability
+// `deliver_prob`, except that messages older than `max_delay` ticks are
+// always delivered (bounded postponement = fairness). Node choice is also
+// round-robin-forced every `node_starvation_bound` ticks.
+class RandomScheduler : public Scheduler {
+ public:
+  RandomScheduler(size_t node_count, uint64_t seed, double deliver_prob = 0.5,
+                  uint64_t max_delay = 16);
+  Choice Next(const std::vector<MessageBuffer>& buffers, uint64_t tick) override;
+
+ private:
+  size_t node_count_;
+  std::mt19937_64 rng_;
+  double deliver_prob_;
+  uint64_t max_delay_;
+  std::vector<uint64_t> last_active_;
+};
+
+// Worst-case-but-fair adversary: cycles nodes round-robin but postpones
+// every message until the fairness bound forces its delivery (each message
+// sits in the buffer for exactly `max_delay` ticks). Maximizes staleness
+// while remaining a legal fair schedule.
+class AdversarialDelayScheduler : public Scheduler {
+ public:
+  AdversarialDelayScheduler(size_t node_count, uint64_t max_delay = 16)
+      : node_count_(node_count), max_delay_(max_delay) {}
+  Choice Next(const std::vector<MessageBuffer>& buffers, uint64_t tick) override;
+
+ private:
+  size_t node_count_;
+  uint64_t max_delay_;
+  size_t next_node_ = 0;
+};
+
+}  // namespace calm::net
+
+#endif  // CALM_NET_SCHEDULER_H_

@@ -1,0 +1,287 @@
+#include "queries/graph_queries.h"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace calm::queries {
+
+namespace {
+
+Schema GraphSchema() { return Schema({{"E", 2}}); }
+
+uint32_t Rel(const char* name) { return InternName(name); }
+
+// Directed adjacency lists from the E relation.
+std::map<Value, std::vector<Value>> Adjacency(const Instance& in) {
+  std::map<Value, std::vector<Value>> adj;
+  for (const Tuple& t : in.TuplesOf(Rel("E"))) adj[t[0]].push_back(t[1]);
+  return adj;
+}
+
+// Undirected neighbor sets (excluding self loops).
+std::map<Value, std::set<Value>> UndirectedNeighbors(const Instance& in) {
+  std::map<Value, std::set<Value>> nbr;
+  for (const Tuple& t : in.TuplesOf(Rel("E"))) {
+    if (t[0] != t[1]) {
+      nbr[t[0]].insert(t[1]);
+      nbr[t[1]].insert(t[0]);
+    }
+  }
+  return nbr;
+}
+
+// All pairs (a, b) connected by a nonempty directed path.
+std::set<std::pair<Value, Value>> ReachablePairs(const Instance& in) {
+  std::map<Value, std::vector<Value>> adj = Adjacency(in);
+  std::set<std::pair<Value, Value>> reach;
+  std::set<Value> vertices;
+  for (const auto& [v, outs] : adj) {
+    vertices.insert(v);
+    for (Value w : outs) vertices.insert(w);
+  }
+  for (Value start : vertices) {
+    std::queue<Value> queue;
+    std::set<Value> seen;
+    auto push_successors = [&](Value v) {
+      auto it = adj.find(v);
+      if (it == adj.end()) return;
+      for (Value w : it->second) {
+        if (seen.insert(w).second) queue.push(w);
+      }
+    };
+    push_successors(start);
+    while (!queue.empty()) {
+      Value v = queue.front();
+      queue.pop();
+      reach.emplace(start, v);
+      push_successors(v);
+    }
+  }
+  return reach;
+}
+
+// Whether an undirected k-clique exists (backtracking extension search).
+bool HasClique(const std::map<Value, std::set<Value>>& nbr, size_t k) {
+  if (k <= 1) return k == 1 ? !nbr.empty() : true;
+  std::vector<Value> vertices;
+  for (const auto& [v, ns] : nbr) vertices.push_back(v);
+
+  std::vector<Value> clique;
+  // Extends `clique` using candidates from `from` onward.
+  std::function<bool(size_t)> extend = [&](size_t from) -> bool {
+    if (clique.size() == k) return true;
+    for (size_t i = from; i < vertices.size(); ++i) {
+      Value v = vertices[i];
+      const std::set<Value>& ns = nbr.at(v);
+      if (ns.size() + 1 < k) continue;  // degree too small
+      bool adjacent_to_all = std::all_of(
+          clique.begin(), clique.end(),
+          [&](Value c) { return ns.count(c) > 0; });
+      if (!adjacent_to_all) continue;
+      clique.push_back(v);
+      if (extend(i + 1)) return true;
+      clique.pop_back();
+    }
+    return false;
+  };
+  return extend(0);
+}
+
+// All directed triangles x -> y -> z -> x with pairwise distinct vertices.
+std::vector<std::array<Value, 3>> DirectedTriangles(const Instance& in) {
+  std::map<Value, std::vector<Value>> adj = Adjacency(in);
+  std::set<std::pair<Value, Value>> edges;
+  for (const Tuple& t : in.TuplesOf(Rel("E"))) edges.emplace(t[0], t[1]);
+  std::vector<std::array<Value, 3>> out;
+  for (const auto& [x, outs] : adj) {
+    for (Value y : outs) {
+      if (y == x) continue;
+      auto it = adj.find(y);
+      if (it == adj.end()) continue;
+      for (Value z : it->second) {
+        if (z == x || z == y) continue;
+        if (edges.count({z, x}) > 0) out.push_back({x, y, z});
+      }
+    }
+  }
+  return out;
+}
+
+Instance EdgesAsOutput(const Instance& in) {
+  Instance out;
+  for (const Tuple& t : in.TuplesOf(Rel("E"))) out.Insert(Fact("O", t));
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Query> MakeTransitiveClosure() {
+  return std::make_unique<NativeQuery>(
+      "TC", GraphSchema(), Schema({{"T", 2}}),
+      [](const Instance& in) -> Result<Instance> {
+        Instance out;
+        for (const auto& [a, b] : ReachablePairs(in)) {
+          out.Insert(Fact("T", {a, b}));
+        }
+        return out;
+      });
+}
+
+std::unique_ptr<Query> MakeComplementTransitiveClosure() {
+  return std::make_unique<NativeQuery>(
+      "Q_TC", GraphSchema(), Schema({{"O", 2}}),
+      [](const Instance& in) -> Result<Instance> {
+        std::set<std::pair<Value, Value>> reach = ReachablePairs(in);
+        std::set<Value> adom = in.ActiveDomain();
+        Instance out;
+        for (Value a : adom) {
+          for (Value b : adom) {
+            if (reach.count({a, b}) == 0) out.Insert(Fact("O", {a, b}));
+          }
+        }
+        return out;
+      });
+}
+
+std::unique_ptr<Query> MakeCliqueQuery(size_t k) {
+  return std::make_unique<NativeQuery>(
+      "Q_clique_" + std::to_string(k), GraphSchema(), Schema({{"O", 2}}),
+      [k](const Instance& in) -> Result<Instance> {
+        if (HasClique(UndirectedNeighbors(in), k)) return Instance();
+        return EdgesAsOutput(in);
+      });
+}
+
+std::unique_ptr<Query> MakeStarQuery(size_t k) {
+  return std::make_unique<NativeQuery>(
+      "Q_star_" + std::to_string(k), GraphSchema(), Schema({{"O", 2}}),
+      [k](const Instance& in) -> Result<Instance> {
+        for (const auto& [center, nbrs] : UndirectedNeighbors(in)) {
+          if (nbrs.size() >= k) return Instance();
+        }
+        return EdgesAsOutput(in);
+      });
+}
+
+std::unique_ptr<Query> MakeDuplicateQuery(size_t j) {
+  Schema input;
+  for (size_t r = 1; r <= j; ++r) {
+    Status s = input.AddRelation("R" + std::to_string(r), 2);
+    (void)s;
+  }
+  return std::make_unique<NativeQuery>(
+      "Q_duplicate_" + std::to_string(j), input, Schema({{"O", 2}}),
+      [j](const Instance& in) -> Result<Instance> {
+        // Intersection of all R1..Rj.
+        std::set<Tuple> inter = in.TuplesOf(InternName("R1"));
+        for (size_t r = 2; r <= j && !inter.empty(); ++r) {
+          const std::set<Tuple>& next =
+              in.TuplesOf(InternName("R" + std::to_string(r)));
+          std::set<Tuple> kept;
+          for (const Tuple& t : inter) {
+            if (next.count(t) > 0) kept.insert(t);
+          }
+          inter = std::move(kept);
+        }
+        Instance out;
+        if (inter.empty()) {
+          for (const Tuple& t : in.TuplesOf(InternName("R1"))) {
+            out.Insert(Fact("O", t));
+          }
+        }
+        return out;
+      });
+}
+
+std::unique_ptr<Query> MakeTrianglesUnlessTwoDisjoint() {
+  return std::make_unique<NativeQuery>(
+      "Q_triangles_unless_two_disjoint", GraphSchema(), Schema({{"O", 3}}),
+      [](const Instance& in) -> Result<Instance> {
+        std::vector<std::array<Value, 3>> tris = DirectedTriangles(in);
+        for (const auto& a : tris) {
+          for (const auto& b : tris) {
+            bool disjoint = true;
+            for (Value va : a) {
+              for (Value vb : b) {
+                if (va == vb) disjoint = false;
+              }
+            }
+            if (disjoint) return Instance();  // two disjoint triangles
+          }
+        }
+        Instance out;
+        for (const auto& t : tris) out.Insert(Fact("O", {t[0], t[1], t[2]}));
+        return out;
+      });
+}
+
+std::unique_ptr<Query> MakeWinMove() {
+  return std::make_unique<NativeQuery>(
+      "win-move", Schema({{"Move", 2}}), Schema({{"O", 1}}),
+      [](const Instance& in) -> Result<Instance> {
+        // Retrograde analysis: lost = every move leads to a won position
+        // (vacuously true for sinks); won = some move leads to a lost
+        // position. Positions never classified are drawn (undefined in the
+        // well-founded model) and are not output.
+        std::map<Value, std::vector<Value>> adj;
+        std::set<Value> positions;
+        for (const Tuple& t : in.TuplesOf(InternName("Move"))) {
+          adj[t[0]].push_back(t[1]);
+          positions.insert(t[0]);
+          positions.insert(t[1]);
+        }
+        std::set<Value> won;
+        std::set<Value> lost;
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (Value p : positions) {
+            if (won.count(p) > 0 || lost.count(p) > 0) continue;
+            auto it = adj.find(p);
+            bool any_lost = false;
+            bool all_won = true;
+            if (it != adj.end()) {
+              for (Value q : it->second) {
+                if (lost.count(q) > 0) any_lost = true;
+                if (won.count(q) == 0) all_won = false;
+              }
+            }
+            if (any_lost) {
+              won.insert(p);
+              changed = true;
+            } else if (all_won) {  // includes sinks (no moves)
+              lost.insert(p);
+              changed = true;
+            }
+          }
+        }
+        Instance out;
+        for (Value p : won) out.Insert(Fact("O", {p}));
+        return out;
+      });
+}
+
+std::unique_ptr<Query> MakeTwoHopJoin() {
+  return std::make_unique<NativeQuery>(
+      "two-hop", GraphSchema(), Schema({{"O", 2}}),
+      [](const Instance& in) -> Result<Instance> {
+        std::map<Value, std::vector<Value>> adj = Adjacency(in);
+        Instance out;
+        for (const auto& [x, ys] : adj) {
+          for (Value y : ys) {
+            auto it = adj.find(y);
+            if (it == adj.end()) continue;
+            for (Value z : it->second) out.Insert(Fact("O", {x, z}));
+          }
+        }
+        return out;
+      });
+}
+
+}  // namespace calm::queries

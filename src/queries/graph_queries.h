@@ -1,0 +1,54 @@
+#ifndef CALM_QUERIES_GRAPH_QUERIES_H_
+#define CALM_QUERIES_GRAPH_QUERIES_H_
+
+#include <memory>
+
+#include "base/query.h"
+
+namespace calm::queries {
+
+// Native implementations of every query the paper uses as a witness
+// (Theorem 3.1, Example 5.1, and the win-move discussion). All are over the
+// binary edge relation E unless noted; all are generic by construction and
+// independent of the Datalog engine, so engine-vs-native cross-validation is
+// meaningful.
+
+// Transitive closure of E into T (monotone; in Datalog).
+std::unique_ptr<Query> MakeTransitiveClosure();
+
+// Q_TC: the *complement* of the transitive closure: O(a, b) for a, b in
+// adom(I) with no nonempty path from a to b. In Mdisjoint \ Mdistinct
+// (Theorem 3.1(1)).
+std::unique_ptr<Query> MakeComplementTransitiveClosure();
+
+// Q^k_clique: outputs the edge relation into O when, ignoring edge
+// directions, no clique on k vertices exists; the empty relation otherwise.
+// Q^{i+2}_clique is in M^i_distinct \ M^{i+1}_distinct (Theorem 3.1(3)).
+std::unique_ptr<Query> MakeCliqueQuery(size_t k);
+
+// Q^k_star: outputs the edge relation into O when no vertex has k distinct
+// neighbors (ignoring direction); the empty relation otherwise.
+// Q^{i+1}_star is in M^i_disjoint \ M^{i+1}_disjoint (Theorem 3.1(4,6)).
+std::unique_ptr<Query> MakeStarQuery(size_t k);
+
+// Q^j_duplicate over binary relations R1..Rj: outputs R1 into O when the
+// intersection of all j relations is empty; the empty relation otherwise.
+// In M^i_distinct for i < j, but not in M^j_disjoint (Theorem 3.1(7)).
+std::unique_ptr<Query> MakeDuplicateQuery(size_t j);
+
+// Outputs all triangles (as O(x, y, z)) on condition that no two domain-
+// disjoint triangles exist; otherwise the empty relation. Computable but not
+// in Mdisjoint (Theorem 3.1(1), third separation).
+std::unique_ptr<Query> MakeTrianglesUnlessTwoDisjoint();
+
+// Win-move over the binary Move relation, under the well-founded semantics:
+// O(x) iff position x is won. Non-monotone; in Mdisjoint (Zinn et al.).
+// This native version uses retrograde game analysis.
+std::unique_ptr<Query> MakeWinMove();
+
+// Simple monotone join E |x| E into O(x, z) (used as an M-class specimen).
+std::unique_ptr<Query> MakeTwoHopJoin();
+
+}  // namespace calm::queries
+
+#endif  // CALM_QUERIES_GRAPH_QUERIES_H_

@@ -1,0 +1,122 @@
+#include "queries/paper_programs.h"
+
+#include <string>
+
+namespace calm::queries {
+
+using datalog::DatalogQuery;
+
+DatalogQuery TcProgram() {
+  return DatalogQuery::FromTextOrDie(
+      "T(x, y) :- E(x, y).\n"
+      "T(x, z) :- T(x, y), E(y, z).\n"
+      ".output T\n",
+      "TC-datalog");
+}
+
+DatalogQuery ComplementTcProgram() {
+  return DatalogQuery::FromTextOrDie(
+      "T(x, y) :- E(x, y).\n"
+      "T(x, z) :- T(x, y), E(y, z).\n"
+      "O(x, y) :- Adom(x), Adom(y), !T(x, y).\n",
+      "Q_TC-datalog");
+}
+
+DatalogQuery Example51P1() {
+  return DatalogQuery::FromTextOrDie(
+      "T(x) :- E(x, y), E(y, z), E(z, x), y != x, y != z, x != z.\n"
+      "O(x) :- Adom(x), !T(x).\n",
+      "P1");
+}
+
+DatalogQuery Example51P2() {
+  return DatalogQuery::FromTextOrDie(
+      "T(x, y, z) :- E(x, y), E(y, z), E(z, x), y != x, y != z, x != z.\n"
+      "D(x1) :- T(x1, x2, x3), T(y1, y2, y3), x1 != y1, x1 != y2, x1 != y3, "
+      "x2 != y1, x2 != y2, x2 != y3, x3 != y1, x3 != y2, x3 != y3.\n"
+      "O(x) :- Adom(x), !D(x).\n",
+      "P2");
+}
+
+DatalogQuery WinMoveProgram() {
+  return DatalogQuery::FromTextOrDie(
+      "Win(x) :- Move(x, y), !Win(y).\n"
+      ".output Win\n",
+      "win-move-datalog", DatalogQuery::Semantics::kWellFounded);
+}
+
+DatalogQuery DuplicateProgram(size_t j) {
+  // Dup(x, y) holds when (x, y) is in every relation; O copies R1 when no
+  // Dup tuple exists. The "no Dup exists" test needs a universally guarded
+  // negation; we mark elements participating in a duplicate and emit R1
+  // tuples only when the marker relation is empty, via a per-tuple guard.
+  std::string text = "Dup(x, y) :- R1(x, y)";
+  for (size_t r = 2; r <= j; ++r) {
+    text += ", R" + std::to_string(r) + "(x, y)";
+  }
+  text += ".\n";
+  // Some(x) marks every adom value when some duplicate exists.
+  text += "Some(z) :- Dup(x, y), Adom(z).\n";
+  text += "O(x, y) :- R1(x, y), !Some(x).\n";
+  return DatalogQuery::FromTextOrDie(text, "Q_duplicate-datalog");
+}
+
+namespace {
+
+std::string VarName(const char* prefix, size_t i) {
+  return std::string(prefix) + std::to_string(i);
+}
+
+// All-pairs inequalities over prefix1..n (and optionally vs. a fixed var).
+std::string PairwiseIneqs(const char* prefix, size_t n) {
+  std::string out;
+  for (size_t a = 1; a <= n; ++a) {
+    for (size_t b = a + 1; b <= n; ++b) {
+      out += ", " + VarName(prefix, a) + " != " + VarName(prefix, b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DatalogQuery CliqueProgram(size_t k) {
+  // Adj: undirected adjacency (no self loops). Mark(z) holds for every z
+  // when a k-clique exists (the disconnected guard rule, as in the paper's
+  // Q_duplicate construction); O copies E otherwise.
+  std::string text =
+      "Adj(x, y) :- E(x, y), x != y.\n"
+      "Adj(x, y) :- E(y, x), x != y.\n";
+  std::string body = "Mark(z) :- Adom(z)";
+  for (size_t a = 1; a <= k; ++a) {
+    for (size_t b = a + 1; b <= k; ++b) {
+      body += ", Adj(" + VarName("c", a) + ", " + VarName("c", b) + ")";
+    }
+  }
+  body += PairwiseIneqs("c", k);
+  text += body + ".\n";
+  text += "O(x, y) :- E(x, y), !Mark(x).\n";
+  text += "O(x, y) :- E(x, y), !Mark(y).\n";
+  return DatalogQuery::FromTextOrDie(text,
+                                     "Q_clique_" + std::to_string(k) +
+                                         "-datalog");
+}
+
+DatalogQuery StarProgram(size_t k) {
+  std::string text =
+      "Nbr(c, s) :- E(c, s), c != s.\n"
+      "Nbr(c, s) :- E(s, c), c != s.\n";
+  std::string body = "Mark(z) :- Adom(z)";
+  for (size_t a = 1; a <= k; ++a) {
+    body += ", Nbr(c, " + VarName("s", a) + ")";
+  }
+  body += PairwiseIneqs("s", k);
+  text += body + ".\n";
+  text += "O(x, y) :- E(x, y), !Mark(x).\n";
+  text += "O(x, y) :- E(x, y), !Mark(y).\n";
+  return DatalogQuery::FromTextOrDie(text,
+                                     "Q_star_" + std::to_string(k) +
+                                         "-datalog");
+}
+
+}  // namespace calm::queries

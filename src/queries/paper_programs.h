@@ -1,0 +1,44 @@
+#ifndef CALM_QUERIES_PAPER_PROGRAMS_H_
+#define CALM_QUERIES_PAPER_PROGRAMS_H_
+
+#include "datalog/program.h"
+
+namespace calm::queries {
+
+// The paper's example programs, verbatim (Sections 3 and 5), as Datalog¬
+// queries. Native counterparts live in graph_queries.h; tests cross-validate
+// the two implementations.
+
+// Transitive closure (Datalog).
+datalog::DatalogQuery TcProgram();
+
+// Q_TC: complement of transitive closure (2-stratum Datalog¬, semicon).
+datalog::DatalogQuery ComplementTcProgram();
+
+// Example 5.1, P1: O(x) holds when x is not on a directed triangle
+// (con-Datalog¬; not in Mdistinct).
+datalog::DatalogQuery Example51P1();
+
+// Example 5.1, P2: O = Adom unless two disjoint triangles exist
+// (stratified but NOT semicon; not in Mdisjoint).
+datalog::DatalogQuery Example51P2();
+
+// Win-move under the well-founded semantics.
+datalog::DatalogQuery WinMoveProgram();
+
+// Q^j_duplicate as a Datalog¬ program over R1..Rj: O = R1 when the global
+// intersection of R1..Rj is empty.
+datalog::DatalogQuery DuplicateProgram(size_t j);
+
+// Q^k_clique as a Datalog¬ program: O = E when no undirected k-clique
+// exists (Theorem 3.1(3)'s witness, "expressed in fragments of Datalog¬").
+// Requires k >= 2.
+datalog::DatalogQuery CliqueProgram(size_t k);
+
+// Q^k_star as a Datalog¬ program: O = E when no vertex has k distinct
+// neighbors ignoring direction (Theorem 3.1(4)'s witness). Requires k >= 1.
+datalog::DatalogQuery StarProgram(size_t k);
+
+}  // namespace calm::queries
+
+#endif  // CALM_QUERIES_PAPER_PROGRAMS_H_

@@ -1,0 +1,111 @@
+#include "transducer/compiler.h"
+
+#include <map>
+
+#include "datalog/analysis.h"
+
+namespace calm::transducer {
+
+namespace {
+
+// A fresh variable v0, v1, ... per position.
+datalog::Term Var(size_t i) {
+  return datalog::Term::Var("v" + std::to_string(i));
+}
+
+datalog::Atom AtomOf(uint32_t relation, uint32_t arity) {
+  std::vector<datalog::Term> args;
+  args.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) args.push_back(Var(i));
+  return datalog::Atom(relation, std::move(args));
+}
+
+datalog::Rule CopyRule(uint32_t from, uint32_t to, uint32_t arity) {
+  datalog::Rule rule;
+  rule.head = AtomOf(to, arity);
+  rule.pos.push_back(AtomOf(from, arity));
+  return rule;
+}
+
+}  // namespace
+
+Result<DatalogTransducer> CompileBroadcast(const datalog::Program& program,
+                                           std::string name) {
+  CALM_ASSIGN_OR_RETURN(datalog::ProgramInfo info, datalog::Analyze(program));
+  for (const datalog::Rule& rule : program.rules) {
+    if (!rule.neg.empty()) {
+      return InvalidArgumentError(
+          "CompileBroadcast requires a positive program (rule '" +
+          datalog::RuleToString(rule) +
+          "' negates; see the absence / domain-request strategies)");
+    }
+    if (rule.head.invents) {
+      return InvalidArgumentError("CompileBroadcast: invention not supported");
+    }
+  }
+  if (info.uses_adom) {
+    return InvalidArgumentError(
+        "CompileBroadcast: programs reading Adom are not supported");
+  }
+  if (program.output_relations.empty()) {
+    return InvalidArgumentError("CompileBroadcast: no output relations");
+  }
+
+  TransducerSchema schema;
+  schema.in = info.edb;
+  CALM_ASSIGN_OR_RETURN(Schema out_schema,
+                        datalog::OutputSchema(program, info));
+  schema.out = out_schema;
+
+  datalog::Program qout;
+  datalog::Program qins;
+  datalog::Program qsnd;
+
+  std::map<uint32_t, uint32_t> all_of;  // edb relation -> all__R id
+  for (const RelationDecl& r : info.edb.relations()) {
+    const std::string& base = NameOf(r.name);
+    uint32_t msg = InternName("m__" + base);
+    uint32_t got = InternName("got__" + base);
+    uint32_t sent = InternName("sent__" + base);
+    uint32_t all = InternName("all__" + base);
+    all_of[r.name] = all;
+    CALM_RETURN_IF_ERROR(schema.msg.AddRelation(RelationDecl(msg, r.arity)));
+    CALM_RETURN_IF_ERROR(schema.mem.AddRelation(RelationDecl(got, r.arity)));
+    CALM_RETURN_IF_ERROR(schema.mem.AddRelation(RelationDecl(sent, r.arity)));
+
+    // Qsnd: m__R(v..) :- R(v..), !sent__R(v..).
+    datalog::Rule send = CopyRule(r.name, msg, r.arity);
+    send.neg.push_back(AtomOf(sent, r.arity));
+    qsnd.rules.push_back(std::move(send));
+    qsnd.output_relations.insert(msg);
+
+    // Qins: got__R :- m__R.   sent__R :- R.
+    qins.rules.push_back(CopyRule(msg, got, r.arity));
+    qins.rules.push_back(CopyRule(r.name, sent, r.arity));
+    qins.output_relations.insert(got);
+    qins.output_relations.insert(sent);
+
+    // Qout collection: all__R :- R | got__R | m__R.
+    qout.rules.push_back(CopyRule(r.name, all, r.arity));
+    qout.rules.push_back(CopyRule(got, all, r.arity));
+    qout.rules.push_back(CopyRule(msg, all, r.arity));
+  }
+
+  // The user program with edb atoms renamed to their all__R collections.
+  for (const datalog::Rule& rule : program.rules) {
+    datalog::Rule renamed = rule;
+    for (datalog::Atom& a : renamed.pos) {
+      auto it = all_of.find(a.relation);
+      if (it != all_of.end()) a.relation = it->second;
+    }
+    qout.rules.push_back(std::move(renamed));
+  }
+  qout.output_relations = program.output_relations;
+
+  return DatalogTransducer::Create(std::move(schema),
+                                   ModelOptions::Original(), std::move(qout),
+                                   std::move(qins), datalog::Program{},
+                                   std::move(qsnd), std::move(name));
+}
+
+}  // namespace calm::transducer

@@ -1,0 +1,34 @@
+#ifndef CALM_TRANSDUCER_COMPILER_H_
+#define CALM_TRANSDUCER_COMPILER_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "transducer/datalog_transducer.h"
+
+namespace calm::transducer {
+
+// Compiles a *positive* Datalog(!=) program into a coordination-free
+// broadcast transducer — the constructive direction of Corollary 4.6
+// (F0 = M), expressed entirely in Datalog:
+//
+//   Ymsg:  m__R/k     per edb relation R/k      (the shipped facts)
+//   Ymem:  got__R/k   (received facts), sent__R/k (broadcast markers)
+//   Qsnd:  m__R(v..) :- R(v..), !sent__R(v..).
+//   Qins:  got__R(v..) :- m__R(v..).   sent__R(v..) :- R(v..).
+//   Qout:  all__R collects R + got__R + m__R, then the user program runs
+//          with every edb atom R renamed to all__R.
+//
+// Positivity guarantees monotonicity, so eagerly emitted outputs are never
+// wrong and the resulting network computes the program's query on every
+// distribution policy, in the original (and even oblivious) model.
+//
+// Errors on programs with negation (not guaranteed monotone; use the
+// absence / domain-request strategies per Figure 2) and on programs reading
+// the Adom convenience relation.
+Result<DatalogTransducer> CompileBroadcast(const datalog::Program& program,
+                                           std::string name);
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_COMPILER_H_

@@ -1,0 +1,23 @@
+#include "transducer/coordination.h"
+
+#include "transducer/policy.h"
+
+namespace calm::transducer {
+
+Result<bool> HeartbeatPrefixComputes(const Transducer& transducer,
+                                     const ModelOptions& model,
+                                     const Network& nodes, Value target,
+                                     const Instance& input,
+                                     const Instance& expected,
+                                     size_t max_heartbeats) {
+  AllToOnePolicy ideal(target);
+  TransducerNetwork network(nodes, &transducer, &ideal, model);
+  CALM_RETURN_IF_ERROR(network.Initialize(input));
+  for (size_t step = 0; step < max_heartbeats; ++step) {
+    CALM_RETURN_IF_ERROR(network.Heartbeat(target));
+    if (network.GlobalOutput() == expected) return true;
+  }
+  return network.GlobalOutput() == expected;
+}
+
+}  // namespace calm::transducer

@@ -1,0 +1,26 @@
+#ifndef CALM_TRANSDUCER_COORDINATION_H_
+#define CALM_TRANSDUCER_COORDINATION_H_
+
+#include "transducer/network.h"
+
+namespace calm::transducer {
+
+// Tests clause (2) of Definition 3 (coordination-freeness) on one network
+// and input: install the proofs' "ideal" distribution policy — every fact
+// and domain value assigned to `target` — and run *heartbeat* transitions at
+// `target` only (no communication). Returns true iff the network's output
+// reaches `expected` within `max_heartbeats` transitions.
+//
+// The ideal all-to-one policy is domain-guided, so the same check covers
+// both plain coordination-freeness and coordination-freeness under
+// domain-guidance.
+Result<bool> HeartbeatPrefixComputes(const Transducer& transducer,
+                                     const ModelOptions& model,
+                                     const Network& nodes, Value target,
+                                     const Instance& input,
+                                     const Instance& expected,
+                                     size_t max_heartbeats = 64);
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_COORDINATION_H_

@@ -1,0 +1,142 @@
+#include "transducer/datalog_transducer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "datalog/stratifier.h"
+
+namespace calm::transducer {
+
+namespace {
+
+// Validates one of the four programs against its target schema and returns
+// the schema of its marked output relations.
+//
+// Conventions: a program may define scratch idb relations (fresh names) and
+// may use *target* relation names as heads. Head relations are evaluated
+// against a D with their existing copy stripped (see EvalPart) — the
+// paper's queries produce a fresh target instance. Shadowing any other
+// schema relation is rejected.
+Result<Schema> ValidatePart(const datalog::Program& program,
+                            const Schema& query_input, const Schema& target,
+                            const char* which, Schema* idb) {
+  Schema out;
+  if (program.rules.empty()) return out;
+  CALM_ASSIGN_OR_RETURN(datalog::ProgramInfo info, datalog::Analyze(program));
+  CALM_ASSIGN_OR_RETURN(datalog::Stratification strat,
+                        datalog::Stratify(program, info));
+  (void)strat;
+  for (const RelationDecl& r : info.edb.relations()) {
+    if (r.name == datalog::AdomRelation()) continue;
+    if (query_input.ArityOf(r.name) != r.arity) {
+      return InvalidArgumentError(
+          std::string(which) + " reads relation '" + NameOf(r.name) +
+          "' which is not part of the transducer schema");
+    }
+  }
+  for (const RelationDecl& r : info.idb.relations()) {
+    if (query_input.Contains(r.name) && target.ArityOf(r.name) != r.arity) {
+      return InvalidArgumentError(std::string(which) + " defines relation '" +
+                                  NameOf(r.name) +
+                                  "' which shadows a non-target schema "
+                                  "relation");
+    }
+  }
+  if (program.output_relations.empty()) {
+    return InvalidArgumentError(std::string(which) +
+                                " has no marked output relations");
+  }
+  CALM_ASSIGN_OR_RETURN(out, datalog::OutputSchema(program, info));
+  *idb = info.idb;
+  for (const RelationDecl& r : out.relations()) {
+    if (target.ArityOf(r.name) != r.arity) {
+      return InvalidArgumentError(std::string(which) + " output relation '" +
+                                  NameOf(r.name) +
+                                  "' is not in its target schema");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DatalogTransducer> DatalogTransducer::Create(
+    TransducerSchema schema, const ModelOptions& model, datalog::Program qout,
+    datalog::Program qins, datalog::Program qdel, datalog::Program qsnd,
+    std::string name) {
+  DatalogTransducer t;
+  CALM_RETURN_IF_ERROR(schema.Validate(model));
+  CALM_ASSIGN_OR_RETURN(Schema query_input, schema.QueryInputSchema(model));
+  CALM_ASSIGN_OR_RETURN(t.out_schema_, ValidatePart(qout, query_input,
+                                                    schema.out, "Qout",
+                                                    &t.out_idb_));
+  CALM_ASSIGN_OR_RETURN(t.ins_schema_, ValidatePart(qins, query_input,
+                                                    schema.mem, "Qins",
+                                                    &t.ins_idb_));
+  CALM_ASSIGN_OR_RETURN(t.del_schema_, ValidatePart(qdel, query_input,
+                                                    schema.mem, "Qdel",
+                                                    &t.del_idb_));
+  CALM_ASSIGN_OR_RETURN(t.snd_schema_, ValidatePart(qsnd, query_input,
+                                                    schema.msg, "Qsnd",
+                                                    &t.snd_idb_));
+
+  t.schema_ = std::move(schema);
+  t.qout_ = std::move(qout);
+  t.qins_ = std::move(qins);
+  t.qdel_ = std::move(qdel);
+  t.qsnd_ = std::move(qsnd);
+  t.name_ = std::move(name);
+  return t;
+}
+
+Result<Instance> DatalogTransducer::EvalPart(const datalog::Program& program,
+                                             const Instance& d,
+                                             const Schema& target,
+                                             const Schema& idb) const {
+  if (program.rules.empty()) return Instance();
+  // The paper's queries map D to a *fresh* instance over the target schema:
+  // a head relation that also occurs in D (e.g. a message relation both
+  // delivered and re-derived) starts empty — so strip the program's idb
+  // relations from D before evaluation.
+  Instance seed;
+  d.ForEachFact([&](uint32_t name, const Tuple& tuple) {
+    if (!idb.Contains(name)) seed.Insert(Fact(name, tuple));
+  });
+  CALM_ASSIGN_OR_RETURN(Instance full, datalog::Evaluate(program, seed));
+  return full.Restrict(target);
+}
+
+Result<StepOutput> DatalogTransducer::Step(const StepInput& in) const {
+  Instance d = in.D();
+  StepOutput out;
+  CALM_ASSIGN_OR_RETURN(out.output, EvalPart(qout_, d, out_schema_, out_idb_));
+  CALM_ASSIGN_OR_RETURN(out.insertions,
+                        EvalPart(qins_, d, ins_schema_, ins_idb_));
+  CALM_ASSIGN_OR_RETURN(out.deletions,
+                        EvalPart(qdel_, d, del_schema_, del_idb_));
+  CALM_ASSIGN_OR_RETURN(out.sends, EvalPart(qsnd_, d, snd_schema_, snd_idb_));
+  return out;
+}
+
+DatalogTransducer DatalogTransducer::FromTextOrDie(
+    TransducerSchema schema, const ModelOptions& model, std::string_view qout,
+    std::string_view qins, std::string_view qdel, std::string_view qsnd,
+    std::string name) {
+  auto parse = [](std::string_view text) {
+    if (text.empty()) return datalog::Program{};
+    return datalog::ParseOrDie(text);
+  };
+  Result<DatalogTransducer> t =
+      Create(std::move(schema), model, parse(qout), parse(qins), parse(qdel),
+             parse(qsnd), std::move(name));
+  if (!t.ok()) {
+    std::fprintf(stderr, "DatalogTransducer invalid: %s\n",
+                 t.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(t).value();
+}
+
+}  // namespace calm::transducer

@@ -1,0 +1,61 @@
+#ifndef CALM_TRANSDUCER_DATALOG_TRANSDUCER_H_
+#define CALM_TRANSDUCER_DATALOG_TRANSDUCER_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "transducer/transducer.h"
+
+namespace calm::transducer {
+
+// A relational transducer whose four queries (Qout, Qins, Qdel, Qsnd) are
+// stratified Datalog¬ programs over Yin + Yout + Ymsg + Ymem + Ysys — the
+// concrete programming model of declarative networking. Each program reads
+// the transition's D; its marked output relations must lie within the
+// respective target schema (out / mem / mem / msg). Programs may define
+// private scratch idb relations; those must not collide with schema names.
+//
+// Example (a broadcast transitive-closure node):
+//   Qsnd:  mE(x, y) :- E(x, y), !sentE(x, y).
+//   Qins:  sentE(x, y) :- E(x, y).  gotE(x, y) :- mE(x, y).
+//   Qout:  EE(x,y) :- E(x,y).  EE(x,y) :- gotE(x,y).  EE(x,y) :- mE(x,y).
+//          T(x,y) :- EE(x,y).  T(x,z) :- T(x,y), EE(y,z).
+class DatalogTransducer : public Transducer {
+ public:
+  // Validates the four programs (stratifiable, outputs within targets).
+  // Empty programs are allowed (e.g. no deletions). `model` is only used to
+  // know which system relations the programs may read.
+  static Result<DatalogTransducer> Create(
+      TransducerSchema schema, const ModelOptions& model,
+      datalog::Program qout, datalog::Program qins, datalog::Program qdel,
+      datalog::Program qsnd, std::string name);
+
+  // Parses the four programs from text; aborts on invalid input (for
+  // statically known transducers in tests / examples).
+  static DatalogTransducer FromTextOrDie(
+      TransducerSchema schema, const ModelOptions& model,
+      std::string_view qout, std::string_view qins, std::string_view qdel,
+      std::string_view qsnd, std::string name);
+
+  const TransducerSchema& schema() const override { return schema_; }
+  std::string name() const override { return name_; }
+  Result<StepOutput> Step(const StepInput& input) const override;
+
+ private:
+  DatalogTransducer() = default;
+
+  Result<Instance> EvalPart(const datalog::Program& program,
+                            const Instance& d, const Schema& target,
+                            const Schema& idb) const;
+
+  TransducerSchema schema_;
+  datalog::Program qout_, qins_, qdel_, qsnd_;
+  Schema out_schema_, ins_schema_, del_schema_, snd_schema_;  // marked outputs
+  Schema out_idb_, ins_idb_, del_idb_, snd_idb_;  // head relations per part
+  std::string name_;
+};
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_DATALOG_TRANSDUCER_H_

@@ -1,0 +1,173 @@
+#include "transducer/network.h"
+
+#include <algorithm>
+
+namespace calm::transducer {
+
+TransducerNetwork::TransducerNetwork(Network nodes,
+                                     const Transducer* transducer,
+                                     const DistributionPolicy* policy,
+                                     ModelOptions model)
+    : nodes_(std::move(nodes)),
+      transducer_(transducer),
+      policy_(policy),
+      model_(model) {}
+
+Status TransducerNetwork::Initialize(const Instance& input) {
+  if (nodes_.empty()) return InvalidArgumentError("network has no nodes");
+  CALM_RETURN_IF_ERROR(transducer_->schema().Validate(model_));
+  if (!input.IsOver(transducer_->schema().in)) {
+    return InvalidArgumentError("input is not over the transducer's Yin");
+  }
+  local_inputs_ = Distribute(*policy_, nodes_, input);
+  states_.clear();
+  for (Value n : nodes_) states_[n];
+  buffers_.assign(nodes_.size(), net::MessageBuffer());
+  stats_ = net::RunStats();
+  last_step_changed_ = false;
+  tick_ = 0;
+  return Status::Ok();
+}
+
+size_t TransducerNetwork::IndexOf(Value node) const {
+  auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  return static_cast<size_t>(it - nodes_.begin());
+}
+
+const Instance& TransducerNetwork::local_input(Value node) const {
+  return local_inputs_.at(node);
+}
+const Instance& TransducerNetwork::state(Value node) const {
+  return states_.at(node);
+}
+const net::MessageBuffer& TransducerNetwork::buffer(Value node) const {
+  return buffers_[IndexOf(node)];
+}
+net::MessageBuffer& TransducerNetwork::mutable_buffer(Value node) {
+  return buffers_[IndexOf(node)];
+}
+
+Result<Instance> TransducerNetwork::SystemFactsFor(
+    Value node, const Instance& delivered) const {
+  size_t index = IndexOf(node);
+  if (index >= nodes_.size()) return InvalidArgumentError("unknown node");
+
+  // J = H(x) + s(x) + M; A = N + adom(J), or {x} + adom(J) without All.
+  Instance j = local_inputs_.at(node);
+  j.InsertAll(states_.at(node));
+  j.InsertAll(delivered);
+  std::set<Value> a = j.ActiveDomain();
+  if (model_.expose_all) {
+    for (Value n : nodes_) a.insert(n);
+  } else {
+    a.insert(node);
+  }
+
+  Instance s;
+  if (model_.expose_id) s.Insert(Fact(IdRelation(), {node}));
+  if (model_.expose_all) {
+    for (Value n : nodes_) s.Insert(Fact(AllRelation(), {n}));
+  }
+  if (model_.policy_aware) {
+    for (Value v : a) s.Insert(Fact(MyAdomRelation(), {v}));
+    // policy_R(a1..ak) for every tuple over A that this node is responsible
+    // for ("safe" access to the distribution policy).
+    std::vector<Value> avec(a.begin(), a.end());
+    for (const RelationDecl& r : transducer_->schema().in.relations()) {
+      uint32_t policy_rel = PolicyRelationId(r.name);
+      std::vector<size_t> idx(r.arity, 0);
+      if (avec.empty()) continue;
+      while (true) {
+        Tuple t;
+        t.reserve(r.arity);
+        for (size_t i : idx) t.push_back(avec[i]);
+        Fact candidate(r.name, t);
+        std::set<Value> owners = policy_->NodesFor(candidate);
+        if (owners.count(node) > 0) s.Insert(Fact(policy_rel, std::move(t)));
+        size_t pos = r.arity;
+        bool done = false;
+        while (pos > 0) {
+          --pos;
+          if (++idx[pos] < avec.size()) break;
+          idx[pos] = 0;
+          if (pos == 0) done = true;
+        }
+        if (done) break;
+      }
+    }
+  }
+  return s;
+}
+
+Status TransducerNetwork::StepNode(Value node,
+                                   const std::vector<size_t>& delivery_indices) {
+  size_t index = IndexOf(node);
+  if (index >= nodes_.size()) return InvalidArgumentError("unknown node");
+
+  Instance delivered = buffers_[index].TakeCollapsed(delivery_indices);
+  stats_.messages_delivered += delivery_indices.size();
+
+  CALM_ASSIGN_OR_RETURN(Instance system, SystemFactsFor(node, delivered));
+
+  StepInput in{local_inputs_.at(node), states_.at(node), delivered, system};
+  CALM_ASSIGN_OR_RETURN(StepOutput out, transducer_->Step(in));
+
+  const TransducerSchema& schema = transducer_->schema();
+  if (!out.output.IsOver(schema.out) || !out.insertions.IsOver(schema.mem) ||
+      !out.deletions.IsOver(schema.mem) || !out.sends.IsOver(schema.msg)) {
+    return InternalError("transducer '" + transducer_->name() +
+                         "' produced facts outside its target schemas");
+  }
+
+  Instance& state = states_.at(node);
+  Instance old_state = state;
+
+  // Output facts accumulate and are never retracted.
+  state.InsertAll(out.output);
+  // Memory: add ins \ del, remove del \ ins.
+  Instance add = Instance::Difference(out.insertions, out.deletions);
+  Instance remove = Instance::Difference(out.deletions, out.insertions);
+  state.InsertAll(add);
+  remove.ForEachFact(
+      [&](uint32_t name, const Tuple& t) { state.Erase(Fact(name, t)); });
+
+  // Sends go to every other node's buffer (multiset union).
+  ++tick_;
+  size_t fanout = 0;
+  out.sends.ForEachFact([&](uint32_t name, const Tuple& t) {
+    for (size_t y = 0; y < nodes_.size(); ++y) {
+      if (y == index) continue;
+      buffers_[y].Add(Fact(name, t), tick_);
+      ++fanout;
+    }
+  });
+  stats_.messages_sent += fanout;
+
+  ++stats_.transitions;
+  if (delivery_indices.empty()) ++stats_.heartbeats;
+  last_step_changed_ = (state != old_state) || fanout > 0;
+
+  size_t out_size = GlobalOutput().size();
+  if (out_size > stats_.output_facts) {
+    stats_.output_facts = out_size;
+    stats_.output_complete_at = stats_.transitions;
+  }
+  return Status::Ok();
+}
+
+Instance TransducerNetwork::GlobalOutput() const {
+  Instance out;
+  for (const auto& [node, state] : states_) {
+    out.InsertAll(state.Restrict(transducer_->schema().out));
+  }
+  return out;
+}
+
+bool TransducerNetwork::BuffersEmpty() const {
+  for (const net::MessageBuffer& b : buffers_) {
+    if (!b.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace calm::transducer

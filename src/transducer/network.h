@@ -1,0 +1,77 @@
+#ifndef CALM_TRANSDUCER_NETWORK_H_
+#define CALM_TRANSDUCER_NETWORK_H_
+
+#include <map>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/status.h"
+#include "net/message_buffer.h"
+#include "transducer/policy.h"
+#include "transducer/schema.h"
+#include "transducer/transducer.h"
+
+namespace calm::transducer {
+
+// A transducer network (N, Upsilon, Pi, P) instantiated on an input: holds
+// the distributed input dist_P(I), per-node states and message buffers, and
+// implements the exact transition semantics of Section 4.1.3.
+class TransducerNetwork {
+ public:
+  // `transducer` and `policy` must outlive the network.
+  TransducerNetwork(Network nodes, const Transducer* transducer,
+                    const DistributionPolicy* policy, ModelOptions model);
+
+  // Distributes `input` and resets to the start configuration. Errors if the
+  // schema is invalid, the network is empty, or the policy is required to be
+  // domain-guided but is not (checked by callers where relevant).
+  Status Initialize(const Instance& input);
+
+  // One transition with active node `node`, delivering the buffer entries at
+  // `delivery_indices` (empty = heartbeat). Updates state and buffers.
+  Status StepNode(Value node, const std::vector<size_t>& delivery_indices);
+
+  // Convenience: heartbeat transition at `node`.
+  Status Heartbeat(Value node) { return StepNode(node, {}); }
+
+  const Network& nodes() const { return nodes_; }
+  const ModelOptions& model() const { return model_; }
+  const Instance& local_input(Value node) const;
+  const Instance& state(Value node) const;
+  const net::MessageBuffer& buffer(Value node) const;
+  net::MessageBuffer& mutable_buffer(Value node);
+
+  // out(R): union over nodes of the state restricted to the out schema.
+  Instance GlobalOutput() const;
+
+  // True when every buffer is empty (candidate quiescence; the runner also
+  // requires a no-op round of heartbeats).
+  bool BuffersEmpty() const;
+
+  // Whether the last StepNode changed any state or sent any message.
+  bool last_step_changed() const { return last_step_changed_; }
+
+  const net::RunStats& stats() const { return stats_; }
+
+  // The system facts node `node` would see right now (exposed for tests).
+  Result<Instance> SystemFactsFor(Value node, const Instance& delivered) const;
+
+ private:
+  size_t IndexOf(Value node) const;
+
+  Network nodes_;
+  const Transducer* transducer_;
+  const DistributionPolicy* policy_;
+  ModelOptions model_;
+
+  std::map<Value, Instance> local_inputs_;
+  std::map<Value, Instance> states_;  // over out + mem
+  std::vector<net::MessageBuffer> buffers_;
+  net::RunStats stats_;
+  bool last_step_changed_ = false;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_NETWORK_H_

@@ -1,0 +1,61 @@
+#include "transducer/policy.h"
+
+namespace calm::transducer {
+
+std::map<Value, Instance> Distribute(const DistributionPolicy& policy,
+                                     const Network& network,
+                                     const Instance& input) {
+  std::map<Value, Instance> out;
+  for (Value node : network) out[node];  // every node gets a (maybe empty) slot
+  input.ForEachFact([&](uint32_t name, const Tuple& t) {
+    Fact f(name, t);
+    for (Value node : policy.NodesFor(f)) out[node].Insert(f);
+  });
+  return out;
+}
+
+namespace {
+size_t HashFact(const Fact& f, uint64_t salt) {
+  return HashCombine(FactHash{}(f), std::hash<uint64_t>{}(salt));
+}
+}  // namespace
+
+std::set<Value> HashPolicy::NodesFor(const Fact& fact) const {
+  return {network_[HashFact(fact, salt_) % network_.size()]};
+}
+
+std::set<Value> AttributeHashPolicy::NodesFor(const Fact& fact) const {
+  Value v = fact.args[position_ % fact.args.size()];
+  size_t h = HashCombine(std::hash<Value>{}(v), std::hash<uint64_t>{}(salt_));
+  return {network_[h % network_.size()]};
+}
+
+std::set<Value> HashDomainGuidedPolicy::NodesForValue(Value value) const {
+  size_t h =
+      HashCombine(std::hash<Value>{}(value), std::hash<uint64_t>{}(salt_));
+  return {network_[h % network_.size()]};
+}
+
+std::set<Value> HashDomainGuidedPolicy::NodesFor(const Fact& fact) const {
+  std::set<Value> out;
+  for (Value v : fact.args) {
+    for (Value n : NodesForValue(v)) out.insert(n);
+  }
+  return out;
+}
+
+std::set<Value> MapDomainGuidedPolicy::NodesForValue(Value value) const {
+  auto it = alpha_.find(value);
+  if (it != alpha_.end()) return it->second;
+  return {fallback_};
+}
+
+std::set<Value> MapDomainGuidedPolicy::NodesFor(const Fact& fact) const {
+  std::set<Value> out;
+  for (Value v : fact.args) {
+    for (Value n : NodesForValue(v)) out.insert(n);
+  }
+  return out;
+}
+
+}  // namespace calm::transducer

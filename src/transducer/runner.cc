@@ -1,0 +1,93 @@
+#include "transducer/runner.h"
+
+#include <memory>
+
+namespace calm::transducer {
+
+Result<RunResult> RunToQuiescence(TransducerNetwork& network,
+                                  const RunOptions& options) {
+  const Network& nodes = network.nodes();
+  std::unique_ptr<net::Scheduler> scheduler;
+  switch (options.scheduler) {
+    case RunOptions::SchedulerKind::kRoundRobin:
+      scheduler = std::make_unique<net::RoundRobinScheduler>(nodes.size());
+      break;
+    case RunOptions::SchedulerKind::kRandom:
+      scheduler = std::make_unique<net::RandomScheduler>(
+          nodes.size(), options.seed, options.deliver_prob, options.max_delay);
+      break;
+    case RunOptions::SchedulerKind::kAdversarialDelay:
+      scheduler = std::make_unique<net::AdversarialDelayScheduler>(
+          nodes.size(), options.max_delay);
+      break;
+  }
+
+  std::vector<net::MessageBuffer> buffer_view(nodes.size());
+  size_t transitions = 0;
+  // A run is quiescent when buffers are empty and *every node* has taken a
+  // heartbeat that changed nothing since the last observable change. Merely
+  // counting consecutive calm transitions is wrong: a random scheduler can
+  // heartbeat the same idle node repeatedly while another node still has
+  // pending work.
+  std::vector<bool> calm(nodes.size(), false);
+  size_t calm_count = 0;
+  while (transitions < options.max_transitions) {
+    // Rebuild the scheduler's buffer view (cheap copies of entry lists).
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      buffer_view[i] = network.buffer(nodes[i]);
+    }
+    net::Scheduler::Choice choice = scheduler->Next(buffer_view, transitions);
+    CALM_RETURN_IF_ERROR(
+        network.StepNode(nodes[choice.node_index], choice.deliveries));
+    ++transitions;
+
+    if (network.BuffersEmpty() && !network.last_step_changed() &&
+        choice.deliveries.empty()) {
+      if (!calm[choice.node_index]) {
+        calm[choice.node_index] = true;
+        ++calm_count;
+      }
+      if (calm_count == nodes.size()) break;  // every node is calm
+    } else {
+      calm.assign(nodes.size(), false);
+      calm_count = 0;
+    }
+  }
+
+  RunResult result;
+  result.output = network.GlobalOutput();
+  result.stats = network.stats();
+  result.quiesced = transitions < options.max_transitions;
+  return result;
+}
+
+Result<Instance> RunConsistently(
+    const std::function<Result<TransducerNetwork*>()>& make_network,
+    const ConsistencyOptions& options) {
+  std::optional<Instance> reference;
+  for (size_t run = 0; run < options.random_runs + 1; ++run) {
+    CALM_ASSIGN_OR_RETURN(TransducerNetwork * network, make_network());
+    RunOptions ro;
+    if (run == 0) {
+      ro.scheduler = RunOptions::SchedulerKind::kRoundRobin;
+    } else {
+      ro.scheduler = RunOptions::SchedulerKind::kRandom;
+      ro.seed = options.seed * 131 + run;
+    }
+    ro.max_transitions = options.max_transitions;
+    CALM_ASSIGN_OR_RETURN(RunResult result, RunToQuiescence(*network, ro));
+    if (!result.quiesced) {
+      return FailedPreconditionError("run did not quiesce within limit");
+    }
+    if (!reference.has_value()) {
+      reference = std::move(result.output);
+    } else if (*reference != result.output) {
+      return FailedPreconditionError(
+          "schedule-dependent output: " + reference->ToString() + " vs " +
+          result.output.ToString());
+    }
+  }
+  return *reference;
+}
+
+}  // namespace calm::transducer

@@ -1,0 +1,49 @@
+#ifndef CALM_TRANSDUCER_RUNNER_H_
+#define CALM_TRANSDUCER_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "net/scheduler.h"
+#include "transducer/network.h"
+
+namespace calm::transducer {
+
+struct RunOptions {
+  enum class SchedulerKind { kRoundRobin, kRandom, kAdversarialDelay };
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  uint64_t seed = 0;
+  double deliver_prob = 0.5;   // random scheduler only
+  uint64_t max_delay = 16;     // random scheduler: fairness bound
+  size_t max_transitions = 200000;
+};
+
+struct RunResult {
+  Instance output;
+  net::RunStats stats;
+  bool quiesced = false;  // false = max_transitions hit before quiescence
+};
+
+// Simulates a fair run until quiescence: all buffers empty and a full round
+// of heartbeats at every node changes nothing. Formal runs are infinite;
+// quiescence means every continuation produces nothing further for the
+// deterministic transducers built here, so out(R) is the returned output.
+Result<RunResult> RunToQuiescence(TransducerNetwork& network,
+                                  const RunOptions& options = {});
+
+// Runs the same (transducer, policy, input) under several schedules and
+// checks all runs produce the same output (the network "computes" a
+// deterministic result). Returns that output or FailedPrecondition on a
+// mismatch.
+struct ConsistencyOptions {
+  size_t random_runs = 4;
+  uint64_t seed = 0;
+  size_t max_transitions = 200000;
+};
+Result<Instance> RunConsistently(
+    const std::function<Result<TransducerNetwork*>()>& make_network,
+    const ConsistencyOptions& options = {});
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_RUNNER_H_

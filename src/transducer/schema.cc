@@ -1,0 +1,67 @@
+#include "transducer/schema.h"
+
+namespace calm::transducer {
+
+std::string ModelOptions::ToString() const {
+  std::string out = policy_aware ? "policy-aware" : "original";
+  if (!expose_all) out += "/no-All";
+  if (!expose_id) out += "/no-Id";
+  return out;
+}
+
+std::string PolicyRelationName(uint32_t relation) {
+  return "policy_" + NameOf(relation);
+}
+
+uint32_t PolicyRelationId(uint32_t relation) {
+  return InternName(PolicyRelationName(relation));
+}
+
+uint32_t IdRelation() {
+  static const uint32_t kId = InternName("Id");
+  return kId;
+}
+uint32_t AllRelation() {
+  static const uint32_t kId = InternName("All");
+  return kId;
+}
+uint32_t MyAdomRelation() {
+  static const uint32_t kId = InternName("MyAdom");
+  return kId;
+}
+
+Schema TransducerSchema::SystemSchema(const ModelOptions& model) const {
+  Schema sys;
+  if (model.expose_id) (void)sys.AddRelation(RelationDecl(IdRelation(), 1));
+  if (model.expose_all) (void)sys.AddRelation(RelationDecl(AllRelation(), 1));
+  if (model.policy_aware) {
+    (void)sys.AddRelation(RelationDecl(MyAdomRelation(), 1));
+    for (const RelationDecl& r : in.relations()) {
+      (void)sys.AddRelation(RelationDecl(PolicyRelationId(r.name), r.arity));
+    }
+  }
+  return sys;
+}
+
+Status TransducerSchema::Validate(const ModelOptions& model) const {
+  Result<Schema> all = QueryInputSchema(model);
+  if (!all.ok()) return all.status();
+  size_t expected = in.size() + out.size() + msg.size() + mem.size() +
+                    SystemSchema(model).size();
+  if (all->size() != expected) {
+    return InvalidArgumentError(
+        "transducer schema relation names are not disjoint");
+  }
+  return Status::Ok();
+}
+
+Result<Schema> TransducerSchema::QueryInputSchema(
+    const ModelOptions& model) const {
+  CALM_ASSIGN_OR_RETURN(Schema s, Schema::Union(in, out));
+  CALM_ASSIGN_OR_RETURN(s, Schema::Union(s, msg));
+  CALM_ASSIGN_OR_RETURN(s, Schema::Union(s, mem));
+  CALM_ASSIGN_OR_RETURN(s, Schema::Union(s, SystemSchema(model)));
+  return s;
+}
+
+}  // namespace calm::transducer

@@ -1,0 +1,61 @@
+#ifndef CALM_TRANSDUCER_SCHEMA_H_
+#define CALM_TRANSDUCER_SCHEMA_H_
+
+#include <string>
+
+#include "base/schema.h"
+#include "base/status.h"
+
+namespace calm::transducer {
+
+// Which system relations a transition exposes (Sections 4.1.2, 4.3):
+//   * the original model of [13]: Id + All, no policy relations;
+//   * the policy-aware model of [32]: adds MyAdom and policy_R;
+//   * the no-All variants (Theorem 4.5): All removed, and the ambient set A
+//     is {x} + adom(J) instead of N + adom(J);
+//   * oblivious transducers: neither Id nor All.
+struct ModelOptions {
+  bool policy_aware = true;
+  bool expose_all = true;
+  bool expose_id = true;
+
+  static ModelOptions Original() { return {false, true, true}; }
+  static ModelOptions PolicyAware() { return {true, true, true}; }
+  static ModelOptions PolicyAwareNoAll() { return {true, false, true}; }
+  static ModelOptions Oblivious() { return {false, false, false}; }
+
+  std::string ToString() const;
+};
+
+// A transducer schema: the quintuple (in, out, msg, mem, sys) with disjoint
+// relation names; sys is derived from `in` and the model options.
+struct TransducerSchema {
+  Schema in;
+  Schema out;
+  Schema msg;
+  Schema mem;
+
+  // Validates name-disjointness (including against the system names).
+  Status Validate(const ModelOptions& model) const;
+
+  // The system schema: Id/1, All/1, MyAdom/1, policy_<R>/k per R/k in `in`,
+  // filtered by the model options.
+  Schema SystemSchema(const ModelOptions& model) const;
+
+  // in + out + msg + mem + sys: the input schema of the four queries.
+  Result<Schema> QueryInputSchema(const ModelOptions& model) const;
+};
+
+// Name of the policy relation for input relation `relation` ("policy_E").
+// The paper writes policy_R; [32] called these local_R.
+std::string PolicyRelationName(uint32_t relation);
+uint32_t PolicyRelationId(uint32_t relation);
+
+// Interned ids of the fixed system relations.
+uint32_t IdRelation();
+uint32_t AllRelation();
+uint32_t MyAdomRelation();
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_SCHEMA_H_

@@ -1,0 +1,447 @@
+#include "transducer/strategies.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace calm::transducer {
+
+namespace {
+
+// Relation-name plumbing shared by the strategies: per input relation R we
+// create renamed companions (message carrying R-facts, memory of received
+// R-facts, markers). The maps go companion-id -> original-id and back.
+struct RelMap {
+  std::map<uint32_t, uint32_t> to_original;
+  std::map<uint32_t, uint32_t> from_original;
+
+  uint32_t Make(const std::string& prefix, uint32_t original) {
+    uint32_t id = InternName(prefix + NameOf(original));
+    to_original[id] = original;
+    from_original[original] = id;
+    return id;
+  }
+  uint32_t Of(uint32_t original) const { return from_original.at(original); }
+};
+
+// Adds `prefix + name(R)` relations (same arity + `extra`) to `target` for
+// every relation of `in`, recording the mapping.
+void AddCompanions(const Schema& in, const std::string& prefix, int extra,
+                   Schema* target, RelMap* map) {
+  for (const RelationDecl& r : in.relations()) {
+    uint32_t id = map->Make(prefix, r.name);
+    (void)target->AddRelation(
+        RelationDecl(id, r.arity + static_cast<uint32_t>(extra)));
+  }
+}
+
+// Collects input-relation facts stored under companion relations back into
+// original-name facts: state[m_E(t)] -> E(t).
+void DecodeInto(const Instance& store, const RelMap& map, Instance* out) {
+  for (const auto& [companion, original] : map.to_original) {
+    for (const Tuple& t : store.TuplesOf(companion)) {
+      out->Insert(Fact(original, t));
+    }
+  }
+}
+
+// The node's own id from the system relation Id.
+Value SelfId(const Instance& system) {
+  const std::set<Tuple>& ids = system.TuplesOf(InternName("Id"));
+  return ids.empty() ? Value() : (*ids.begin())[0];
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast strategy (M).
+// ---------------------------------------------------------------------------
+
+class BroadcastTransducer : public Transducer {
+ public:
+  explicit BroadcastTransducer(const Query* query) : query_(query) {
+    schema_.in = query->input_schema();
+    schema_.out = query->output_schema();
+    AddCompanions(schema_.in, "m_", 0, &schema_.msg, &msg_);
+    AddCompanions(schema_.in, "got_", 0, &schema_.mem, &got_);
+    AddCompanions(schema_.in, "sent_", 0, &schema_.mem, &sent_);
+  }
+
+  const TransducerSchema& schema() const override { return schema_; }
+  std::string name() const override { return "broadcast(" + query_->name() + ")"; }
+
+  Result<StepOutput> Step(const StepInput& in) const override {
+    StepOutput out;
+
+    // Send every not-yet-broadcast local fact; mark it sent.
+    in.local_input.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      Fact marker(sent_.Of(rel), t);
+      if (!in.state.Contains(marker)) {
+        out.sends.Insert(Fact(msg_.Of(rel), t));
+        out.insertions.Insert(marker);
+      }
+    });
+
+    // Store received facts.
+    in.messages.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      out.insertions.Insert(Fact(got_.Of(msg_.to_original.at(rel)), t));
+    });
+
+    // Output Q over everything known (local + stored + just received).
+    Instance known = in.local_input;
+    DecodeInto(in.state, got_, &known);
+    in.messages.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      known.Insert(Fact(msg_.to_original.at(rel), t));
+    });
+    Result<Instance> q = query_->Eval(known);
+    if (!q.ok()) return q.status();
+    out.output = std::move(q).value();
+    return out;
+  }
+
+ private:
+  const Query* query_;
+  TransducerSchema schema_;
+  RelMap msg_, got_, sent_;
+};
+
+// ---------------------------------------------------------------------------
+// Absence strategy (Mdistinct) — proof of Theorem 4.3.
+// ---------------------------------------------------------------------------
+
+class AbsenceTransducer : public Transducer {
+ public:
+  explicit AbsenceTransducer(const Query* query) : query_(query) {
+    schema_.in = query->input_schema();
+    schema_.out = query->output_schema();
+    AddCompanions(schema_.in, "m_", 0, &schema_.msg, &msg_);
+    AddCompanions(schema_.in, "a_", 0, &schema_.msg, &msg_abs_);
+    AddCompanions(schema_.in, "got_", 0, &schema_.mem, &got_);
+    AddCompanions(schema_.in, "abs_", 0, &schema_.mem, &abs_);
+    AddCompanions(schema_.in, "sentf_", 0, &schema_.mem, &sent_fact_);
+    AddCompanions(schema_.in, "senta_", 0, &schema_.mem, &sent_abs_);
+    // Nodes advertise their own identifier so that, in the no-All model,
+    // responsible nodes still learn every node id and can broadcast
+    // absences of facts mentioning it (needed for completeness).
+    (void)schema_.msg.AddRelation("nida", 1);
+    (void)schema_.mem.AddRelation("nids", 1);
+    (void)schema_.mem.AddRelation("sentid", 1);
+  }
+
+  const TransducerSchema& schema() const override { return schema_; }
+  std::string name() const override { return "absence(" + query_->name() + ")"; }
+
+  Result<StepOutput> Step(const StepInput& in) const override {
+    StepOutput out;
+
+    // Advertise own node id once (see constructor comment).
+    Value self = SelfId(in.system);
+    if (!in.state.Contains(Fact("sentid", {self}))) {
+      out.sends.Insert(Fact("nida", {self}));
+      out.insertions.Insert(Fact("sentid", {self}));
+      out.insertions.Insert(Fact("nids", {self}));
+    }
+
+    // Broadcast local input facts once.
+    in.local_input.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      Fact marker(sent_fact_.Of(rel), t);
+      if (!in.state.Contains(marker)) {
+        out.sends.Insert(Fact(msg_.Of(rel), t));
+        out.insertions.Insert(marker);
+      }
+    });
+
+    // Store received facts, absences, and node ids.
+    in.messages.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      if (rel == InternName("nida")) {
+        out.insertions.Insert(Fact("nids", t));
+        return;
+      }
+      auto fact_it = msg_.to_original.find(rel);
+      if (fact_it != msg_.to_original.end()) {
+        out.insertions.Insert(Fact(got_.Of(fact_it->second), t));
+      }
+      auto abs_it = msg_abs_.to_original.find(rel);
+      if (abs_it != msg_abs_.to_original.end()) {
+        out.insertions.Insert(Fact(abs_.Of(abs_it->second), t));
+      }
+    });
+
+    // Facts and absences known after this step.
+    Instance known = in.local_input;
+    DecodeInto(in.state, got_, &known);
+    Instance absent;
+    DecodeInto(in.state, abs_, &absent);
+    in.messages.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      auto fact_it = msg_.to_original.find(rel);
+      if (fact_it != msg_.to_original.end()) {
+        known.Insert(Fact(fact_it->second, t));
+      }
+      auto abs_it = msg_abs_.to_original.find(rel);
+      if (abs_it != msg_abs_.to_original.end()) {
+        absent.Insert(Fact(abs_it->second, t));
+      }
+    });
+
+    // MyAdom values A (includes node ids and everything received).
+    std::vector<Value> adom;
+    for (const Tuple& t : in.system.TuplesOf(InternName("MyAdom"))) {
+      adom.push_back(t[0]);
+    }
+
+    // Derive + broadcast absences: tuples over A that this node is
+    // responsible for (policy_R present) but that are absent locally, and
+    // check completeness: every tuple over A is known present or absent.
+    bool complete = true;
+    for (const RelationDecl& r : schema_.in.relations()) {
+      uint32_t policy_rel = PolicyRelationId(r.name);
+      ForEachTuple(adom, r.arity, [&](const Tuple& t) {
+        Fact fact(r.name, t);
+        bool present = known.Contains(fact);
+        bool known_absent = absent.Contains(Fact(r.name, t));
+        if (!present && !known_absent &&
+            in.system.Contains(Fact(policy_rel, t)) &&
+            !in.local_input.Contains(fact)) {
+          // Responsible and locally missing => globally absent.
+          known_absent = true;
+          absent.Insert(fact);
+          out.insertions.Insert(Fact(abs_.Of(r.name), t));
+          Fact marker(sent_abs_.Of(r.name), t);
+          if (!in.state.Contains(marker)) {
+            out.sends.Insert(Fact(msg_abs_.Of(r.name), t));
+            out.insertions.Insert(marker);
+          }
+        }
+        if (!present && !known_absent) complete = false;
+      });
+    }
+
+    if (complete) {
+      Result<Instance> q = query_->Eval(known);
+      if (!q.ok()) return q.status();
+      out.output = std::move(q).value();
+    }
+    return out;
+  }
+
+ private:
+  // Invokes fn for every tuple over `values`^arity.
+  template <typename Fn>
+  static void ForEachTuple(const std::vector<Value>& values, uint32_t arity,
+                           Fn&& fn) {
+    if (values.empty()) return;
+    std::vector<size_t> idx(arity, 0);
+    while (true) {
+      Tuple t;
+      t.reserve(arity);
+      for (size_t i : idx) t.push_back(values[i]);
+      fn(t);
+      size_t pos = arity;
+      while (true) {
+        if (pos == 0) return;
+        --pos;
+        if (++idx[pos] < values.size()) break;
+        idx[pos] = 0;
+      }
+    }
+  }
+
+  const Query* query_;
+  TransducerSchema schema_;
+  RelMap msg_, msg_abs_, got_, abs_, sent_fact_, sent_abs_;
+};
+
+// ---------------------------------------------------------------------------
+// Domain-request strategy (Mdisjoint) — proof of Theorem 4.4.
+// ---------------------------------------------------------------------------
+
+class DomainRequestTransducer : public Transducer {
+ public:
+  explicit DomainRequestTransducer(const Query* query) : query_(query) {
+    schema_.in = query->input_schema();
+    schema_.out = query->output_schema();
+    // Messages: adv(a); req(x, a); ok(x, a); per-R transfer x_R(x, t) and
+    // ack k_R(x, t).
+    (void)schema_.msg.AddRelation("adv", 1);
+    (void)schema_.msg.AddRelation("req", 2);
+    (void)schema_.msg.AddRelation("ok", 2);
+    AddCompanions(schema_.in, "x_", 1, &schema_.msg, &msg_xfer_);
+    AddCompanions(schema_.in, "k_", 1, &schema_.msg, &msg_ack_);
+    // Memory.
+    (void)schema_.mem.AddRelation("vals", 1);    // known domain values
+    (void)schema_.mem.AddRelation("senta", 1);   // advertised own values
+    (void)schema_.mem.AddRelation("sentr", 1);   // requested values
+    (void)schema_.mem.AddRelation("okd", 1);     // values OK'd to me
+    (void)schema_.mem.AddRelation("reqs", 2);    // stored foreign requests
+    (void)schema_.mem.AddRelation("sento", 2);   // ok(x, a) already sent
+    AddCompanions(schema_.in, "got_", 0, &schema_.mem, &got_);
+    AddCompanions(schema_.in, "sx_", 1, &schema_.mem, &sent_xfer_);
+    AddCompanions(schema_.in, "ka_", 1, &schema_.mem, &acked_);
+    AddCompanions(schema_.in, "sk_", 0, &schema_.mem, &sent_ack_);
+  }
+
+  const TransducerSchema& schema() const override { return schema_; }
+  std::string name() const override {
+    return "domain-request(" + query_->name() + ")";
+  }
+
+  Result<StepOutput> Step(const StepInput& in) const override {
+    StepOutput out;
+    Value self = SelfId(in.system);
+    uint32_t rel_adv = InternName("adv");
+    uint32_t rel_req = InternName("req");
+    uint32_t rel_ok = InternName("ok");
+
+    // -- Incorporate received messages into memory.
+    in.messages.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      if (rel == rel_adv) {
+        out.insertions.Insert(Fact("vals", t));
+      } else if (rel == rel_req) {
+        out.insertions.Insert(Fact("reqs", t));
+      } else if (rel == rel_ok) {
+        if (t[0] == self) out.insertions.Insert(Fact("okd", {t[1]}));
+      } else {
+        auto xfer_it = msg_xfer_.to_original.find(rel);
+        if (xfer_it != msg_xfer_.to_original.end() && t[0] == self) {
+          Tuple bare(t.begin() + 1, t.end());
+          out.insertions.Insert(Fact(got_.Of(xfer_it->second), bare));
+        }
+        auto ack_it = msg_ack_.to_original.find(rel);
+        if (ack_it != msg_ack_.to_original.end()) {
+          // Record the ack (any node may hold the matching transfer).
+          out.insertions.Insert(Fact(acked_.Of(ack_it->second), t));
+        }
+      }
+    });
+
+    // -- Advertise own active domain once.
+    for (Value v : in.local_input.ActiveDomain()) {
+      if (!in.state.Contains(Fact("senta", {v}))) {
+        out.sends.Insert(Fact(rel_adv, {v}));
+        out.insertions.Insert(Fact("senta", {v}));
+      }
+    }
+
+    // -- Acks for transfers received this step.
+    in.messages.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      auto xfer_it = msg_xfer_.to_original.find(rel);
+      if (xfer_it == msg_xfer_.to_original.end() || t[0] != self) return;
+      Tuple bare(t.begin() + 1, t.end());
+      Fact marker(sent_ack_.Of(xfer_it->second), bare);
+      if (!in.state.Contains(marker)) {
+        Tuple addressed = t;  // k_R(self, tuple): t already starts with self
+        out.sends.Insert(Fact(msg_ack_.Of(xfer_it->second), addressed));
+        out.insertions.Insert(marker);
+      }
+    });
+
+    // -- Serve stored requests (including ones stored just now).
+    Instance requests;
+    for (const Tuple& t : in.state.TuplesOf(InternName("reqs"))) {
+      requests.Insert(Fact("reqs", t));
+    }
+    in.messages.ForEachFact([&](uint32_t rel, const Tuple& t) {
+      if (rel == rel_req) requests.Insert(Fact("reqs", t));
+    });
+    requests.ForEachFact([&](uint32_t, const Tuple& rt) {
+      Value target = rt[0];
+      Value value = rt[1];
+      if (target == self) return;
+      if (!Responsible(in.system, value)) return;
+      // Transfer every local fact containing `value` (once per target+fact),
+      // then OK once all of them are acked.
+      bool all_acked = true;
+      in.local_input.ForEachFact([&](uint32_t rel, const Tuple& t) {
+        bool contains = false;
+        for (Value v : t) contains = contains || v == value;
+        if (!contains) return;
+        Tuple addressed;
+        addressed.reserve(t.size() + 1);
+        addressed.push_back(target);
+        addressed.insert(addressed.end(), t.begin(), t.end());
+        Fact sent_marker(sent_xfer_.Of(rel), addressed);
+        if (!in.state.Contains(sent_marker)) {
+          out.sends.Insert(Fact(msg_xfer_.Of(rel), addressed));
+          out.insertions.Insert(sent_marker);
+        }
+        Fact ack(acked_.Of(rel), addressed);
+        if (!in.state.Contains(ack) && !out.insertions.Contains(ack)) {
+          all_acked = false;
+        }
+      });
+      if (all_acked) {
+        Fact ok_marker("sento", {target, value});
+        if (!in.state.Contains(ok_marker)) {
+          out.sends.Insert(Fact(rel_ok, {target, value}));
+          out.insertions.Insert(ok_marker);
+        }
+      }
+    });
+
+    // -- Issue requests for known values I am not responsible for.
+    std::set<Value> known_values;
+    for (const Tuple& t : in.system.TuplesOf(InternName("MyAdom"))) {
+      known_values.insert(t[0]);
+    }
+    for (Value v : known_values) {
+      if (Responsible(in.system, v)) continue;
+      if (in.state.Contains(Fact("sentr", {v}))) continue;
+      out.sends.Insert(Fact(rel_req, {self, v}));
+      out.insertions.Insert(Fact("sentr", {v}));
+    }
+
+    // -- Completeness: every known value is owned or OK'd.
+    bool complete = true;
+    auto okd = [&](Value v) {
+      return in.state.Contains(Fact("okd", {v})) ||
+             out.insertions.Contains(Fact("okd", {v}));
+    };
+    for (Value v : known_values) {
+      if (!Responsible(in.system, v) && !okd(v)) {
+        complete = false;
+        break;
+      }
+    }
+
+    if (complete) {
+      Instance known = in.local_input;
+      DecodeInto(in.state, got_, &known);
+      out.insertions.ForEachFact([&](uint32_t rel, const Tuple& t) {
+        auto it = got_.to_original.find(rel);
+        if (it != got_.to_original.end()) known.Insert(Fact(it->second, t));
+      });
+      Result<Instance> q = query_->Eval(known);
+      if (!q.ok()) return q.status();
+      out.output = std::move(q).value();
+    }
+    return out;
+  }
+
+ private:
+  // Responsible for value a under the domain assignment iff some
+  // policy_R(a, ..., a) is shown (proof of Theorem 4.4).
+  bool Responsible(const Instance& system, Value a) const {
+    for (const RelationDecl& r : schema_.in.relations()) {
+      Tuple t(r.arity, a);
+      if (system.Contains(Fact(PolicyRelationId(r.name), t))) return true;
+    }
+    return false;
+  }
+
+  const Query* query_;
+  TransducerSchema schema_;
+  RelMap msg_xfer_, msg_ack_, got_, sent_xfer_, acked_, sent_ack_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transducer> MakeBroadcastTransducer(const Query* query) {
+  return std::make_unique<BroadcastTransducer>(query);
+}
+std::unique_ptr<Transducer> MakeAbsenceTransducer(const Query* query) {
+  return std::make_unique<AbsenceTransducer>(query);
+}
+std::unique_ptr<Transducer> MakeDomainRequestTransducer(const Query* query) {
+  return std::make_unique<DomainRequestTransducer>(query);
+}
+
+}  // namespace calm::transducer

@@ -1,0 +1,42 @@
+#ifndef CALM_TRANSDUCER_STRATEGIES_H_
+#define CALM_TRANSDUCER_STRATEGIES_H_
+
+#include <memory>
+
+#include "base/query.h"
+#include "transducer/transducer.h"
+
+namespace calm::transducer {
+
+// The three generic evaluation strategies of Section 4.2 / 4.3, each
+// parameterized by a query of the matching monotonicity class. All are
+// honest relational transducers: every piece of persistent state lives in
+// mem relations, messages are sent at most once (tracked by mem markers) so
+// runs quiesce, and outputs are produced exactly when the class-specific
+// readiness condition holds.
+//
+//   * Broadcast (M): every node broadcasts its local input facts and outputs
+//     Q(everything seen so far) — correct for monotone Q; needs no policy
+//     relations, so it works in the original model of [13].
+//
+//   * Absence (Mdistinct): additionally broadcasts *non-facts* — absences of
+//     potential facts the node is responsible for under the policy — and
+//     outputs Q(collected facts) whenever MyAdom is "complete": every
+//     potential fact over MyAdom is either known present or known absent
+//     (proof of Theorem 4.3).
+//
+//   * Domain-request (Mdisjoint): broadcasts the active domain; for each
+//     known value it is not responsible for, runs the request / transfer /
+//     ack / OK protocol with the responsible nodes, and outputs Q(collected
+//     facts) whenever every known value is either owned or OK'd (proof of
+//     Theorem 4.4). Requires a domain-guided policy.
+//
+// The query must outlive the transducer. Its output schema must be disjoint
+// from its input schema (all the paper's queries are).
+std::unique_ptr<Transducer> MakeBroadcastTransducer(const Query* query);
+std::unique_ptr<Transducer> MakeAbsenceTransducer(const Query* query);
+std::unique_ptr<Transducer> MakeDomainRequestTransducer(const Query* query);
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_STRATEGIES_H_

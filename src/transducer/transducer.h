@@ -1,0 +1,53 @@
+#ifndef CALM_TRANSDUCER_TRANSDUCER_H_
+#define CALM_TRANSDUCER_TRANSDUCER_H_
+
+#include <memory>
+#include <string>
+
+#include "base/instance.h"
+#include "base/status.h"
+#include "transducer/schema.h"
+
+namespace calm::transducer {
+
+// What a node sees during a transition (Section 4.1.3): its local input
+// fragment H(x), its stored state s(x) (over out+mem), the delivered message
+// set M, and the system facts S. D is their union.
+struct StepInput {
+  const Instance& local_input;
+  const Instance& state;
+  const Instance& messages;
+  const Instance& system;
+
+  Instance D() const {
+    Instance d = local_input;
+    d.InsertAll(state);
+    d.InsertAll(messages);
+    d.InsertAll(system);
+    return d;
+  }
+};
+
+// The results of the four queries on D.
+struct StepOutput {
+  Instance output;      // Qout(D), over out
+  Instance insertions;  // Qins(D), over mem
+  Instance deletions;   // Qdel(D), over mem
+  Instance sends;       // Qsnd(D), over msg — sent to every *other* node
+};
+
+// A (policy-aware) relational transducer: the quadruple of queries
+// (Qout, Qins, Qdel, Qsnd). Implementations must be deterministic functions
+// of D; all persistent state lives in the mem relations.
+class Transducer {
+ public:
+  virtual ~Transducer() = default;
+
+  virtual const TransducerSchema& schema() const = 0;
+  virtual Result<StepOutput> Step(const StepInput& input) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace calm::transducer
+
+#endif  // CALM_TRANSDUCER_TRANSDUCER_H_

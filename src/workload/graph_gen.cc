@@ -1,0 +1,123 @@
+#include "workload/graph_gen.h"
+
+#include <set>
+#include <utility>
+
+namespace calm::workload {
+
+namespace {
+Fact Edge(uint64_t a, uint64_t b) {
+  return Fact("E", {Value::FromInt(a), Value::FromInt(b)});
+}
+}  // namespace
+
+const Schema& GraphSchema() {
+  static const Schema* kSchema = new Schema({{"E", 2}});
+  return *kSchema;
+}
+
+Instance Path(size_t n, uint64_t base) {
+  Instance out;
+  for (size_t i = 0; i + 1 < n; ++i) out.Insert(Edge(base + i, base + i + 1));
+  return out;
+}
+
+Instance Cycle(size_t n, uint64_t base) {
+  Instance out = Path(n, base);
+  if (n >= 2) out.Insert(Edge(base + n - 1, base));
+  return out;
+}
+
+Instance Clique(size_t n, uint64_t base) {
+  Instance out;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) out.Insert(Edge(base + i, base + j));
+    }
+  }
+  return out;
+}
+
+Instance Star(size_t spokes, uint64_t base) {
+  Instance out;
+  for (size_t i = 1; i <= spokes; ++i) out.Insert(Edge(base, base + i));
+  return out;
+}
+
+Instance RandomGraph(size_t n, double p, uint64_t seed, uint64_t base) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution keep(p);
+  Instance out;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && keep(rng)) out.Insert(Edge(base + i, base + j));
+    }
+  }
+  return out;
+}
+
+Instance RandomGraphM(size_t n, size_t m, uint64_t seed, uint64_t base) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> pick(0, n - 1);
+  std::set<std::pair<uint64_t, uint64_t>> edges;
+  size_t cap = n * (n - 1);
+  if (m > cap) m = cap;
+  while (edges.size() < m) {
+    uint64_t a = pick(rng);
+    uint64_t b = pick(rng);
+    if (a != b) edges.emplace(a, b);
+  }
+  Instance out;
+  for (auto [a, b] : edges) out.Insert(Edge(base + a, base + b));
+  return out;
+}
+
+Instance DisjointUnion(size_t parts, size_t part_size,
+                       Instance (*make)(size_t, uint64_t), uint64_t base) {
+  Instance out;
+  for (size_t i = 0; i < parts; ++i) {
+    out.InsertAll(make(part_size, base + i * (part_size + 1)));
+  }
+  return out;
+}
+
+Instance Bipartite(size_t left, size_t right, uint64_t base) {
+  Instance out;
+  for (size_t l = 0; l < left; ++l) {
+    for (size_t r = 0; r < right; ++r) {
+      out.Insert(Edge(base + l, base + left + r));
+    }
+  }
+  return out;
+}
+
+Instance Grid(size_t w, size_t h, uint64_t base) {
+  Instance out;
+  auto id = [&](size_t x, size_t y) { return base + y * w + x; };
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) out.Insert(Edge(id(x, y), id(x + 1, y)));
+      if (y + 1 < h) out.Insert(Edge(id(x, y), id(x, y + 1)));
+    }
+  }
+  return out;
+}
+
+Instance LayeredDag(size_t layers, size_t width, size_t out_degree,
+                    uint64_t seed, uint64_t base) {
+  std::mt19937_64 rng(seed);
+  Instance out;
+  if (width == 0) return out;
+  std::uniform_int_distribution<uint64_t> pick(0, width - 1);
+  for (size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (size_t v = 0; v < width; ++v) {
+      uint64_t from = base + layer * width + v;
+      for (size_t d = 0; d < out_degree; ++d) {
+        out.Insert(Edge(from, base + (layer + 1) * width + pick(rng)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace calm::workload

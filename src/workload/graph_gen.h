@@ -1,0 +1,57 @@
+#ifndef CALM_WORKLOAD_GRAPH_GEN_H_
+#define CALM_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <random>
+
+#include "base/instance.h"
+#include "base/schema.h"
+
+namespace calm::workload {
+
+// Generators for directed graphs over the binary edge relation "E", the
+// schema every separating example in the paper is defined over. All
+// generators are deterministic given the seed / parameters; vertices are
+// integer Values starting at `base`.
+
+// The schema {E/2}.
+const Schema& GraphSchema();
+
+// E(i, i+1) for i in [base, base + n - 1): a path on n vertices.
+Instance Path(size_t n, uint64_t base = 0);
+
+// A directed cycle on n vertices.
+Instance Cycle(size_t n, uint64_t base = 0);
+
+// A complete directed clique (both directions, no self loops) on n vertices.
+Instance Clique(size_t n, uint64_t base = 0);
+
+// A star: edges from center `base` to spokes base+1 .. base+spokes.
+Instance Star(size_t spokes, uint64_t base = 0);
+
+// Erdos-Renyi: each ordered pair (no self loops) kept with probability p.
+Instance RandomGraph(size_t n, double p, uint64_t seed, uint64_t base = 0);
+
+// Random graph with exactly m distinct edges (no self loops).
+Instance RandomGraphM(size_t n, size_t m, uint64_t seed, uint64_t base = 0);
+
+// Union of `parts` copies of `make(part_size, base_i)` on pairwise disjoint
+// vertex ranges (each component is domain disjoint from the others).
+Instance DisjointUnion(size_t parts, size_t part_size,
+                       Instance (*make)(size_t, uint64_t), uint64_t base = 0);
+
+// Complete bipartite graph: edges from each of the `left` vertices to each
+// of the `right` vertices.
+Instance Bipartite(size_t left, size_t right, uint64_t base = 0);
+
+// A w x h grid with edges rightward and downward (a DAG).
+Instance Grid(size_t w, size_t h, uint64_t base = 0);
+
+// Random layered DAG: `layers` layers of `width` vertices; each vertex gets
+// edges to `out_degree` random vertices of the next layer.
+Instance LayeredDag(size_t layers, size_t width, size_t out_degree,
+                    uint64_t seed, uint64_t base = 0);
+
+}  // namespace calm::workload
+
+#endif  // CALM_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,103 @@
+#include "workload/instance_gen.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace calm::workload {
+
+Instance RandomInstance(const Schema& schema, size_t facts, size_t domain_size,
+                        uint64_t seed, uint64_t base) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> pick(0, domain_size - 1);
+  std::vector<RelationDecl> decls = schema.relations();
+  if (decls.empty() || domain_size == 0) return Instance();
+  std::uniform_int_distribution<size_t> pick_rel(0, decls.size() - 1);
+  Instance out;
+  size_t attempts = 0;
+  while (out.size() < facts && attempts < facts * 100 + 1000) {
+    ++attempts;
+    const RelationDecl& decl = decls[pick_rel(rng)];
+    Tuple t;
+    t.reserve(decl.arity);
+    for (uint32_t i = 0; i < decl.arity; ++i) {
+      t.push_back(Value::FromInt(base + pick(rng)));
+    }
+    out.Insert(Fact(decl.name, std::move(t)));
+  }
+  return out;
+}
+
+namespace {
+
+Instance RandomExtension(const Schema& schema, const Instance& i, size_t facts,
+                         size_t fresh_count, uint64_t seed,
+                         uint64_t fresh_base, bool disjoint) {
+  std::mt19937_64 rng(seed);
+  std::set<Value> adom_set = i.ActiveDomain();
+  std::vector<Value> old_values(adom_set.begin(), adom_set.end());
+  std::vector<Value> fresh;
+  fresh.reserve(fresh_count);
+  for (size_t k = 0; k < fresh_count; ++k) {
+    fresh.push_back(Value::FromInt(fresh_base + k));
+  }
+  std::vector<RelationDecl> decls = schema.relations();
+  if (decls.empty() || fresh.empty()) return Instance();
+  std::uniform_int_distribution<size_t> pick_rel(0, decls.size() - 1);
+  std::uniform_int_distribution<size_t> pick_fresh(0, fresh.size() - 1);
+
+  Instance out;
+  size_t attempts = 0;
+  while (out.size() < facts && attempts < facts * 100 + 1000) {
+    ++attempts;
+    const RelationDecl& decl = decls[pick_rel(rng)];
+    Tuple t(decl.arity, fresh[pick_fresh(rng)]);
+    if (disjoint || old_values.empty()) {
+      for (uint32_t p = 0; p < decl.arity; ++p) t[p] = fresh[pick_fresh(rng)];
+    } else {
+      // Domain distinct: at least one fresh position, others mixed.
+      std::uniform_int_distribution<size_t> pick_pos(0, decl.arity - 1);
+      size_t fresh_pos = pick_pos(rng);
+      std::uniform_int_distribution<size_t> pick_old(0, old_values.size() - 1);
+      std::bernoulli_distribution use_old(0.5);
+      for (uint32_t p = 0; p < decl.arity; ++p) {
+        if (p == fresh_pos || !use_old(rng)) {
+          t[p] = fresh[pick_fresh(rng)];
+        } else {
+          t[p] = old_values[pick_old(rng)];
+        }
+      }
+    }
+    out.Insert(Fact(decl.name, std::move(t)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Instance RandomDomainDistinctExtension(const Schema& schema, const Instance& i,
+                                       size_t facts, size_t fresh_count,
+                                       uint64_t seed, uint64_t fresh_base) {
+  return RandomExtension(schema, i, facts, fresh_count, seed, fresh_base,
+                         /*disjoint=*/false);
+}
+
+Instance RandomDomainDisjointExtension(const Schema& schema, const Instance& i,
+                                       size_t facts, size_t fresh_count,
+                                       uint64_t seed, uint64_t fresh_base) {
+  return RandomExtension(schema, i, facts, fresh_count, seed, fresh_base,
+                         /*disjoint=*/true);
+}
+
+std::map<Value, Value> RandomPermutation(const Instance& i, uint64_t seed) {
+  std::set<Value> adom_set = i.ActiveDomain();
+  std::vector<Value> values(adom_set.begin(), adom_set.end());
+  std::vector<Value> shuffled = values;
+  std::mt19937_64 rng(seed);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  std::map<Value, Value> out;
+  for (size_t k = 0; k < values.size(); ++k) out[values[k]] = shuffled[k];
+  return out;
+}
+
+}  // namespace calm::workload

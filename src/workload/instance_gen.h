@@ -1,0 +1,38 @@
+#ifndef CALM_WORKLOAD_INSTANCE_GEN_H_
+#define CALM_WORKLOAD_INSTANCE_GEN_H_
+
+#include <cstdint>
+#include <map>
+
+#include "base/instance.h"
+#include "base/schema.h"
+
+namespace calm::workload {
+
+// Random instance over `schema`: `facts` distinct facts with values drawn
+// uniformly from the integer range [base, base + domain_size).
+Instance RandomInstance(const Schema& schema, size_t facts, size_t domain_size,
+                        uint64_t seed, uint64_t base = 0);
+
+// A random extension J of `i` with `facts` facts that is *domain distinct*
+// from `i`: every fact of J contains at least one value outside adom(i).
+// Fresh values are drawn from [fresh_base, fresh_base + fresh_count); old
+// values are reused from adom(i) when `i` is nonempty.
+Instance RandomDomainDistinctExtension(const Schema& schema, const Instance& i,
+                                       size_t facts, size_t fresh_count,
+                                       uint64_t seed,
+                                       uint64_t fresh_base = 1000000);
+
+// A random extension J of `i` with `facts` facts that is *domain disjoint*
+// from `i`: adom(J) and adom(i) do not intersect.
+Instance RandomDomainDisjointExtension(const Schema& schema, const Instance& i,
+                                       size_t facts, size_t fresh_count,
+                                       uint64_t seed,
+                                       uint64_t fresh_base = 1000000);
+
+// A random permutation of adom(i) (as a value map), for genericity tests.
+std::map<Value, Value> RandomPermutation(const Instance& i, uint64_t seed);
+
+}  // namespace calm::workload
+
+#endif  // CALM_WORKLOAD_INSTANCE_GEN_H_

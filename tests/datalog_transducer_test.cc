@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queries/graph_queries.h"
+#include "datalog/parser.h"
+#include "transducer/datalog_transducer.h"
+#include "transducer/network.h"
+#include "transducer/policy.h"
+#include "transducer/runner.h"
+#include "transducer/strategies.h"
+#include "workload/graph_gen.h"
+
+namespace calm::transducer {
+namespace {
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+// The declarative broadcast transitive-closure node from the header comment:
+// ship unseen edges, store received ones, output the closure of everything.
+DatalogTransducer MakeDatalogBroadcastTc(const ModelOptions& model) {
+  TransducerSchema schema;
+  schema.in = Schema({{"E", 2}});
+  schema.out = Schema({{"T", 2}});
+  schema.msg = Schema({{"mE", 2}});
+  schema.mem = Schema({{"gotE", 2}, {"sentE", 2}});
+  return DatalogTransducer::FromTextOrDie(
+      schema, model,
+      /*qout=*/
+      "EE(x, y) :- E(x, y).\n"
+      "EE(x, y) :- gotE(x, y).\n"
+      "EE(x, y) :- mE(x, y).\n"
+      "T(x, y) :- EE(x, y).\n"
+      "T(x, z) :- T(x, y), EE(y, z).\n"
+      ".output T\n",
+      /*qins=*/
+      "gotE(x, y) :- mE(x, y).\n"
+      "sentE(x, y) :- E(x, y).\n"
+      ".output gotE, sentE\n",
+      /*qdel=*/"",
+      /*qsnd=*/
+      "mE(x, y) :- E(x, y), !sentE(x, y).\n"
+      ".output mE\n",
+      "datalog-broadcast-tc");
+}
+
+TEST(DatalogTransducerTest, ValidatesSchemas) {
+  TransducerSchema schema;
+  schema.in = Schema({{"E", 2}});
+  schema.out = Schema({{"T", 2}});
+  schema.msg = Schema({{"mE", 2}});
+  schema.mem = Schema({{"gotE", 2}});
+  // Qout writes into a relation not in any target schema.
+  datalog::Program bad = datalog::ParseOrDie("U(x, y) :- E(x, y). .output U");
+  Result<DatalogTransducer> r =
+      DatalogTransducer::Create(schema, ModelOptions::Original(), bad, {}, {},
+                                {}, "bad");
+  EXPECT_FALSE(r.ok());
+  // Reading an undeclared relation is rejected too.
+  datalog::Program bad2 =
+      datalog::ParseOrDie("T(x, y) :- Mystery(x, y). .output T");
+  EXPECT_FALSE(DatalogTransducer::Create(schema, ModelOptions::Original(),
+                                         bad2, {}, {}, {}, "bad2")
+                   .ok());
+}
+
+TEST(DatalogTransducerTest, ComputesTcLikeNativeBroadcast) {
+  ModelOptions model = ModelOptions::Original();
+  DatalogTransducer datalog_t = MakeDatalogBroadcastTc(model);
+  auto tc = queries::MakeTransitiveClosure();
+  auto native_t = MakeBroadcastTransducer(tc.get());
+
+  Instance input = workload::RandomGraph(6, 0.3, /*seed=*/11);
+  Network nodes{V(100), V(101)};
+  HashPolicy policy(nodes);
+
+  Instance outputs[2];
+  const Transducer* transducers[2] = {&datalog_t, native_t.get()};
+  for (int which = 0; which < 2; ++which) {
+    TransducerNetwork network(nodes, transducers[which], &policy, model);
+    ASSERT_TRUE(network.Initialize(input).ok());
+    Result<RunResult> r = RunToQuiescence(network);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE(r->quiesced);
+    outputs[which] = r->output;
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  Result<Instance> expected = tc->Eval(input);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(outputs[0], expected.value());
+}
+
+TEST(DatalogTransducerTest, ConsistentAcrossSchedules) {
+  ModelOptions model = ModelOptions::Original();
+  DatalogTransducer t = MakeDatalogBroadcastTc(model);
+  Network nodes{V(100), V(101), V(102)};
+  HashPolicy policy(nodes);
+  Instance input = workload::Cycle(5);
+
+  std::unique_ptr<TransducerNetwork> holder;
+  auto make = [&]() -> Result<TransducerNetwork*> {
+    holder = std::make_unique<TransducerNetwork>(nodes, &t, &policy, model);
+    CALM_RETURN_IF_ERROR(holder->Initialize(input));
+    return holder.get();
+  };
+  Result<Instance> out = RunConsistently(make);
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto tc = queries::MakeTransitiveClosure();
+  EXPECT_EQ(out.value(), tc->Eval(input).value());
+}
+
+TEST(DatalogTransducerTest, DeliveredMessagesAreNotReForwarded) {
+  // The Qsnd program has mE as a head; D's delivered mE facts must not seed
+  // it, otherwise every delivery triggers a re-broadcast and the run never
+  // quiesces.
+  ModelOptions model = ModelOptions::Original();
+  DatalogTransducer t = MakeDatalogBroadcastTc(model);
+  Network nodes{V(100), V(101)};
+  // All facts on node 100: exactly |E| * 1 messages should ever be sent by
+  // it, and none by 101.
+  AllToOnePolicy policy(V(100));
+  TransducerNetwork network(nodes, &t, &policy, model);
+  Instance input = workload::Path(4);  // 3 edges
+  ASSERT_TRUE(network.Initialize(input).ok());
+  Result<RunResult> r = RunToQuiescence(network);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->quiesced);
+  EXPECT_EQ(r->stats.messages_sent, 3u);
+}
+
+TEST(DatalogTransducerTest, MemoryDeletion) {
+  // A transducer that stores a flag and deletes it when a message arrives:
+  // exercises the Qdel path ((ins \ del) applied, (del \ ins) removed).
+  TransducerSchema schema;
+  schema.in = Schema({{"V", 1}});
+  schema.out = Schema({{"O", 1}});
+  schema.msg = Schema({{"ping", 1}});
+  schema.mem = Schema({{"flag", 1}, {"sent", 1}});
+  ModelOptions model = ModelOptions::Original();
+  DatalogTransducer t = DatalogTransducer::FromTextOrDie(
+      schema, model,
+      /*qout=*/"O(x) :- flag(x), ping(x).",
+      /*qins=*/"flag(x) :- V(x). sent(x) :- V(x). .output flag, sent",
+      /*qdel=*/"flag(x) :- ping(x). .output flag",
+      /*qsnd=*/"ping(x) :- V(x), !sent(x). .output ping", "flag-deleter");
+
+  Network nodes{V(100), V(101)};
+  AllToOnePolicy policy(V(100));
+  TransducerNetwork network(nodes, &t, &policy, model);
+  ASSERT_TRUE(network.Initialize(Instance{Fact("V", {V(7)})}).ok());
+
+  // Step node 100: stores flag(7), sends ping(7) to 101.
+  ASSERT_TRUE(network.Heartbeat(V(100)).ok());
+  EXPECT_TRUE(network.state(V(100)).Contains(Fact("flag", {V(7)})));
+  ASSERT_EQ(network.buffer(V(101)).size(), 1u);
+
+  // Deliver ping to 101: 101 has no local V, nothing happens there.
+  ASSERT_TRUE(network.StepNode(V(101), {0}).ok());
+  EXPECT_FALSE(network.state(V(101)).Contains(Fact("O", {V(7)})));
+  EXPECT_TRUE(network.BuffersEmpty());
+}
+
+}  // namespace
+}  // namespace calm::transducer

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "datalog/ilog.h"
+#include "datalog/parser.h"
+#include "workload/graph_gen.h"
+
+namespace calm::datalog {
+namespace {
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+TEST(InventionRelationsTest, DetectsInventingHeads) {
+  Program p = ParseOrDie(
+      "N(*, x) :- E(x, y).\n"
+      "O(x) :- N(k, x).\n");
+  Result<std::set<uint32_t>> inv = InventionRelations(p);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->size(), 1u);
+  EXPECT_TRUE(inv->count(InternName("N")) > 0);
+}
+
+TEST(InventionRelationsTest, RejectsMixedRules) {
+  Program p = ParseOrDie(
+      "N(*, x) :- E(x, y).\n"
+      "N(x, y) :- E(x, y).\n");
+  EXPECT_FALSE(InventionRelations(p).ok());
+}
+
+TEST(UnsafePositionsTest, InventionPositionIsUnsafe) {
+  Program p = ParseOrDie("N(*, x) :- E(x, y).");
+  std::set<uint32_t> inv = InventionRelations(p).value();
+  auto unsafe = UnsafePositions(p, inv);
+  EXPECT_TRUE(unsafe.count({InternName("N"), 1}) > 0);
+  EXPECT_FALSE(unsafe.count({InternName("N"), 2}) > 0);
+}
+
+TEST(UnsafePositionsTest, PropagatesThroughRules) {
+  Program p = ParseOrDie(
+      "N(*, x) :- E(x, y).\n"
+      "Leak(k) :- N(k, x).\n"      // copies the unsafe position 1 of N
+      "Fine(x) :- N(k, x).\n");    // copies the safe position 2
+  std::set<uint32_t> inv = InventionRelations(p).value();
+  auto unsafe = UnsafePositions(p, inv);
+  EXPECT_TRUE(unsafe.count({InternName("Leak"), 1}) > 0);
+  EXPECT_FALSE(unsafe.count({InternName("Fine"), 1}) > 0);
+}
+
+TEST(WeakSafetyTest, OutputDecidesSafety) {
+  Program leaky = ParseOrDie(
+      ".output Leak\n"
+      "N(*, x) :- E(x, y).\n"
+      "Leak(k) :- N(k, x).\n");
+  Program safe = ParseOrDie(
+      ".output Fine\n"
+      "N(*, x) :- E(x, y).\n"
+      "Fine(x) :- N(k, x).\n");
+  EXPECT_FALSE(IsWeaklySafe(leaky, InventionRelations(leaky).value()));
+  EXPECT_TRUE(IsWeaklySafe(safe, InventionRelations(safe).value()));
+}
+
+TEST(EvaluateIlogTest, SkolemHashConsing) {
+  // One invented value per distinct x (f_N(x)), not per rule firing.
+  Program p = ParseOrDie("N(*, x) :- E(x, y).");
+  Instance in{Fact("E", {V(1), V(2)}), Fact("E", {V(1), V(3)}),
+              Fact("E", {V(2), V(3)})};
+  size_t invented = 0;
+  Result<Instance> out = EvaluateIlog(p, in, {}, nullptr, &invented);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(invented, 2u);  // f_N(1), f_N(2)
+  EXPECT_EQ(out->TuplesOf(InternName("N")).size(), 2u);
+  for (const Tuple& t : out->TuplesOf(InternName("N"))) {
+    EXPECT_TRUE(t[0].is_invented());
+    EXPECT_FALSE(t[1].is_invented());
+  }
+}
+
+TEST(EvaluateIlogTest, DivergentProgramHitsLimit) {
+  // Feeding invented values back into invention diverges; the paper calls
+  // the output "undefined", we return ResourceExhausted.
+  Program p = ParseOrDie(
+      "N(*, x) :- S(x).\n"
+      "N(*, k) :- N(k, x).\n");
+  EvalOptions opts;
+  opts.max_total_facts = 1000;
+  Result<Instance> out = EvaluateIlog(p, Instance{Fact("S", {V(1)})}, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvaluateIlogTest, InventedValuesJoinCorrectly) {
+  // Group edges by source via an invented group id, then recover pairs of
+  // edges sharing a source — exercises joins on invented values.
+  Program p = ParseOrDie(
+      ".output O\n"
+      "G(*, x) :- E(x, y).\n"
+      "Member(k, y) :- G(k, x), E(x, y).\n"
+      "O(y, z) :- Member(k, y), Member(k, z), y != z.\n");
+  Instance in{Fact("E", {V(1), V(2)}), Fact("E", {V(1), V(3)}),
+              Fact("E", {V(4), V(5)})};
+  Result<Instance> out = EvaluateIlog(p, in);
+  ASSERT_TRUE(out.ok()) << out.status();
+  const std::set<Tuple>& o = out->TuplesOf(InternName("O"));
+  EXPECT_EQ(o.size(), 2u);  // (2,3) and (3,2); nothing for source 4
+  EXPECT_TRUE(o.count({V(2), V(3)}) > 0);
+}
+
+TEST(IlogQueryTest, CreateRejectsUnsafePrograms) {
+  Result<Program> leaky = Parse(
+      ".output Leak\n"
+      "N(*, x) :- E(x, y).\n"
+      "Leak(k) :- N(k, x).\n");
+  ASSERT_TRUE(leaky.ok());
+  EXPECT_FALSE(IlogQuery::Create(leaky.value(), "leaky").ok());
+}
+
+TEST(IlogQueryTest, EvalProducesInventionFreeOutput) {
+  IlogQuery q = IlogQuery::FromTextOrDie(
+      ".output O\n"
+      "G(*, x) :- E(x, y).\n"
+      "O(x) :- G(k, x).\n",
+      "sources");
+  Result<Instance> out = q.Eval(workload::Path(3));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);  // sources 0 and 1
+  out->ForEachFact([&](uint32_t, const Tuple& t) {
+    for (Value v : t) EXPECT_FALSE(v.is_invented());
+  });
+}
+
+TEST(IlogQueryTest, FragmentClassificationAppliesToIlog) {
+  // A semi-connected wILOG¬ program (Theorem 5.4's fragment): connected
+  // strata below, arbitrary last stratum.
+  IlogQuery q = IlogQuery::FromTextOrDie(
+      ".output O\n"
+      "G(*, x) :- E(x, y).\n"
+      "Mark(x) :- G(k, x).\n"
+      "O(x) :- Adom(x), !Mark(x).\n",
+      "non-sources");
+  EXPECT_TRUE(q.fragment().semi_connected);
+  Result<Instance> out = q.Eval(workload::Path(3));
+  ASSERT_TRUE(out.ok());
+  // Path 0->1->2: non-sources = {2}.
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_TRUE(out->Contains(Fact("O", {V(2)})));
+}
+
+TEST(IlogQueryTest, SPwILOGStaysInMdistinctOnWitness) {
+  // An SP-wILOG program (negation over edb only) — outputs must never be
+  // retracted by domain-distinct additions on these witnesses.
+  IlogQuery q = IlogQuery::FromTextOrDie(
+      ".output O\n"
+      "G(*, x) :- E(x, y), !Blocked(x).\n"
+      "O(x) :- G(k, x).\n",
+      "unblocked-sources");
+  Instance i{Fact("E", {V(1), V(2)})};
+  Instance j{Fact("E", {V(2), V(9)}), Fact("Blocked", {V(9)})};
+  Result<Instance> out_i = q.Eval(i);
+  Result<Instance> out_ij = q.Eval(Instance::Union(i, j));
+  ASSERT_TRUE(out_i.ok());
+  ASSERT_TRUE(out_ij.ok());
+  EXPECT_TRUE(out_i->IsSubsetOf(out_ij.value()));
+}
+
+}  // namespace
+}  // namespace calm::datalog

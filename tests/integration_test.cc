@@ -1,0 +1,163 @@
+// End-to-end integration: the Figure 2 pipeline. A Datalog¬ program comes
+// in as text; we classify its fragment, pick the coordination-free
+// execution strategy its class guarantees (broadcast for positive programs,
+// absence for SP-Datalog, domain-request for semicon-Datalog¬), run it on a
+// simulated asynchronous network, and compare against centralized
+// evaluation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "queries/paper_programs.h"
+#include "transducer/compiler.h"
+#include "transducer/network.h"
+#include "transducer/policy.h"
+#include "transducer/runner.h"
+#include "transducer/strategies.h"
+#include "workload/graph_gen.h"
+
+namespace calm {
+namespace {
+
+using datalog::DatalogQuery;
+using namespace calm::transducer;  // NOLINT
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+// Runs `transducer` for `query` on a 3-node network and checks the output
+// against central evaluation, under round-robin and random schedules.
+void RunAndCompare(const Transducer& t, const Query& q, const Instance& input,
+                   const DistributionPolicy& policy, const Network& nodes,
+                   const ModelOptions& model) {
+  Instance expected = q.Eval(input).value();
+  std::unique_ptr<TransducerNetwork> holder;
+  auto make = [&]() -> Result<TransducerNetwork*> {
+    holder = std::make_unique<TransducerNetwork>(nodes, &t, &policy, model);
+    CALM_RETURN_IF_ERROR(holder->Initialize(input));
+    return holder.get();
+  };
+  ConsistencyOptions co;
+  co.random_runs = 2;
+  Result<Instance> out = RunConsistently(make, co);
+  ASSERT_TRUE(out.ok()) << t.name() << ": " << out.status();
+  EXPECT_EQ(out.value(), expected) << t.name();
+}
+
+// The pipeline: classify, choose the strategy Figure 2 licenses, execute.
+void PipelineRun(const std::string& program_text, const Instance& input) {
+  DatalogQuery query = DatalogQuery::FromTextOrDie(program_text, "pipeline");
+  Network nodes{V(900), V(901), V(902)};
+
+  const datalog::FragmentInfo& f = query.fragment();
+  if (f.positive) {
+    // Corollary 4.6: broadcast, compiled to pure Datalog, original model.
+    Result<DatalogTransducer> t =
+        CompileBroadcast(query.program(), "compiled-broadcast");
+    ASSERT_TRUE(t.ok()) << t.status();
+    HashPolicy policy(nodes);
+    RunAndCompare(t.value(), query, input, policy, nodes,
+                  ModelOptions::Original());
+  } else if (f.semi_positive) {
+    // Theorem 4.3: absence strategy, policy-aware model, any policy.
+    auto t = MakeAbsenceTransducer(&query);
+    HashPolicy policy(nodes, /*salt=*/3);
+    RunAndCompare(*t, query, input, policy, nodes,
+                  ModelOptions::PolicyAware());
+  } else if (f.semi_connected) {
+    // Theorem 4.4: domain-request strategy, domain-guided policies.
+    auto t = MakeDomainRequestTransducer(&query);
+    HashDomainGuidedPolicy policy(nodes, /*salt=*/5);
+    RunAndCompare(*t, query, input, policy, nodes,
+                  ModelOptions::PolicyAware());
+  } else {
+    FAIL() << "program outside the paper's coordination-free fragments";
+  }
+}
+
+TEST(PipelineTest, PositiveProgramViaCompiledBroadcast) {
+  PipelineRun(
+      "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). .output T",
+      workload::RandomGraph(7, 0.25, 1));
+}
+
+TEST(PipelineTest, NonLinearPositiveProgram) {
+  PipelineRun(
+      "S(x, y) :- E(w, x), E(w, y).\n"
+      "S(x, y) :- E(u, x), S(u, v), E(v, y). .output S",
+      workload::RandomGraph(6, 0.3, 2));
+}
+
+TEST(PipelineTest, SemiPositiveProgramViaAbsence) {
+  Instance input{Fact("Vx", {V(1)}), Fact("Vx", {V(2)}), Fact("Vx", {V(3)}),
+                 Fact("Sx", {V(2)})};
+  PipelineRun("O(x) :- Vx(x), !Sx(x). .output O", input);
+}
+
+TEST(PipelineTest, SemiConnectedProgramViaDomainRequest) {
+  PipelineRun(
+      "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).\n"
+      "O(x, y) :- Adom(x), Adom(y), !T(x, y). .output O",
+      workload::Path(4));
+}
+
+TEST(PipelineTest, Example51P1ViaDomainRequest) {
+  PipelineRun(
+      "T(x) :- E(x, y), E(y, z), E(z, x), y != x, y != z, x != z.\n"
+      "O(x) :- Adom(x), !T(x). .output O",
+      workload::Cycle(4));
+}
+
+// ---------------------------------------------------------------------------
+// Compiler unit coverage.
+// ---------------------------------------------------------------------------
+
+TEST(CompileBroadcastTest, RejectsNegationAndAdom) {
+  datalog::Program with_neg =
+      datalog::ParseOrDie("O(x) :- Vx(x), !Sx(x). .output O");
+  EXPECT_FALSE(CompileBroadcast(with_neg, "neg").ok());
+  datalog::Program with_adom =
+      datalog::ParseOrDie("O(x) :- Adom(x), E(x, x). .output O");
+  EXPECT_FALSE(CompileBroadcast(with_adom, "adom").ok());
+}
+
+TEST(CompileBroadcastTest, MatchesNativeBroadcastMessageForMessage) {
+  datalog::Program tc = datalog::ParseOrDie(
+      "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). .output T");
+  Result<DatalogTransducer> compiled = CompileBroadcast(tc, "compiled");
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  Network nodes{V(900), V(901)};
+  HashPolicy policy(nodes);
+  Instance input = workload::Path(5);  // 4 edges
+
+  TransducerNetwork network(nodes, &compiled.value(), &policy,
+                            ModelOptions::Original());
+  ASSERT_TRUE(network.Initialize(input).ok());
+  Result<RunResult> r = RunToQuiescence(network);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->quiesced);
+  // Like the native broadcast: each input fact shipped once per other node.
+  EXPECT_EQ(r->stats.messages_sent, 4u * (nodes.size() - 1));
+}
+
+TEST(CompileBroadcastTest, WorksWithInequalitiesAndMultipleEdbs) {
+  datalog::Program join = datalog::ParseOrDie(
+      "O(x, z) :- R(x, y), Sx(y, z), x != z. .output O");
+  Result<DatalogTransducer> compiled = CompileBroadcast(join, "join");
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  DatalogQuery query = DatalogQuery::FromTextOrDie(
+      "O(x, z) :- R(x, y), Sx(y, z), x != z. .output O", "join-central");
+
+  Instance input{Fact("R", {V(1), V(2)}), Fact("R", {V(3), V(4)}),
+                 Fact("Sx", {V(2), V(5)}), Fact("Sx", {V(4), V(3)})};
+  Network nodes{V(900), V(901)};
+  HashPolicy policy(nodes);
+  RunAndCompare(compiled.value(), query, input, policy, nodes,
+                ModelOptions::Original());
+}
+
+}  // namespace
+}  // namespace calm

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "monotonicity/ladder.h"
+#include "queries/graph_queries.h"
+
+namespace calm::monotonicity {
+namespace {
+
+ExhaustiveOptions SmallSpace() {
+  ExhaustiveOptions o;
+  o.domain_size = 3;
+  o.max_facts_i = 3;
+  o.fresh_values = 2;
+  return o;
+}
+
+TEST(LadderTest, MonotoneQueryIsAllYes) {
+  auto tc = queries::MakeTransitiveClosure();
+  Result<Ladder> ladder = ComputeLadder(*tc, 3, SmallSpace());
+  ASSERT_TRUE(ladder.ok());
+  for (const LadderRow& row : ladder->rows) {
+    EXPECT_TRUE(row.in_m && row.in_distinct && row.in_disjoint) << row.i;
+  }
+  EXPECT_EQ(ladder->FirstDistinctViolation(), 0u);
+  EXPECT_EQ(ladder->FirstDisjointViolation(), 0u);
+}
+
+TEST(LadderTest, Clique3RungMatchesTheorem313) {
+  // Q^3_clique = Q^{i+2} with i = 1: in M^1_distinct, out at M^2_distinct.
+  auto q = queries::MakeCliqueQuery(3);
+  ExhaustiveOptions o = SmallSpace();
+  o.fresh_values = 1;
+  Result<Ladder> ladder = ComputeLadder(*q, 3, o);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_EQ(ladder->FirstDistinctViolation(), 2u);
+  EXPECT_TRUE(ladder->rows[0].in_distinct);
+  EXPECT_FALSE(ladder->rows[1].in_distinct);
+  // The witness at the violating rung is recorded.
+  ASSERT_TRUE(ladder->rows[1].distinct_witness.has_value());
+  EXPECT_FALSE(ladder->rows[1].distinct_witness->ToString().empty());
+}
+
+TEST(LadderTest, Star2RungMatchesTheorem314) {
+  // Q^2_star = Q^{i+1} with i = 1: in M^1_disjoint, out at M^2_disjoint,
+  // and out of M^1_distinct already.
+  auto q = queries::MakeStarQuery(2);
+  ExhaustiveOptions o = SmallSpace();
+  o.fresh_values = 3;
+  Result<Ladder> ladder = ComputeLadder(*q, 2, o);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_EQ(ladder->FirstDisjointViolation(), 2u);
+  EXPECT_EQ(ladder->FirstDistinctViolation(), 1u);
+}
+
+TEST(LadderTest, RowsAreInternallyConsistent) {
+  // in M^i implies in M^i_distinct implies in M^i_disjoint, per row.
+  auto q = queries::MakeComplementTransitiveClosure();
+  ExhaustiveOptions o = SmallSpace();
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  Result<Ladder> ladder = ComputeLadder(*q, 3, o);
+  ASSERT_TRUE(ladder.ok());
+  for (const LadderRow& row : ladder->rows) {
+    if (row.in_m) {
+      EXPECT_TRUE(row.in_distinct);
+    }
+    if (row.in_distinct) {
+      EXPECT_TRUE(row.in_disjoint);
+    }
+  }
+}
+
+TEST(LadderTest, ToStringRendersTable) {
+  auto tc = queries::MakeTransitiveClosure();
+  ExhaustiveOptions o = SmallSpace();
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  Result<Ladder> ladder = ComputeLadder(*tc, 2, o);
+  ASSERT_TRUE(ladder.ok());
+  std::string table = ladder->ToString();
+  EXPECT_NE(table.find("M^i_distinct"), std::string::npos);
+  EXPECT_NE(table.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calm::monotonicity

@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include "base/enumerator.h"
+#include "monotonicity/checker.h"
+#include "monotonicity/components_property.h"
+#include "monotonicity/preservation.h"
+#include "queries/graph_queries.h"
+#include "queries/paper_programs.h"
+#include "workload/graph_gen.h"
+
+namespace calm::monotonicity {
+namespace {
+
+using queries::MakeCliqueQuery;
+using queries::MakeComplementTransitiveClosure;
+using queries::MakeDuplicateQuery;
+using queries::MakeStarQuery;
+using queries::MakeTransitiveClosure;
+using queries::MakeTrianglesUnlessTwoDisjoint;
+using queries::MakeTwoHopJoin;
+using queries::MakeWinMove;
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+// Convenience: run the exhaustive checker and return whether a violation of
+// `cls` exists within `opts`.
+bool Violates(const Query& q, MonotonicityClass cls, ExhaustiveOptions opts) {
+  Result<std::optional<Counterexample>> r = FindViolation(q, cls, opts);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && r->has_value();
+}
+
+ExhaustiveOptions Small() {
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  o.fresh_values = 2;
+  o.max_facts_j = 2;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// CheckPair basics
+// ---------------------------------------------------------------------------
+
+TEST(CheckPairTest, DetectsRetraction) {
+  auto q = MakeStarQuery(2);
+  Instance i{Fact("E", {V(0), V(1)})};
+  Instance j{Fact("E", {V(0), V(2)})};
+  Result<std::optional<Counterexample>> r = CheckPair(*q, i, j);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ(r->value().retracted.relation, InternName("O"));
+  EXPECT_FALSE(r->value().ToString().empty());
+}
+
+TEST(CheckPairTest, NoRetractionForMonotoneQuery) {
+  auto q = MakeTransitiveClosure();
+  Instance i{Fact("E", {V(0), V(1)})};
+  Instance j{Fact("E", {V(1), V(2)})};
+  Result<std::optional<Counterexample>> r = CheckPair(*q, i, j);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1(1): M ( Mdistinct ( Mdisjoint ( C
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyTest, TransitiveClosureIsMonotone) {
+  auto q = MakeTransitiveClosure();
+  ExhaustiveOptions o = Small();
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kMonotone, o));
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDisjoint, o));
+}
+
+TEST(HierarchyTest, ComplementTcSeparatesDistinctFromDisjoint) {
+  auto q = MakeComplementTransitiveClosure();
+  // Q_TC not in Mdistinct: a fresh midpoint creates a path (paper's
+  // argument: add E(a,c), E(c,b) with c new).
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  o.fresh_values = 1;
+  o.max_facts_j = 2;
+  EXPECT_TRUE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+  // Q_TC in Mdisjoint: disjoint subgraphs never create old-to-old paths.
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDisjoint, o));
+  RandomOptions ro;
+  ro.trials = 50;
+  Result<std::optional<Counterexample>> r =
+      FindViolationRandom(*q, MonotonicityClass::kDomainDisjoint, ro);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
+TEST(HierarchyTest, TrianglesQueryOutsideMdisjoint) {
+  auto q = MakeTrianglesUnlessTwoDisjoint();
+  // Hand-built witness (the exhaustive search space with 3+3 values is
+  // large): I = one triangle, J = a domain-disjoint triangle.
+  Instance i = workload::Cycle(3);
+  Instance j = workload::Cycle(3, /*base=*/100);
+  Result<std::optional<Counterexample>> r = CheckPair(*q, i, j);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+  EXPECT_TRUE(IsDomainDisjointFrom(j, i));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1(3,5): the clique ladder
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyTest, Clique3InM1DistinctButNotM2Distinct) {
+  auto q = MakeCliqueQuery(3);  // i = 1: Q^{i+2}
+  ExhaustiveOptions o;
+  o.domain_size = 3;
+  o.max_facts_i = 3;
+  o.fresh_values = 1;
+  o.max_facts_j = 1;  // M^1_distinct
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+  o.max_facts_j = 2;  // M^2_distinct
+  EXPECT_TRUE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+}
+
+TEST(HierarchyTest, Clique4InM2DistinctButNotM3Distinct) {
+  auto q = MakeCliqueQuery(4);  // i = 2
+  // Not in M^3_distinct: extend a triangle by one fresh center with 3 edges.
+  Instance i = workload::Clique(3);
+  Instance j{Fact("E", {V(100), V(0)}), Fact("E", {V(100), V(1)}),
+             Fact("E", {V(100), V(2)})};
+  ASSERT_TRUE(IsDomainDistinctFrom(j, i));
+  Result<std::optional<Counterexample>> r = CheckPair(*q, i, j);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+  // In M^2_distinct (bounded exhaustive evidence).
+  ExhaustiveOptions o;
+  o.domain_size = 3;
+  o.max_facts_i = 4;
+  o.fresh_values = 2;
+  o.max_facts_j = 2;
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+}
+
+// Theorem 3.1(5): Q^{i+1}_clique in M^i_disjoint: disjoint edges cannot
+// touch old cliques at all, and i edges cannot build an (i+2)-clique.
+TEST(HierarchyTest, Clique3InM2Disjoint) {
+  auto q = MakeCliqueQuery(3);
+  ExhaustiveOptions o;
+  o.domain_size = 3;
+  o.max_facts_i = 3;
+  o.fresh_values = 3;
+  o.max_facts_j = 2;
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDisjoint, o));
+  // ... but 3 disjoint edges build a fresh triangle: not in M^3_disjoint.
+  Instance i{Fact("E", {V(0), V(1)})};
+  Instance j = workload::Cycle(3, /*base=*/100);
+  Result<std::optional<Counterexample>> r = CheckPair(*q, i, j);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1(4,6): the star ladder
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyTest, Star2InM1DisjointButNotM2Disjoint) {
+  auto q = MakeStarQuery(2);  // i = 1: Q^{i+1}
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  o.fresh_values = 3;
+  o.max_facts_j = 1;  // M^1_disjoint
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDisjoint, o));
+  o.max_facts_j = 2;  // M^2_disjoint: two fresh edges sharing a center
+  EXPECT_TRUE(Violates(*q, MonotonicityClass::kDomainDisjoint, o));
+}
+
+// Theorem 3.1(6): Q^{j+1}_star not in M^i_distinct even for i = 1: one
+// domain-distinct edge extends an old star.
+TEST(HierarchyTest, Star2NotInM1Distinct) {
+  auto q = MakeStarQuery(2);
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 1;
+  o.fresh_values = 1;
+  o.max_facts_j = 1;
+  EXPECT_TRUE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1(7): Q^j_duplicate
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyTest, Duplicate2InM1DistinctNotInM2Disjoint) {
+  auto q = MakeDuplicateQuery(2);
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  o.fresh_values = 2;
+  o.max_facts_j = 1;  // M^1_distinct: one fact cannot replicate across both
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+  // Not in M^2_disjoint: J = {R1(c,d), R2(c,d)}.
+  Instance i{Fact("R1", {V(0), V(1)})};
+  Instance j{Fact("R1", {V(100), V(101)}), Fact("R2", {V(100), V(101)})};
+  ASSERT_TRUE(IsDomainDisjointFrom(j, i));
+  Result<std::optional<Counterexample>> r = CheckPair(*q, i, j);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Win-move: non-monotone but domain-disjoint-monotone
+// ---------------------------------------------------------------------------
+
+TEST(WinMoveTest, NotInMdistinct) {
+  auto q = MakeWinMove();
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 1;
+  o.fresh_values = 1;
+  o.max_facts_j = 1;
+  // Move(0,1) makes 0 won; adding Move(1, c) makes 1 won and retracts 0.
+  EXPECT_TRUE(Violates(*q, MonotonicityClass::kDomainDistinct, o));
+}
+
+TEST(WinMoveTest, InMdisjointBounded) {
+  auto q = MakeWinMove();
+  ExhaustiveOptions o;
+  o.domain_size = 3;
+  o.max_facts_i = 3;
+  o.fresh_values = 2;
+  o.max_facts_j = 3;
+  EXPECT_FALSE(Violates(*q, MonotonicityClass::kDomainDisjoint, o));
+  RandomOptions ro;
+  ro.trials = 100;
+  Result<std::optional<Counterexample>> r =
+      FindViolationRandom(*q, MonotonicityClass::kDomainDisjoint, ro);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1(2): M = M^i — a query monotone for singleton additions is
+// monotone outright (checked on specimens: bounded j=1 no violation implies
+// none at j=3 either for actually-monotone queries; and a non-monotone query
+// already fails at j=1).
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyTest, BoundedMonotonicityCollapses) {
+  auto tc = MakeTransitiveClosure();
+  auto star = MakeStarQuery(2);
+  ExhaustiveOptions o1 = Small();
+  o1.max_facts_j = 1;
+  ExhaustiveOptions o3 = Small();
+  o3.max_facts_j = 3;
+  EXPECT_FALSE(Violates(*tc, MonotonicityClass::kMonotone, o1));
+  EXPECT_FALSE(Violates(*tc, MonotonicityClass::kMonotone, o3));
+  EXPECT_TRUE(Violates(*star, MonotonicityClass::kMonotone, o1));
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3.2: H ( Hinj = M ( E = Mdistinct, on specimen queries
+// ---------------------------------------------------------------------------
+
+bool ViolatesPreservation(const Query& q, PreservationClass cls,
+                          PreservationOptions opts) {
+  Result<std::optional<PreservationViolation>> r =
+      FindPreservationViolation(q, cls, opts);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && r->has_value();
+}
+
+TEST(PreservationTest, TcPreservedUnderEverything) {
+  auto q = MakeTransitiveClosure();
+  PreservationOptions o;
+  o.domain_size = 2;
+  o.max_facts = 2;
+  EXPECT_FALSE(ViolatesPreservation(*q, PreservationClass::kHomomorphisms, o));
+  EXPECT_FALSE(
+      ViolatesPreservation(*q, PreservationClass::kInjectiveHomomorphisms, o));
+  EXPECT_FALSE(ViolatesPreservation(*q, PreservationClass::kExtensions, o));
+}
+
+TEST(PreservationTest, InequalityQuerySeparatesHFromHinj) {
+  // O(x, y) := E(x, y) with x != y: in Hinj (and M) but not in H — a
+  // non-injective homomorphism can collapse the endpoints.
+  NativeQuery q("non-loop-edges", Schema({{"E", 2}}), Schema({{"O", 2}}),
+                [](const Instance& in) -> Result<Instance> {
+                  Instance out;
+                  for (const Tuple& t : in.TuplesOf(InternName("E"))) {
+                    if (t[0] != t[1]) out.Insert(Fact("O", t));
+                  }
+                  return out;
+                });
+  PreservationOptions o;
+  o.domain_size = 2;
+  o.max_facts = 2;
+  EXPECT_TRUE(ViolatesPreservation(q, PreservationClass::kHomomorphisms, o));
+  EXPECT_FALSE(
+      ViolatesPreservation(q, PreservationClass::kInjectiveHomomorphisms, o));
+}
+
+TEST(PreservationTest, HinjMatchesMonotoneOnSpecimens) {
+  // Hinj = M: violations coincide on specimens from both sides.
+  auto tc = MakeTransitiveClosure();     // in both
+  auto qtc = MakeComplementTransitiveClosure();  // in neither
+  PreservationOptions po;
+  po.domain_size = 2;
+  po.max_facts = 2;
+  ExhaustiveOptions mo = Small();
+  EXPECT_FALSE(
+      ViolatesPreservation(*tc, PreservationClass::kInjectiveHomomorphisms, po));
+  EXPECT_FALSE(Violates(*tc, MonotonicityClass::kMonotone, mo));
+  EXPECT_TRUE(ViolatesPreservation(
+      *qtc, PreservationClass::kInjectiveHomomorphisms, po));
+  EXPECT_TRUE(Violates(*qtc, MonotonicityClass::kMonotone, mo));
+}
+
+TEST(PreservationTest, ExtensionsMatchesMdistinctOnSpecimens) {
+  // E = Mdistinct: Q_TC violates both; two-hop violates neither.
+  auto qtc = MakeComplementTransitiveClosure();
+  auto hop = MakeTwoHopJoin();
+  PreservationOptions po;
+  po.domain_size = 3;
+  po.max_facts = 3;
+  ExhaustiveOptions mo = Small();
+  EXPECT_TRUE(ViolatesPreservation(*qtc, PreservationClass::kExtensions, po));
+  EXPECT_TRUE(Violates(*qtc, MonotonicityClass::kDomainDistinct, mo));
+  EXPECT_FALSE(ViolatesPreservation(*hop, PreservationClass::kExtensions, po));
+  EXPECT_FALSE(Violates(*hop, MonotonicityClass::kDomainDistinct, mo));
+}
+
+// ---------------------------------------------------------------------------
+// Section 5: Datalog fragments vs. monotonicity classes
+// ---------------------------------------------------------------------------
+
+TEST(FragmentMembershipTest, SemiconProgramInMdisjoint) {
+  // Theorem 5.3: Q_TC's semicon program never violates Mdisjoint.
+  datalog::DatalogQuery q = queries::ComplementTcProgram();
+  EXPECT_TRUE(q.fragment().semi_connected);
+  ExhaustiveOptions o = Small();
+  EXPECT_FALSE(Violates(q, MonotonicityClass::kDomainDisjoint, o));
+}
+
+TEST(FragmentMembershipTest, P1InMdisjointNotMdistinct) {
+  datalog::DatalogQuery p1 = queries::Example51P1();
+  EXPECT_TRUE(p1.fragment().connected_stratified);
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 1;
+  o.fresh_values = 1;
+  o.max_facts_j = 2;
+  // Paper: P1({E(a,b)}) != empty but adding E(b,c), E(c,a) kills it.
+  EXPECT_TRUE(Violates(p1, MonotonicityClass::kDomainDistinct, o));
+  ExhaustiveOptions od = Small();
+  od.fresh_values = 3;
+  od.max_facts_j = 3;
+  EXPECT_FALSE(Violates(p1, MonotonicityClass::kDomainDisjoint, od));
+}
+
+TEST(FragmentMembershipTest, P2NotInMdisjoint) {
+  datalog::DatalogQuery p2 = queries::Example51P2();
+  EXPECT_FALSE(p2.fragment().semi_connected);
+  // Witness: one triangle, plus a disjoint triangle.
+  Instance i = workload::Cycle(3);
+  Instance j = workload::Cycle(3, /*base=*/100);
+  Result<std::optional<Counterexample>> r = CheckPair(p2, i, j);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 5.2: distribution over components
+// ---------------------------------------------------------------------------
+
+TEST(ComponentsPropertyTest, ConnectedProgramDistributes) {
+  datalog::DatalogQuery p1 = queries::Example51P1();
+  ComponentsCheckOptions o;
+  o.trials = 25;
+  Result<std::optional<ComponentsViolation>> r =
+      FindComponentsViolationRandom(p1, o);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->has_value()) << r->value().ToString();
+}
+
+TEST(ComponentsPropertyTest, TcDistributes) {
+  auto tc = MakeTransitiveClosure();
+  ComponentsCheckOptions o;
+  o.trials = 25;
+  Result<std::optional<ComponentsViolation>> r =
+      FindComponentsViolationRandom(*tc, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
+TEST(ComponentsPropertyTest, ComplementTcDoesNotDistribute) {
+  // Q_TC outputs cross-component pairs, so condition (2) fails.
+  auto qtc = MakeComplementTransitiveClosure();
+  Instance i{Fact("E", {V(0), V(1)}), Fact("E", {V(10), V(11)})};
+  Result<std::optional<ComponentsViolation>> r =
+      CheckDistributesOverComponents(*qtc, i);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+}
+
+TEST(ComponentsPropertyTest, P2DoesNotDistribute) {
+  datalog::DatalogQuery p2 = queries::Example51P2();
+  // Two disjoint triangles: whole-input output empty, per-component not.
+  Instance i = Instance::Union(workload::Cycle(3), workload::Cycle(3, 100));
+  Result<std::optional<ComponentsViolation>> r =
+      CheckDistributesOverComponents(p2, i);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->has_value());
+}
+
+}  // namespace
+}  // namespace calm::monotonicity

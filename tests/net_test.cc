@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/message_buffer.h"
+#include "net/scheduler.h"
+
+namespace calm::net {
+namespace {
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+Fact F(uint64_t a) { return Fact("M", {V(a)}); }
+
+TEST(MessageBufferTest, AddAndTakeCollapses) {
+  MessageBuffer buf;
+  buf.Add(F(1), 0);
+  buf.Add(F(1), 1);  // duplicate in flight
+  buf.Add(F(2), 2);
+  EXPECT_EQ(buf.size(), 3u);
+  Instance delivered = buf.TakeCollapsed({0, 1});
+  EXPECT_EQ(delivered.size(), 1u);  // multiset collapsed to a set
+  EXPECT_TRUE(delivered.Contains(F(1)));
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.entries()[0].fact, F(2));
+}
+
+TEST(MessageBufferTest, TakeSubsetPreservesOthers) {
+  MessageBuffer buf;
+  for (uint64_t i = 0; i < 5; ++i) buf.Add(F(i), i);
+  Instance delivered = buf.TakeCollapsed({1, 3});
+  EXPECT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(buf.size(), 3u);
+  // Remaining entries are 0, 2, 4.
+  std::set<uint64_t> left;
+  for (const auto& e : buf.entries()) left.insert(e.fact.args[0].payload());
+  EXPECT_EQ(left, (std::set<uint64_t>{0, 2, 4}));
+}
+
+TEST(MessageBufferTest, AllIndicesAndAging) {
+  MessageBuffer buf;
+  buf.Add(F(1), 5);
+  buf.Add(F(2), 10);
+  EXPECT_EQ(buf.AllIndices().size(), 2u);
+  EXPECT_EQ(buf.IndicesOlderThan(5).size(), 1u);
+  EXPECT_EQ(buf.IndicesOlderThan(10).size(), 2u);
+  EXPECT_EQ(buf.IndicesOlderThan(4).size(), 0u);
+}
+
+TEST(RoundRobinSchedulerTest, CyclesAndDeliversAll) {
+  std::vector<MessageBuffer> buffers(3);
+  buffers[1].Add(F(7), 0);
+  RoundRobinScheduler sched(3);
+  std::vector<size_t> order;
+  for (uint64_t t = 0; t < 6; ++t) {
+    Scheduler::Choice c = sched.Next(buffers, t);
+    order.push_back(c.node_index);
+    if (c.node_index == 1) {
+      EXPECT_EQ(c.deliveries.size(), 1u);
+    }
+  }
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(RandomSchedulerTest, EveryNodeActivatedWithinBound) {
+  // Fairness condition (i): no node is starved.
+  std::vector<MessageBuffer> buffers(4);
+  RandomScheduler sched(4, /*seed=*/42);
+  std::vector<uint64_t> last(4, 0);
+  for (uint64_t t = 1; t <= 500; ++t) {
+    Scheduler::Choice c = sched.Next(buffers, t);
+    last[c.node_index] = t;
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_LE(t - last[i], 4 * 4 + 5) << "node " << i << " starved";
+    }
+  }
+}
+
+TEST(RandomSchedulerTest, OldMessagesForceDelivered) {
+  // Fairness condition (ii): no message is postponed past max_delay.
+  std::vector<MessageBuffer> buffers(1);
+  RandomScheduler sched(1, /*seed=*/7, /*deliver_prob=*/0.0, /*max_delay=*/8);
+  buffers[0].Add(F(1), 0);
+  bool delivered = false;
+  for (uint64_t t = 1; t <= 10 && !delivered; ++t) {
+    Scheduler::Choice c = sched.Next(buffers, t);
+    if (!c.deliveries.empty()) {
+      delivered = true;
+      EXPECT_LE(t, 9u);
+    }
+  }
+  EXPECT_TRUE(delivered);
+}
+
+TEST(RandomSchedulerTest, DeterministicGivenSeed) {
+  std::vector<MessageBuffer> buffers(3);
+  for (uint64_t i = 0; i < 4; ++i) buffers[i % 3].Add(F(i), 0);
+  RandomScheduler a(3, 99);
+  RandomScheduler b(3, 99);
+  for (uint64_t t = 0; t < 50; ++t) {
+    Scheduler::Choice ca = a.Next(buffers, t);
+    Scheduler::Choice cb = b.Next(buffers, t);
+    EXPECT_EQ(ca.node_index, cb.node_index);
+    EXPECT_EQ(ca.deliveries, cb.deliveries);
+  }
+}
+
+}  // namespace
+}  // namespace calm::net

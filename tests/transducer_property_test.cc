@@ -1,0 +1,195 @@
+// Parameterized correctness matrix for the strategy transducers: every
+// (strategy, query, network size, schedule seed) combination must compute
+// the query; plus robustness under message duplication (buffers are
+// multisets — the same message may be in flight several times).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queries/graph_queries.h"
+#include "transducer/network.h"
+#include "transducer/policy.h"
+#include "transducer/runner.h"
+#include "transducer/strategies.h"
+#include "workload/graph_gen.h"
+
+namespace calm::transducer {
+namespace {
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+std::unique_ptr<Query> MakeVMinusS() {
+  return std::make_unique<NativeQuery>(
+      "v-minus-s", Schema({{"V", 1}, {"S", 1}}), Schema({{"O", 1}}),
+      [](const Instance& in) -> Result<Instance> {
+        Instance out;
+        for (const Tuple& t : in.TuplesOf(InternName("V"))) {
+          if (in.TuplesOf(InternName("S")).count(t) == 0) {
+            out.Insert(Fact("O", t));
+          }
+        }
+        return out;
+      });
+}
+
+enum class Strategy { kBroadcast, kAbsence, kDomainRequest };
+
+struct Combo {
+  Strategy strategy;
+  size_t nodes;
+  uint64_t seed;
+};
+
+class StrategyMatrix : public ::testing::TestWithParam<Combo> {
+ protected:
+  // Query + input appropriate for the strategy's class.
+  static std::unique_ptr<Query> MakeQuery(Strategy s) {
+    switch (s) {
+      case Strategy::kBroadcast:
+        return queries::MakeTransitiveClosure();
+      case Strategy::kAbsence:
+        return MakeVMinusS();
+      case Strategy::kDomainRequest:
+        return queries::MakeWinMove();
+    }
+    return nullptr;
+  }
+
+  static Instance MakeInput(Strategy s, uint64_t seed) {
+    switch (s) {
+      case Strategy::kBroadcast:
+        return workload::RandomGraph(6, 0.3, seed);
+      case Strategy::kAbsence: {
+        Instance in;
+        for (uint64_t k = 0; k < 4; ++k) in.Insert(Fact("V", {V(k)}));
+        in.Insert(Fact("S", {V(seed % 4)}));
+        return in;
+      }
+      case Strategy::kDomainRequest: {
+        Instance graph = workload::RandomGraph(5, 0.35, seed);
+        Instance in;
+        for (const Tuple& t : graph.TuplesOf(InternName("E"))) {
+          in.Insert(Fact("Move", t));
+        }
+        return in;
+      }
+    }
+    return {};
+  }
+
+  static std::unique_ptr<Transducer> MakeStrategy(Strategy s, const Query* q) {
+    switch (s) {
+      case Strategy::kBroadcast:
+        return MakeBroadcastTransducer(q);
+      case Strategy::kAbsence:
+        return MakeAbsenceTransducer(q);
+      case Strategy::kDomainRequest:
+        return MakeDomainRequestTransducer(q);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(StrategyMatrix, ComputesUnderRandomFairSchedule) {
+  const Combo& combo = GetParam();
+  std::unique_ptr<Query> q = MakeQuery(combo.strategy);
+  std::unique_ptr<Transducer> t = MakeStrategy(combo.strategy, q.get());
+  Instance input = MakeInput(combo.strategy, combo.seed);
+  Instance expected = q->Eval(input).value();
+
+  Network nodes;
+  for (size_t k = 0; k < combo.nodes; ++k) nodes.push_back(V(900 + k));
+  std::unique_ptr<DistributionPolicy> policy;
+  if (combo.strategy == Strategy::kDomainRequest) {
+    policy = std::make_unique<HashDomainGuidedPolicy>(nodes, combo.seed);
+  } else {
+    policy = std::make_unique<HashPolicy>(nodes, combo.seed);
+  }
+  ModelOptions model = combo.strategy == Strategy::kBroadcast
+                           ? ModelOptions::Original()
+                           : ModelOptions::PolicyAware();
+
+  TransducerNetwork network(nodes, t.get(), policy.get(), model);
+  ASSERT_TRUE(network.Initialize(input).ok());
+  RunOptions ro;
+  ro.scheduler = RunOptions::SchedulerKind::kRandom;
+  ro.seed = combo.seed * 31 + combo.nodes;
+  ro.deliver_prob = 0.4;
+  Result<RunResult> r = RunToQuiescence(network, ro);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->quiesced);
+  EXPECT_EQ(r->output, expected);
+}
+
+std::vector<Combo> AllCombos() {
+  std::vector<Combo> out;
+  for (Strategy s : {Strategy::kBroadcast, Strategy::kAbsence,
+                     Strategy::kDomainRequest}) {
+    for (size_t n : {1u, 2u, 3u, 4u}) {
+      for (uint64_t seed : {1u, 2u, 3u}) out.push_back({s, n, seed});
+    }
+  }
+  return out;
+}
+
+std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
+  static const char* const kNames[] = {"broadcast", "absence", "request"};
+  return std::string(kNames[static_cast<int>(info.param.strategy)]) + "_n" +
+         std::to_string(info.param.nodes) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, StrategyMatrix,
+                         ::testing::ValuesIn(AllCombos()), ComboName);
+
+// ---------------------------------------------------------------------------
+// Failure injection: duplicated messages.
+// ---------------------------------------------------------------------------
+
+class DuplicationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DuplicationTest, StrategiesSurviveDuplicatedMessages) {
+  uint64_t seed = GetParam();
+  auto q = queries::MakeWinMove();
+  auto t = MakeDomainRequestTransducer(q.get());
+  Instance graph = workload::RandomGraph(5, 0.35, seed);
+  Instance input;
+  for (const Tuple& tu : graph.TuplesOf(InternName("E"))) {
+    input.Insert(Fact("Move", tu));
+  }
+  Instance expected = q->Eval(input).value();
+
+  Network nodes{V(900), V(901)};
+  HashDomainGuidedPolicy policy(nodes, seed);
+  TransducerNetwork network(nodes, t.get(), &policy,
+                            ModelOptions::PolicyAware());
+  ASSERT_TRUE(network.Initialize(input).ok());
+
+  // Interleave: run a few steps, then duplicate every buffered message
+  // (legal — buffers are multisets and the same fact can be in flight more
+  // than once), then run to quiescence.
+  {
+    for (int k = 0; k < 4; ++k) {
+      Value n = nodes[k % nodes.size()];
+      std::vector<size_t> all;
+      for (size_t i = 0; i < network.buffer(n).size(); ++i) all.push_back(i);
+      ASSERT_TRUE(network.StepNode(n, all).ok());
+    }
+    for (Value n : nodes) {
+      net::MessageBuffer& buf = network.mutable_buffer(n);
+      std::vector<net::MessageBuffer::Entry> copy = buf.entries();
+      for (const auto& e : copy) buf.Add(e.fact, e.enqueued_at);
+    }
+  }
+  Result<RunResult> r = RunToQuiescence(network);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->quiesced);
+  EXPECT_EQ(r->output, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DuplicationTest,
+                         ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace calm::transducer

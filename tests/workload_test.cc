@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "base/components.h"
+#include "workload/graph_gen.h"
+#include "workload/instance_gen.h"
+
+namespace calm::workload {
+namespace {
+
+TEST(GraphGenTest, PathCycleCliqueStar) {
+  EXPECT_EQ(Path(4).size(), 3u);
+  EXPECT_EQ(Cycle(4).size(), 4u);
+  EXPECT_EQ(Clique(4).size(), 12u);  // n*(n-1) directed edges
+  EXPECT_EQ(Star(3).size(), 3u);
+  EXPECT_TRUE(Path(1).empty());
+  EXPECT_TRUE(Path(0).empty());
+  EXPECT_TRUE(Cycle(1).empty());
+}
+
+TEST(GraphGenTest, BaseOffsetsShiftVertices) {
+  Instance a = Path(3, 0);
+  Instance b = Path(3, 100);
+  EXPECT_TRUE(IsDomainDisjointFrom(b, a));
+}
+
+TEST(GraphGenTest, RandomGraphDeterministicAndBounded) {
+  Instance a = RandomGraph(10, 0.3, 5);
+  Instance b = RandomGraph(10, 0.3, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, RandomGraph(10, 0.3, 6));
+  // No self loops.
+  for (const Tuple& t : a.TuplesOf(InternName("E"))) EXPECT_NE(t[0], t[1]);
+}
+
+TEST(GraphGenTest, RandomGraphMExactCount) {
+  Instance g = RandomGraphM(10, 17, 3);
+  EXPECT_EQ(g.size(), 17u);
+  // Requesting more edges than possible caps at n*(n-1).
+  EXPECT_EQ(RandomGraphM(3, 100, 1).size(), 6u);
+}
+
+TEST(GraphGenTest, DisjointUnionHasComponents) {
+  Instance u = DisjointUnion(3, 4, &Cycle);
+  EXPECT_EQ(Components(u).size(), 3u);
+}
+
+TEST(GraphGenTest, BipartiteGridDag) {
+  EXPECT_EQ(Bipartite(2, 3).size(), 6u);
+  EXPECT_EQ(Grid(3, 2).size(), 7u);  // 2*2 right + 3*1 down
+  Instance dag = LayeredDag(3, 4, 2, 9);
+  EXPECT_LE(dag.size(), 2u * 4u * 2u);
+  EXPECT_FALSE(dag.empty());
+}
+
+TEST(InstanceGenTest, RandomInstanceRespectsSchema) {
+  Schema schema({{"R", 2}, {"S", 1}});
+  Instance in = RandomInstance(schema, 12, 5, 3);
+  EXPECT_EQ(in.size(), 12u);
+  EXPECT_TRUE(in.IsOver(schema));
+}
+
+TEST(InstanceGenTest, DistinctExtensionIsDistinct) {
+  Schema schema({{"R", 2}});
+  Instance i = RandomInstance(schema, 6, 4, 1);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Instance j = RandomDomainDistinctExtension(schema, i, 4, 3, seed);
+    EXPECT_TRUE(IsDomainDistinctFrom(j, i)) << seed;
+  }
+}
+
+TEST(InstanceGenTest, DisjointExtensionIsDisjoint) {
+  Schema schema({{"R", 2}});
+  Instance i = RandomInstance(schema, 6, 4, 1);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Instance j = RandomDomainDisjointExtension(schema, i, 4, 3, seed);
+    EXPECT_TRUE(IsDomainDisjointFrom(j, i)) << seed;
+  }
+}
+
+TEST(InstanceGenTest, RandomPermutationIsBijective) {
+  Schema schema({{"R", 2}});
+  Instance i = RandomInstance(schema, 8, 6, 2);
+  std::map<Value, Value> pi = RandomPermutation(i, 7);
+  std::set<Value> domain = i.ActiveDomain();
+  EXPECT_EQ(pi.size(), domain.size());
+  std::set<Value> image;
+  for (auto [from, to] : pi) {
+    EXPECT_TRUE(domain.count(from) > 0);
+    image.insert(to);
+  }
+  EXPECT_EQ(image, domain);
+}
+
+}  // namespace
+}  // namespace calm::workload
