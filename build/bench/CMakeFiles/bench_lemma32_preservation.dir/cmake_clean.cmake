@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma32_preservation.dir/bench_lemma32_preservation.cc.o"
+  "CMakeFiles/bench_lemma32_preservation.dir/bench_lemma32_preservation.cc.o.d"
+  "bench_lemma32_preservation"
+  "bench_lemma32_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma32_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

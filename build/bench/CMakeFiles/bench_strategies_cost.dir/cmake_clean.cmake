@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strategies_cost.dir/bench_strategies_cost.cc.o"
+  "CMakeFiles/bench_strategies_cost.dir/bench_strategies_cost.cc.o.d"
+  "bench_strategies_cost"
+  "bench_strategies_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strategies_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

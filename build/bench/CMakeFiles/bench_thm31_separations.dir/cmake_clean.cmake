@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm31_separations.dir/bench_thm31_separations.cc.o"
+  "CMakeFiles/bench_thm31_separations.dir/bench_thm31_separations.cc.o.d"
+  "bench_thm31_separations"
+  "bench_thm31_separations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm31_separations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm45_noall.dir/bench_thm45_noall.cc.o"
+  "CMakeFiles/bench_thm45_noall.dir/bench_thm45_noall.cc.o.d"
+  "bench_thm45_noall"
+  "bench_thm45_noall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm45_noall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm53_semicon.dir/bench_thm53_semicon.cc.o"
+  "CMakeFiles/bench_thm53_semicon.dir/bench_thm53_semicon.cc.o.d"
+  "bench_thm53_semicon"
+  "bench_thm53_semicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm53_semicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

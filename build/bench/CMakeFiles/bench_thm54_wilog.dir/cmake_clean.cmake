@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm54_wilog.dir/bench_thm54_wilog.cc.o"
+  "CMakeFiles/bench_thm54_wilog.dir/bench_thm54_wilog.cc.o.d"
+  "bench_thm54_wilog"
+  "bench_thm54_wilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm54_wilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_winmove.dir/bench_winmove.cc.o"
+  "CMakeFiles/bench_winmove.dir/bench_winmove.cc.o.d"
+  "bench_winmove"
+  "bench_winmove.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_winmove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winmove.dir/winmove.cpp.o"
+  "CMakeFiles/winmove.dir/winmove.cpp.o.d"
+  "winmove"
+  "winmove.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winmove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

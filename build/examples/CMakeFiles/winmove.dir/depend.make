@@ -1,0 +1,2 @@
+# Empty dependencies file for winmove.
+# This may be replaced when dependencies are built.

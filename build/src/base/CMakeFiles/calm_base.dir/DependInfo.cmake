@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/components.cc" "src/base/CMakeFiles/calm_base.dir/components.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/components.cc.o.d"
+  "/root/repo/src/base/enumerator.cc" "src/base/CMakeFiles/calm_base.dir/enumerator.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/enumerator.cc.o.d"
+  "/root/repo/src/base/fact.cc" "src/base/CMakeFiles/calm_base.dir/fact.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/fact.cc.o.d"
+  "/root/repo/src/base/homomorphism.cc" "src/base/CMakeFiles/calm_base.dir/homomorphism.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/homomorphism.cc.o.d"
+  "/root/repo/src/base/instance.cc" "src/base/CMakeFiles/calm_base.dir/instance.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/instance.cc.o.d"
+  "/root/repo/src/base/query.cc" "src/base/CMakeFiles/calm_base.dir/query.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/query.cc.o.d"
+  "/root/repo/src/base/schema.cc" "src/base/CMakeFiles/calm_base.dir/schema.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/schema.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/base/CMakeFiles/calm_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/status.cc.o.d"
+  "/root/repo/src/base/value.cc" "src/base/CMakeFiles/calm_base.dir/value.cc.o" "gcc" "src/base/CMakeFiles/calm_base.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calm_base.dir/components.cc.o"
+  "CMakeFiles/calm_base.dir/components.cc.o.d"
+  "CMakeFiles/calm_base.dir/enumerator.cc.o"
+  "CMakeFiles/calm_base.dir/enumerator.cc.o.d"
+  "CMakeFiles/calm_base.dir/fact.cc.o"
+  "CMakeFiles/calm_base.dir/fact.cc.o.d"
+  "CMakeFiles/calm_base.dir/homomorphism.cc.o"
+  "CMakeFiles/calm_base.dir/homomorphism.cc.o.d"
+  "CMakeFiles/calm_base.dir/instance.cc.o"
+  "CMakeFiles/calm_base.dir/instance.cc.o.d"
+  "CMakeFiles/calm_base.dir/query.cc.o"
+  "CMakeFiles/calm_base.dir/query.cc.o.d"
+  "CMakeFiles/calm_base.dir/schema.cc.o"
+  "CMakeFiles/calm_base.dir/schema.cc.o.d"
+  "CMakeFiles/calm_base.dir/status.cc.o"
+  "CMakeFiles/calm_base.dir/status.cc.o.d"
+  "CMakeFiles/calm_base.dir/value.cc.o"
+  "CMakeFiles/calm_base.dir/value.cc.o.d"
+  "libcalm_base.a"
+  "libcalm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/analysis.cc" "src/datalog/CMakeFiles/calm_datalog.dir/analysis.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/analysis.cc.o.d"
+  "/root/repo/src/datalog/ast.cc" "src/datalog/CMakeFiles/calm_datalog.dir/ast.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/ast.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/calm_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/fragment.cc" "src/datalog/CMakeFiles/calm_datalog.dir/fragment.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/fragment.cc.o.d"
+  "/root/repo/src/datalog/ilog.cc" "src/datalog/CMakeFiles/calm_datalog.dir/ilog.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/ilog.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/calm_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/datalog/CMakeFiles/calm_datalog.dir/program.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/program.cc.o.d"
+  "/root/repo/src/datalog/stratifier.cc" "src/datalog/CMakeFiles/calm_datalog.dir/stratifier.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/stratifier.cc.o.d"
+  "/root/repo/src/datalog/wellfounded.cc" "src/datalog/CMakeFiles/calm_datalog.dir/wellfounded.cc.o" "gcc" "src/datalog/CMakeFiles/calm_datalog.dir/wellfounded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/calm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calm_datalog.dir/analysis.cc.o"
+  "CMakeFiles/calm_datalog.dir/analysis.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/ast.cc.o"
+  "CMakeFiles/calm_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/calm_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/fragment.cc.o"
+  "CMakeFiles/calm_datalog.dir/fragment.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/ilog.cc.o"
+  "CMakeFiles/calm_datalog.dir/ilog.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/parser.cc.o"
+  "CMakeFiles/calm_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/program.cc.o"
+  "CMakeFiles/calm_datalog.dir/program.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/stratifier.cc.o"
+  "CMakeFiles/calm_datalog.dir/stratifier.cc.o.d"
+  "CMakeFiles/calm_datalog.dir/wellfounded.cc.o"
+  "CMakeFiles/calm_datalog.dir/wellfounded.cc.o.d"
+  "libcalm_datalog.a"
+  "libcalm_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calm_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

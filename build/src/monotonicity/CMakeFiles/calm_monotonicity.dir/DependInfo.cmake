@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monotonicity/checker.cc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/checker.cc.o" "gcc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/checker.cc.o.d"
+  "/root/repo/src/monotonicity/components_property.cc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/components_property.cc.o" "gcc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/components_property.cc.o.d"
+  "/root/repo/src/monotonicity/ladder.cc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/ladder.cc.o" "gcc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/ladder.cc.o.d"
+  "/root/repo/src/monotonicity/preservation.cc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/preservation.cc.o" "gcc" "src/monotonicity/CMakeFiles/calm_monotonicity.dir/preservation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/calm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/calm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

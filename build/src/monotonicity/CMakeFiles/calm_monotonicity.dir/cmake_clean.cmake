@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calm_monotonicity.dir/checker.cc.o"
+  "CMakeFiles/calm_monotonicity.dir/checker.cc.o.d"
+  "CMakeFiles/calm_monotonicity.dir/components_property.cc.o"
+  "CMakeFiles/calm_monotonicity.dir/components_property.cc.o.d"
+  "CMakeFiles/calm_monotonicity.dir/ladder.cc.o"
+  "CMakeFiles/calm_monotonicity.dir/ladder.cc.o.d"
+  "CMakeFiles/calm_monotonicity.dir/preservation.cc.o"
+  "CMakeFiles/calm_monotonicity.dir/preservation.cc.o.d"
+  "libcalm_monotonicity.a"
+  "libcalm_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calm_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

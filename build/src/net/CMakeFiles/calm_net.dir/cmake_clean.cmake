@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calm_net.dir/message_buffer.cc.o"
+  "CMakeFiles/calm_net.dir/message_buffer.cc.o.d"
+  "CMakeFiles/calm_net.dir/scheduler.cc.o"
+  "CMakeFiles/calm_net.dir/scheduler.cc.o.d"
+  "libcalm_net.a"
+  "libcalm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queries/graph_queries.cc" "src/queries/CMakeFiles/calm_queries.dir/graph_queries.cc.o" "gcc" "src/queries/CMakeFiles/calm_queries.dir/graph_queries.cc.o.d"
+  "/root/repo/src/queries/paper_programs.cc" "src/queries/CMakeFiles/calm_queries.dir/paper_programs.cc.o" "gcc" "src/queries/CMakeFiles/calm_queries.dir/paper_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/calm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/calm_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calm_queries.dir/graph_queries.cc.o"
+  "CMakeFiles/calm_queries.dir/graph_queries.cc.o.d"
+  "CMakeFiles/calm_queries.dir/paper_programs.cc.o"
+  "CMakeFiles/calm_queries.dir/paper_programs.cc.o.d"
+  "libcalm_queries.a"
+  "libcalm_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calm_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transducer/compiler.cc" "src/transducer/CMakeFiles/calm_transducer.dir/compiler.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/compiler.cc.o.d"
+  "/root/repo/src/transducer/coordination.cc" "src/transducer/CMakeFiles/calm_transducer.dir/coordination.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/coordination.cc.o.d"
+  "/root/repo/src/transducer/datalog_transducer.cc" "src/transducer/CMakeFiles/calm_transducer.dir/datalog_transducer.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/datalog_transducer.cc.o.d"
+  "/root/repo/src/transducer/network.cc" "src/transducer/CMakeFiles/calm_transducer.dir/network.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/network.cc.o.d"
+  "/root/repo/src/transducer/policy.cc" "src/transducer/CMakeFiles/calm_transducer.dir/policy.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/policy.cc.o.d"
+  "/root/repo/src/transducer/runner.cc" "src/transducer/CMakeFiles/calm_transducer.dir/runner.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/runner.cc.o.d"
+  "/root/repo/src/transducer/schema.cc" "src/transducer/CMakeFiles/calm_transducer.dir/schema.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/schema.cc.o.d"
+  "/root/repo/src/transducer/strategies.cc" "src/transducer/CMakeFiles/calm_transducer.dir/strategies.cc.o" "gcc" "src/transducer/CMakeFiles/calm_transducer.dir/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/calm_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/calm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/calm_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

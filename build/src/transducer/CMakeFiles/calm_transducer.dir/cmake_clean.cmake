@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calm_transducer.dir/compiler.cc.o"
+  "CMakeFiles/calm_transducer.dir/compiler.cc.o.d"
+  "CMakeFiles/calm_transducer.dir/coordination.cc.o"
+  "CMakeFiles/calm_transducer.dir/coordination.cc.o.d"
+  "CMakeFiles/calm_transducer.dir/datalog_transducer.cc.o"
+  "CMakeFiles/calm_transducer.dir/datalog_transducer.cc.o.d"
+  "CMakeFiles/calm_transducer.dir/network.cc.o"
+  "CMakeFiles/calm_transducer.dir/network.cc.o.d"
+  "CMakeFiles/calm_transducer.dir/policy.cc.o"
+  "CMakeFiles/calm_transducer.dir/policy.cc.o.d"
+  "CMakeFiles/calm_transducer.dir/runner.cc.o"
+  "CMakeFiles/calm_transducer.dir/runner.cc.o.d"
+  "CMakeFiles/calm_transducer.dir/schema.cc.o"
+  "CMakeFiles/calm_transducer.dir/schema.cc.o.d"
+  "CMakeFiles/calm_transducer.dir/strategies.cc.o"
+  "CMakeFiles/calm_transducer.dir/strategies.cc.o.d"
+  "libcalm_transducer.a"
+  "libcalm_transducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calm_transducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

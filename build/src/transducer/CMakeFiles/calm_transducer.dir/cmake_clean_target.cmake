@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcalm_transducer.a"
+)

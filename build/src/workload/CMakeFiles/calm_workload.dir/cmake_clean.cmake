@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calm_workload.dir/graph_gen.cc.o"
+  "CMakeFiles/calm_workload.dir/graph_gen.cc.o.d"
+  "CMakeFiles/calm_workload.dir/instance_gen.cc.o"
+  "CMakeFiles/calm_workload.dir/instance_gen.cc.o.d"
+  "libcalm_workload.a"
+  "libcalm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_edge_test.dir/datalog_edge_test.cc.o"
+  "CMakeFiles/datalog_edge_test.dir/datalog_edge_test.cc.o.d"
+  "datalog_edge_test"
+  "datalog_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_transducer_test.dir/datalog_transducer_test.cc.o"
+  "CMakeFiles/datalog_transducer_test.dir/datalog_transducer_test.cc.o.d"
+  "datalog_transducer_test"
+  "datalog_transducer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_transducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilog_test.dir/ilog_test.cc.o"
+  "CMakeFiles/ilog_test.dir/ilog_test.cc.o.d"
+  "ilog_test"
+  "ilog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

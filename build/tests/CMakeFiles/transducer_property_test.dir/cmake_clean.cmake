@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transducer_property_test.dir/transducer_property_test.cc.o"
+  "CMakeFiles/transducer_property_test.dir/transducer_property_test.cc.o.d"
+  "transducer_property_test"
+  "transducer_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transducer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

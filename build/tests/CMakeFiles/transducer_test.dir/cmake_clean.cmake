@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transducer_test.dir/transducer_test.cc.o"
+  "CMakeFiles/transducer_test.dir/transducer_test.cc.o.d"
+  "transducer_test"
+  "transducer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(base_test "/root/repo/build/tests/base_test")
+set_tests_properties(base_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datalog_test "/root/repo/build/tests/datalog_test")
+set_tests_properties(datalog_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(monotonicity_test "/root/repo/build/tests/monotonicity_test")
+set_tests_properties(monotonicity_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(queries_test "/root/repo/build/tests/queries_test")
+set_tests_properties(queries_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(transducer_test "/root/repo/build/tests/transducer_test")
+set_tests_properties(transducer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datalog_transducer_test "/root/repo/build/tests/datalog_transducer_test")
+set_tests_properties(datalog_transducer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ilog_test "/root/repo/build/tests/ilog_test")
+set_tests_properties(ilog_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(transducer_property_test "/root/repo/build/tests/transducer_property_test")
+set_tests_properties(transducer_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_test "/root/repo/build/tests/net_test")
+set_tests_properties(net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ladder_test "/root/repo/build/tests/ladder_test")
+set_tests_properties(ladder_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;calm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datalog_edge_test "/root/repo/build/tests/datalog_edge_test")
+set_tests_properties(datalog_edge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;calm_test;/root/repo/tests/CMakeLists.txt;0;")
