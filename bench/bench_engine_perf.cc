@@ -7,6 +7,8 @@
 
 #include <memory>
 
+#include "base/thread_pool.h"
+#include "bench/flags.h"
 #include "datalog/evaluator.h"
 #include "datalog/parser.h"
 #include "datalog/wellfounded.h"
@@ -167,6 +169,47 @@ void BM_MonotonicityCheckExhaustive(benchmark::State& state) {
 }
 BENCHMARK(BM_MonotonicityCheckExhaustive)->Arg(1)->Arg(2)->Arg(3);
 
+// The parallel exhaustive-check workload: a violation-free search (the whole
+// space is enumerated, the embarrassingly parallel worst case) at a larger
+// bound than the serial benchmark above, swept over thread counts. Arg is
+// the thread count; 0 means the configured default (--threads / CALM_THREADS
+// / hardware). CI archives this sweep as BENCH_engine.json; the speedup of
+// threads=N over threads=1 is the tracked number.
+void BM_MonotonicityCheckParallel(benchmark::State& state) {
+  auto tc = queries::MakeTransitiveClosure();  // monotone: no early exit
+  monotonicity::ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 3;
+  o.fresh_values = 2;
+  o.max_facts_j = 3;
+  o.threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = monotonicity::FindViolation(
+        *tc, monotonicity::MonotonicityClass::kMonotone, o);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = static_cast<double>(
+      o.threads == 0 ? calm::DefaultThreads() : o.threads);
+}
+BENCHMARK(BM_MonotonicityCheckParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: strip --threads/--json (bench/flags.h) before handing argv to
+// google-benchmark, so `bench_engine_perf --threads N` sizes the pool. JSON
+// output goes through google-benchmark's own --benchmark_out.
+int main(int argc, char** argv) {
+  calm::bench::ParseFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "monotonicity/checker.h"
 #include "monotonicity/ladder.h"
@@ -45,9 +46,11 @@ Verdict Member(const Query& q, MonotonicityClass cls,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report(
       "Figure 1 — the monotonicity hierarchy (Ameloot et al., PODS 2014)");
+  report.EnableJson(flags.json_path);
 
   ExhaustiveOptions base;
   base.domain_size = 2;

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "monotonicity/checker.h"
 #include "monotonicity/preservation.h"
@@ -66,8 +67,10 @@ bool StrategyComputes(const Query& q, const Transducer& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("Figure 2 — the main-results diagram, re-derived");
+  report.EnableJson(flags.json_path);
 
   // ------------------------------------------------------------------
   report.Section("row 1: Datalog(!=) ( M = F0 = A0");

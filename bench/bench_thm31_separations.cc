@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "monotonicity/checker.h"
 #include "queries/graph_queries.h"
@@ -36,8 +37,10 @@ bool NoViolation(const Query& q, MonotonicityClass cls,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("Theorem 3.1 — separations, replayed with the paper's witnesses");
+  report.EnableJson(flags.json_path);
   std::string detail;
 
   // (1) M ( Mdistinct: SP-Datalog specimen V \ S is in Mdistinct but a

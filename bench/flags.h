@@ -1,0 +1,68 @@
+#ifndef CALM_BENCH_FLAGS_H_
+#define CALM_BENCH_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/thread_pool.h"
+
+namespace calm::bench {
+
+// Flags shared by the bench binaries:
+//   --threads N   worker threads for the parallel checkers (also settable
+//                 via the CALM_THREADS environment variable; the flag wins)
+//   --json PATH   write the report's verdicts/metrics as JSON to PATH
+struct Flags {
+  size_t threads = 0;     // 0 = CALM_THREADS / hardware default
+  std::string json_path;  // empty = no JSON output
+};
+
+// Parses and strips the flags above from argv (leaving unrecognized
+// arguments, e.g. google-benchmark's, in place) and applies --threads via
+// SetDefaultThreads. Exits with a usage message on a malformed value.
+inline Flags ParseFlags(int* argc, char** argv) {
+  Flags flags;
+  int out = 1;
+  for (int in = 1; in < *argc; ++in) {
+    const char* arg = argv[in];
+    const char* value = nullptr;
+    bool is_threads = false;
+    bool is_json = false;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      is_threads = true;
+      value = arg + 10;
+    } else if (std::strcmp(arg, "--threads") == 0 && in + 1 < *argc) {
+      is_threads = true;
+      value = argv[++in];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      is_json = true;
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0 && in + 1 < *argc) {
+      is_json = true;
+      value = argv[++in];
+    }
+    if (is_threads) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "--threads expects a positive integer, got %s\n",
+                     value);
+        std::exit(2);
+      }
+      flags.threads = static_cast<size_t>(n);
+    } else if (is_json) {
+      flags.json_path = value;
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  *argc = out;
+  if (flags.threads != 0) SetDefaultThreads(flags.threads);
+  return flags;
+}
+
+}  // namespace calm::bench
+
+#endif  // CALM_BENCH_FLAGS_H_

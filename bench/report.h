@@ -1,24 +1,33 @@
 #ifndef CALM_BENCH_REPORT_H_
 #define CALM_BENCH_REPORT_H_
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "base/thread_pool.h"
 
 namespace calm::bench {
 
 // Tiny reporting helper for the reproduction harnesses: prints sections and
 // verdict rows, tracks failures, and returns a process exit code. Each bench
 // binary re-derives one figure/theorem of the paper and prints the claims it
-// verified.
+// verified. When EnableJson is set (the --json flag), Finish additionally
+// writes the verdicts plus any Metric values (wall-clock, speedups, thread
+// count) as a JSON document, so CI can archive the perf trajectory.
 class Report {
  public:
-  explicit Report(const std::string& title) {
+  explicit Report(const std::string& title)
+      : title_(title), start_(std::chrono::steady_clock::now()) {
     std::printf("================================================================\n");
     std::printf("%s\n", title.c_str());
     std::printf("================================================================\n");
   }
+
+  // Writes a JSON summary to `path` when Finish runs (empty = disabled).
+  void EnableJson(std::string path) { json_path_ = std::move(path); }
 
   void Section(const std::string& name) {
     std::printf("\n--- %s ---\n", name.c_str());
@@ -37,11 +46,20 @@ class Report {
   void Check(const std::string& claim, bool ok, const std::string& detail = "") {
     std::printf("  [%s] %s%s%s\n", ok ? " ok " : "FAIL", claim.c_str(),
                 detail.empty() ? "" : " — ", detail.c_str());
+    checks_.push_back({claim, ok});
     ++total_;
     if (!ok) {
       ++failed_;
       failures_.push_back(claim);
     }
+  }
+
+  // Records a named numeric metric (printed and included in the JSON).
+  void Metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    std::printf("  metric %s = %.6g%s%s\n", name.c_str(), value,
+                unit.empty() ? "" : " ", unit.c_str());
+    metrics_.push_back({name, value});
   }
 
   // Prints the summary; returns 0 iff every check passed.
@@ -53,13 +71,79 @@ class Report {
     } else {
       std::printf(".\n");
     }
+    if (!json_path_.empty()) WriteJson();
     return failed_ == 0 ? 0 : 1;
   }
 
  private:
+  struct CheckRecord {
+    std::string claim;
+    bool ok;
+  };
+  struct MetricRecord {
+    std::string name;
+    double value;
+  };
+
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  void WriteJson() {
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n",
+                   json_path_.c_str());
+      return;
+    }
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(f, "{\n  \"title\": \"%s\",\n", JsonEscape(title_).c_str());
+    std::fprintf(f, "  \"threads\": %zu,\n", DefaultThreads());
+    std::fprintf(f, "  \"wall_ms\": %.3f,\n", wall_ms);
+    std::fprintf(f, "  \"passed\": %zu,\n  \"failed\": %zu,\n", total_ - failed_,
+                 failed_);
+    std::fprintf(f, "  \"metrics\": {");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                   JsonEscape(metrics_[i].name).c_str(), metrics_[i].value);
+    }
+    std::fprintf(f, "%s},\n", metrics_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"checks\": [");
+    for (size_t i = 0; i < checks_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"claim\": \"%s\", \"ok\": %s}",
+                   i == 0 ? "" : ",", JsonEscape(checks_[i].claim).c_str(),
+                   checks_[i].ok ? "true" : "false");
+    }
+    std::fprintf(f, "%s]\n}\n", checks_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    std::printf("JSON report written to %s\n", json_path_.c_str());
+  }
+
+  std::string title_;
+  std::string json_path_;
+  std::chrono::steady_clock::time_point start_;
   size_t total_ = 0;
   size_t failed_ = 0;
   std::vector<std::string> failures_;
+  std::vector<CheckRecord> checks_;
+  std::vector<MetricRecord> metrics_;
 };
 
 }  // namespace calm::bench

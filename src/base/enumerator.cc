@@ -66,6 +66,27 @@ bool ForEachInstance(const Schema& schema, const std::vector<Value>& domain,
   return ForEachFactSubset(facts, max_facts, fn);
 }
 
+std::vector<Instance> AllFactSubsets(const std::vector<Fact>& facts,
+                                     size_t max_facts) {
+  std::vector<Instance> out;
+  ForEachFactSubset(facts, max_facts, [&](const Instance& inst) {
+    out.push_back(inst);
+    return true;
+  });
+  return out;
+}
+
+std::vector<Instance> AllInstances(const Schema& schema,
+                                   const std::vector<Value>& domain,
+                                   size_t max_facts) {
+  std::vector<Instance> out;
+  ForEachInstance(schema, domain, max_facts, [&](const Instance& inst) {
+    out.push_back(inst);
+    return true;
+  });
+  return out;
+}
+
 std::vector<Value> IntDomain(size_t n, uint64_t offset) {
   std::vector<Value> out;
   out.reserve(n);

@@ -30,6 +30,17 @@ bool ForEachInstance(const Schema& schema, const std::vector<Value>& domain,
 bool ForEachFactSubset(const std::vector<Fact>& facts, size_t max_facts,
                        const std::function<bool(const Instance&)>& fn);
 
+// Materialized instance streams: the same spaces as the ForEach* callbacks
+// above, but as indexed vectors in the identical deterministic order. The
+// parallel checkers partition these indices across the thread pool and merge
+// per-shard results back in index order, which is what keeps the parallel
+// verdicts byte-identical to the single-threaded ones.
+std::vector<Instance> AllInstances(const Schema& schema,
+                                   const std::vector<Value>& domain,
+                                   size_t max_facts);
+std::vector<Instance> AllFactSubsets(const std::vector<Fact>& facts,
+                                     size_t max_facts);
+
 // The integer domain {0, 1, ..., n-1} as Values.
 std::vector<Value> IntDomain(size_t n, uint64_t offset = 0);
 

@@ -1,21 +1,51 @@
 #include "base/value.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace calm {
 
+SymbolTable::~SymbolTable() {
+  for (std::atomic<std::string*>& block : blocks_) {
+    delete[] block.load(std::memory_order_relaxed);
+  }
+}
+
 uint32_t SymbolTable::Intern(std::string_view name) {
-  auto it = index_.find(std::string(name));
-  if (it != index_.end()) return it->second;
-  uint32_t id = static_cast<uint32_t>(names_.size());
-  names_.emplace_back(name);
-  index_.emplace(names_.back(), id);
+  Shard& shard = ShardOf(name);
+  std::lock_guard<std::mutex> shard_lock(shard.mu);
+  auto it = shard.map.find(name);
+  if (it != shard.map.end()) return it->second;
+
+  // New name: allocate the next id under the append mutex (shard -> append
+  // is the only lock order, so no deadlock), publish the string, then make
+  // it findable in this shard. Concurrent Intern calls for the same name
+  // serialize on the shard mutex, so an id is allocated exactly once.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  uint32_t id = count_.load(std::memory_order_relaxed);
+  size_t block_idx = id >> kBlockBits;
+  if (block_idx >= kMaxBlocks) {
+    std::fprintf(stderr, "SymbolTable: capacity exceeded (%zu symbols)\n",
+                 kMaxBlocks * kBlockSize);
+    std::abort();
+  }
+  std::string* block = blocks_[block_idx].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new std::string[kBlockSize];
+    blocks_[block_idx].store(block, std::memory_order_release);
+  }
+  block[id & (kBlockSize - 1)] = std::string(name);
+  count_.store(id + 1, std::memory_order_release);
+  shard.map.emplace(std::string(name), id);
   return id;
 }
 
 uint32_t SymbolTable::Find(std::string_view name) const {
-  auto it = index_.find(std::string(name));
-  if (it == index_.end()) return UINT32_MAX;
+  Shard& shard = ShardOf(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(name);
+  if (it == shard.map.end()) return UINT32_MAX;
   return it->second;
 }
 

@@ -1,9 +1,11 @@
 #ifndef CALM_BASE_VALUE_H_
 #define CALM_BASE_VALUE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -59,29 +61,72 @@ class Value {
 };
 
 // Interns strings to dense 32-bit ids. Used for named constants and relation
-// names. Not thread-safe; the library uses a single process-wide instance
-// (GlobalSymbols) because all executables here are single-threaded drivers.
+// names.
+//
+// Thread safety: fully thread-safe. The parallel checkers evaluate queries
+// concurrently on the pool (base/thread_pool.h), and query evaluation interns
+// through the process-wide instance below, so:
+//   * Intern/Find take one of kShards mutexes chosen by the name's hash, so
+//     unrelated names rarely contend; appending a genuinely new name also
+//     takes a global append mutex (rare after warm-up).
+//   * NameOf/size are lock-free: names live in immutable fixed-size blocks
+//     that are published with release stores and never move, so an id
+//     obtained through any synchronized channel (the shard map, a pool
+//     barrier, ...) reads its name without touching a lock.
+// Capacity: kMaxBlocks * kBlockSize (~4M) distinct symbols; Intern aborts
+// beyond that.
 class SymbolTable {
  public:
   SymbolTable() = default;
+  ~SymbolTable();
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
   // Returns the id for `name`, interning it if new.
   uint32_t Intern(std::string_view name);
 
-  // Returns the name for a previously interned id. The reference stays
-  // valid across later Intern calls (deque storage).
-  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+  // Returns the name for a previously interned id. The reference stays valid
+  // across later Intern calls (block storage never reallocates). Lock-free.
+  const std::string& NameOf(uint32_t id) const {
+    return blocks_[id >> kBlockBits].load(std::memory_order_acquire)
+                  [id & (kBlockSize - 1)];
+  }
 
   // Returns the id of `name` if interned, or UINT32_MAX otherwise.
   uint32_t Find(std::string_view name) const;
 
-  size_t size() const { return names_.size(); }
+  // The number of interned symbols; every id < size() is readable.
+  size_t size() const { return count_.load(std::memory_order_acquire); }
 
  private:
-  std::deque<std::string> names_;  // deque: stable references under growth
-  std::unordered_map<std::string, uint32_t> index_;
+  // Heterogeneous hashing so string_view lookups avoid a std::string copy.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+        map;  // guarded by mu
+  };
+
+  static constexpr size_t kShards = 16;  // power of two
+  static constexpr size_t kBlockBits = 10;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;
+  static constexpr size_t kMaxBlocks = 4096;
+
+  Shard& ShardOf(std::string_view name) const {
+    return shards_[StringHash{}(name) & (kShards - 1)];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+  std::mutex append_mu_;  // serializes id allocation + block publication
+  std::atomic<uint32_t> count_{0};
+  // blocks_[b] is null or an array of kBlockSize strings; slots < count_ are
+  // immutable once published by the release store on count_.
+  std::array<std::atomic<std::string*>, kMaxBlocks> blocks_{};
 };
 
 // The process-wide interner. Relation names and symbolic constants share it;

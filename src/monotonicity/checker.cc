@@ -1,8 +1,10 @@
 #include "monotonicity/checker.h"
 
+#include <atomic>
 #include <vector>
 
 #include "base/enumerator.h"
+#include "base/thread_pool.h"
 #include "workload/instance_gen.h"
 
 namespace calm::monotonicity {
@@ -79,6 +81,13 @@ std::vector<Fact> CandidateJFacts(const Schema& schema, const Instance& i,
   return out;
 }
 
+// The first stopping event (error or counterexample) a shard saw for one
+// candidate I, in that I's J enumeration order.
+struct InstanceOutcome {
+  Status error;  // ok() when `cex` carries the event
+  std::optional<Counterexample> cex;
+};
+
 }  // namespace
 
 Result<std::optional<Counterexample>> FindViolation(
@@ -88,28 +97,52 @@ Result<std::optional<Counterexample>> FindViolation(
   std::vector<Value> domain = IntDomain(options.domain_size);
   std::vector<Value> fresh = IntDomain(options.fresh_values, 1000);
 
-  std::optional<Counterexample> found;
-  Status failure;
+  // Materialize the candidate-I space (small by construction: the paper's
+  // separations live at <= 6 values) and partition its indices across the
+  // pool. Each index records its first stopping event in a private slot;
+  // the winner is the event at the least index, which is exactly what the
+  // single-threaded nested loop returns — so verdicts and counterexamples
+  // are deterministic and thread-count-independent. `first_stop` is a
+  // monotonically decreasing cursor used only to prune work at indices that
+  // can no longer win.
+  std::vector<Instance> is = AllInstances(schema, domain, options.max_facts_i);
+  std::vector<InstanceOutcome> slots(is.size());
+  std::atomic<size_t> first_stop{is.size()};
 
-  ForEachInstance(schema, domain, options.max_facts_i, [&](const Instance& i) {
+  ParallelFor(is.size(), options.threads, [&](size_t idx) {
+    if (first_stop.load(std::memory_order_relaxed) < idx) return;
+    const Instance& i = is[idx];
+    InstanceOutcome& slot = slots[idx];
     std::vector<Fact> candidates = CandidateJFacts(schema, i, fresh, cls);
     ForEachFactSubset(candidates, options.max_facts_j, [&](const Instance& j) {
+      if (first_stop.load(std::memory_order_relaxed) < idx) return false;
       Result<std::optional<Counterexample>> r = CheckPair(query, i, j);
       if (!r.ok()) {
-        failure = r.status();
+        slot.error = r.status();
         return false;
       }
       if (r->has_value()) {
-        found = std::move(r.value());
+        slot.cex = std::move(r.value());
         return false;
       }
       return true;
     });
-    return !found.has_value() && failure.ok();
+    if (!slot.error.ok() || slot.cex.has_value()) {
+      size_t cur = first_stop.load(std::memory_order_relaxed);
+      while (idx < cur &&
+             !first_stop.compare_exchange_weak(cur, idx,
+                                               std::memory_order_relaxed)) {
+      }
+    }
   });
 
-  if (!failure.ok()) return failure;
-  return found;
+  size_t winner = first_stop.load(std::memory_order_relaxed);
+  if (winner < is.size()) {
+    InstanceOutcome& slot = slots[winner];
+    if (!slot.error.ok()) return slot.error;
+    return std::move(slot.cex);
+  }
+  return std::optional<Counterexample>();
 }
 
 Result<std::optional<Counterexample>> FindViolationRandom(

@@ -43,6 +43,12 @@ struct ExhaustiveOptions {
   // max_facts_j to i checks the bounded class M^i (Section 3.1).
   size_t fresh_values = 2;
   size_t max_facts_j = 4;
+  // Worker threads for the exhaustive search (0 = DefaultThreads(), i.e. the
+  // --threads / CALM_THREADS knob; 1 = serial). The candidate-I space is
+  // partitioned across the pool and per-shard results are merged in
+  // enumeration order, so the verdict and counterexample are identical for
+  // every thread count.
+  size_t threads = 0;
 };
 
 // Exhaustively searches the bounded space for a violation of `cls`.

@@ -1,5 +1,10 @@
 #include "monotonicity/ladder.h"
 
+#include <atomic>
+#include <vector>
+
+#include "base/thread_pool.h"
+
 namespace calm::monotonicity {
 
 size_t Ladder::FirstDistinctViolation() const {
@@ -28,25 +33,47 @@ std::string Ladder::ToString() const {
 
 Result<Ladder> ComputeLadder(const Query& query, size_t max_i,
                              ExhaustiveOptions base) {
+  // The ladder is 3 * max_i independent bounded searches (one per row and
+  // class); spread the cells across the pool. A FindViolation issued from a
+  // pool task runs its own index loop serially (re-entrancy rule in
+  // base/thread_pool.h), so cell-level parallelism is the outermost and only
+  // fan-out here. Cells land in fixed slots and rows are assembled in order
+  // afterwards, keeping the ladder deterministic; the first cell error (in
+  // cell order) wins, as in the serial loop.
+  const MonotonicityClass kClasses[] = {MonotonicityClass::kMonotone,
+                                        MonotonicityClass::kDomainDistinct,
+                                        MonotonicityClass::kDomainDisjoint};
+  size_t cells = 3 * max_i;
+  std::vector<std::optional<Counterexample>> witnesses(cells);
+  std::vector<Status> errors(cells);
+
+  ParallelFor(cells, base.threads, [&](size_t cell) {
+    ExhaustiveOptions o = base;
+    o.max_facts_j = cell / 3 + 1;
+    Result<std::optional<Counterexample>> r =
+        FindViolation(query, kClasses[cell % 3], o);
+    if (!r.ok()) {
+      errors[cell] = r.status();
+    } else {
+      witnesses[cell] = std::move(r.value());
+    }
+  });
+
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+
   Ladder ladder;
   for (size_t i = 1; i <= max_i; ++i) {
-    ExhaustiveOptions o = base;
-    o.max_facts_j = i;
     LadderRow row;
     row.i = i;
-
-    CALM_ASSIGN_OR_RETURN(
-        row.m_witness, FindViolation(query, MonotonicityClass::kMonotone, o));
+    size_t cell = (i - 1) * 3;
+    row.m_witness = std::move(witnesses[cell]);
     row.in_m = !row.m_witness.has_value();
-    CALM_ASSIGN_OR_RETURN(
-        row.distinct_witness,
-        FindViolation(query, MonotonicityClass::kDomainDistinct, o));
+    row.distinct_witness = std::move(witnesses[cell + 1]);
     row.in_distinct = !row.distinct_witness.has_value();
-    CALM_ASSIGN_OR_RETURN(
-        row.disjoint_witness,
-        FindViolation(query, MonotonicityClass::kDomainDisjoint, o));
+    row.disjoint_witness = std::move(witnesses[cell + 2]);
     row.in_disjoint = !row.disjoint_witness.has_value();
-
     ladder.rows.push_back(std::move(row));
   }
   return ladder;

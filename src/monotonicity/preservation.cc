@@ -1,9 +1,11 @@
 #include "monotonicity/preservation.h"
 
+#include <atomic>
 #include <vector>
 
 #include "base/enumerator.h"
 #include "base/homomorphism.h"
+#include "base/thread_pool.h"
 
 namespace calm::monotonicity {
 
@@ -91,6 +93,13 @@ Result<std::optional<PreservationViolation>> CheckExtensions(
   return std::optional<PreservationViolation>();
 }
 
+// The first stopping event one source instance produced, in that source's
+// inner enumeration order.
+struct SourceOutcome {
+  Status error;  // ok() when `violation` carries the event
+  std::optional<PreservationViolation> violation;
+};
+
 }  // namespace
 
 Result<std::optional<PreservationViolation>> FindPreservationViolation(
@@ -99,49 +108,71 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
   const Schema& schema = query.input_schema();
   std::vector<Value> domain = IntDomain(options.domain_size);
 
-  std::optional<PreservationViolation> found;
-  Status failure;
+  // Partition the source-instance space across the pool; each index checks
+  // its targets serially and records the first stopping event in a private
+  // slot. The event at the least index wins, matching the single-threaded
+  // nested loops exactly (see monotonicity/checker.cc for the pattern).
+  std::vector<Instance> sources =
+      AllInstances(schema, domain, options.max_facts);
+  std::vector<SourceOutcome> slots(sources.size());
+  std::atomic<size_t> first_stop{sources.size()};
+
+  auto record_stop = [&](size_t idx) {
+    size_t cur = first_stop.load(std::memory_order_relaxed);
+    while (idx < cur &&
+           !first_stop.compare_exchange_weak(cur, idx,
+                                             std::memory_order_relaxed)) {
+    }
+  };
 
   if (cls == PreservationClass::kExtensions) {
-    ForEachInstance(schema, domain, options.max_facts, [&](const Instance& i) {
+    ParallelFor(sources.size(), options.threads, [&](size_t idx) {
+      if (first_stop.load(std::memory_order_relaxed) < idx) return;
       Result<std::optional<PreservationViolation>> r =
-          CheckExtensions(query, i);
+          CheckExtensions(query, sources[idx]);
       if (!r.ok()) {
-        failure = r.status();
-        return false;
+        slots[idx].error = r.status();
+        record_stop(idx);
+      } else if (r->has_value()) {
+        slots[idx].violation = std::move(r.value());
+        record_stop(idx);
       }
-      if (r->has_value()) {
-        found = std::move(r.value());
-        return false;
-      }
-      return true;
     });
   } else {
     bool injective = cls == PreservationClass::kInjectiveHomomorphisms;
     // For injective homomorphisms the target needs spare values, so J ranges
     // over a domain twice the size.
     std::vector<Value> domain_j = IntDomain(2 * options.domain_size);
-    ForEachInstance(schema, domain, options.max_facts, [&](const Instance& i) {
+    ParallelFor(sources.size(), options.threads, [&](size_t idx) {
+      if (first_stop.load(std::memory_order_relaxed) < idx) return;
+      const Instance& i = sources[idx];
+      SourceOutcome& slot = slots[idx];
       ForEachInstance(schema, domain_j, options.max_facts,
                       [&](const Instance& j) {
+        if (first_stop.load(std::memory_order_relaxed) < idx) return false;
         Result<std::optional<PreservationViolation>> r =
             CheckHomPair(query, i, j, injective);
         if (!r.ok()) {
-          failure = r.status();
+          slot.error = r.status();
           return false;
         }
         if (r->has_value()) {
-          found = std::move(r.value());
+          slot.violation = std::move(r.value());
           return false;
         }
         return true;
       });
-      return !found.has_value() && failure.ok();
+      if (!slot.error.ok() || slot.violation.has_value()) record_stop(idx);
     });
   }
 
-  if (!failure.ok()) return failure;
-  return found;
+  size_t winner = first_stop.load(std::memory_order_relaxed);
+  if (winner < sources.size()) {
+    SourceOutcome& slot = slots[winner];
+    if (!slot.error.ok()) return slot.error;
+    return std::move(slot.violation);
+  }
+  return std::optional<PreservationViolation>();
 }
 
 }  // namespace calm::monotonicity

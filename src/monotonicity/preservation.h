@@ -34,6 +34,10 @@ struct PreservationOptions {
   // target instances for homomorphism checks use the same bounds.
   size_t domain_size = 3;
   size_t max_facts = 3;
+  // Worker threads (0 = DefaultThreads(), 1 = serial). The source-instance
+  // space is partitioned across the pool; results merge in enumeration
+  // order, so the violation returned is thread-count-independent.
+  size_t threads = 0;
 };
 
 // Exhaustively searches the bounded space for a preservation violation.

@@ -1,0 +1,223 @@
+// The parallel checkers' determinism contract: for every thread count (and
+// across repeated runs), FindViolation / FindPreservationViolation /
+// ComputeLadder return byte-identical verdicts and counterexamples to the
+// single-threaded path. Exercised on the exact search configurations the
+// Theorem 3.1 bench (items 1-7) runs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "monotonicity/checker.h"
+#include "monotonicity/ladder.h"
+#include "monotonicity/preservation.h"
+#include "queries/graph_queries.h"
+
+namespace calm {
+namespace {
+
+using monotonicity::ComputeLadder;
+using monotonicity::Counterexample;
+using monotonicity::ExhaustiveOptions;
+using monotonicity::FindPreservationViolation;
+using monotonicity::FindViolation;
+using monotonicity::Ladder;
+using monotonicity::MonotonicityClass;
+using monotonicity::MonotonicityClassName;
+using monotonicity::PreservationClass;
+using monotonicity::PreservationOptions;
+using monotonicity::PreservationViolation;
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  // Size the global pool generously so thread counts > 1 really run on
+  // workers even on single-core CI runners (this is also what puts the
+  // parallel paths in front of TSan).
+  void SetUp() override { SetDefaultThreads(4); }
+  void TearDown() override { SetDefaultThreads(0); }
+};
+
+// Renders a checker result to a canonical string so "byte-identical" is a
+// plain string comparison.
+std::string Render(const Result<std::optional<Counterexample>>& r) {
+  if (!r.ok()) return "error: " + r.status().ToString();
+  if (!r->has_value()) return "no violation";
+  return r->value().ToString();
+}
+
+// One paper-bench search configuration.
+struct Scenario {
+  std::string label;
+  std::unique_ptr<Query> query;
+  MonotonicityClass cls;
+  ExhaustiveOptions opts;
+};
+
+ExhaustiveOptions Opts(size_t domain, size_t facts_i, size_t fresh,
+                       size_t facts_j) {
+  ExhaustiveOptions o;
+  o.domain_size = domain;
+  o.max_facts_i = facts_i;
+  o.fresh_values = fresh;
+  o.max_facts_j = facts_j;
+  return o;
+}
+
+// The FindViolation calls of bench_thm31_separations.cc, items (1)-(7):
+// memberships (no violation exists, the whole space is searched) and
+// separations (a counterexample exists and must come out identical).
+std::vector<Scenario> Theorem31Scenarios() {
+  std::vector<Scenario> s;
+  // (1) V\S in Mdistinct; Q_TC in Mdisjoint \ Mdistinct.
+  s.push_back({"(1) Q_TC Mdistinct", queries::MakeComplementTransitiveClosure(),
+               MonotonicityClass::kDomainDistinct, Opts(2, 3, 2, 3)});
+  s.push_back({"(1) Q_TC Mdisjoint", queries::MakeComplementTransitiveClosure(),
+               MonotonicityClass::kDomainDisjoint, Opts(2, 3, 2, 3)});
+  // (2) M = M^i on transitive closure.
+  for (size_t jmax : {1u, 2u, 3u, 4u}) {
+    s.push_back({"(2) TC M^" + std::to_string(jmax),
+                 queries::MakeTransitiveClosure(), MonotonicityClass::kMonotone,
+                 Opts(2, 2, 1, jmax)});
+  }
+  // (3) the clique ladder in M^i_distinct.
+  for (size_t i : {1u, 2u}) {
+    s.push_back({"(3) clique i=" + std::to_string(i),
+                 queries::MakeCliqueQuery(i + 2),
+                 MonotonicityClass::kDomainDistinct,
+                 Opts(i + 2, i <= 1 ? (i + 1) * i + 1 : 3, 1, i)});
+    s.push_back({"(3) clique i=" + std::to_string(i) + " violated",
+                 queries::MakeCliqueQuery(i + 2),
+                 MonotonicityClass::kDomainDistinct,
+                 Opts(i + 2, i <= 1 ? (i + 1) * i + 1 : 3, 1, i + 1)});
+  }
+  // (4) the star ladder in M^i_disjoint.
+  for (size_t i : {1u, 2u, 3u}) {
+    s.push_back({"(4) star i=" + std::to_string(i),
+                 queries::MakeStarQuery(i + 1),
+                 MonotonicityClass::kDomainDisjoint, Opts(2, 2, i + 1, i)});
+  }
+  // (5) Q_clique_3 in M^2_disjoint but not M^2_distinct.
+  s.push_back({"(5) clique3 disjoint", queries::MakeCliqueQuery(3),
+               MonotonicityClass::kDomainDisjoint, Opts(3, 3, 2, 2)});
+  s.push_back({"(5) clique3 distinct", queries::MakeCliqueQuery(3),
+               MonotonicityClass::kDomainDistinct, Opts(3, 3, 2, 2)});
+  // (6) Q_star_2 not in M^1_distinct.
+  s.push_back({"(6) star2 distinct", queries::MakeStarQuery(2),
+               MonotonicityClass::kDomainDistinct, Opts(2, 1, 1, 1)});
+  // (7) Q^j_duplicate in M^{j-1}_distinct, out of M^j_disjoint.
+  for (size_t j : {2u, 3u}) {
+    s.push_back({"(7) dup j=" + std::to_string(j) + " distinct",
+                 queries::MakeDuplicateQuery(j),
+                 MonotonicityClass::kDomainDistinct, Opts(2, 2, 2, j - 1)});
+    s.push_back({"(7) dup j=" + std::to_string(j) + " disjoint",
+                 queries::MakeDuplicateQuery(j),
+                 MonotonicityClass::kDomainDisjoint, Opts(2, 2, 2, j)});
+  }
+  return s;
+}
+
+TEST_F(ParallelDeterminismTest, FindViolationMatchesSerialOnTheorem31Items) {
+  for (Scenario& s : Theorem31Scenarios()) {
+    ExhaustiveOptions serial = s.opts;
+    serial.threads = 1;
+    std::string expected = Render(FindViolation(*s.query, s.cls, serial));
+    for (size_t threads : {2u, 3u, 4u}) {
+      ExhaustiveOptions parallel = s.opts;
+      parallel.threads = threads;
+      std::string got = Render(FindViolation(*s.query, s.cls, parallel));
+      EXPECT_EQ(got, expected)
+          << s.label << " (" << MonotonicityClassName(s.cls) << ") diverged at "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, FindViolationIsStableAcrossRepeatedRuns) {
+  auto qtc = queries::MakeComplementTransitiveClosure();
+  ExhaustiveOptions o = Opts(2, 3, 2, 3);
+  o.threads = 4;
+  std::string first =
+      Render(FindViolation(*qtc, MonotonicityClass::kDomainDistinct, o));
+  for (int run = 0; run < 5; ++run) {
+    EXPECT_EQ(Render(FindViolation(*qtc, MonotonicityClass::kDomainDistinct, o)),
+              first);
+  }
+  // The counterexample must exist here (Q_TC is not domain-distinct
+  // monotone), so the stability assertion is about real payload bytes.
+  EXPECT_NE(first, "no violation");
+}
+
+TEST_F(ParallelDeterminismTest, LadderMatchesSerial) {
+  struct Case {
+    std::unique_ptr<Query> query;
+    size_t domain;
+    size_t fresh;
+  };
+  std::vector<Case> cases;
+  cases.push_back({queries::MakeCliqueQuery(3), 3, 1});
+  cases.push_back({queries::MakeStarQuery(2), 2, 3});
+  cases.push_back({queries::MakeComplementTransitiveClosure(), 2, 1});
+  for (Case& c : cases) {
+    ExhaustiveOptions o;
+    o.domain_size = c.domain;
+    o.max_facts_i = 3;
+    o.fresh_values = c.fresh;
+    o.threads = 1;
+    Result<Ladder> serial = ComputeLadder(*c.query, 3, o);
+    o.threads = 4;
+    Result<Ladder> parallel = ComputeLadder(*c.query, 3, o);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->ToString(), serial->ToString());
+    EXPECT_EQ(parallel->FirstDistinctViolation(),
+              serial->FirstDistinctViolation());
+    EXPECT_EQ(parallel->FirstDisjointViolation(),
+              serial->FirstDisjointViolation());
+    ASSERT_EQ(parallel->rows.size(), serial->rows.size());
+    for (size_t r = 0; r < serial.value().rows.size(); ++r) {
+      const auto& sr = serial.value().rows[r];
+      const auto& pr = parallel.value().rows[r];
+      EXPECT_EQ(pr.distinct_witness.has_value(),
+                sr.distinct_witness.has_value());
+      if (pr.distinct_witness && sr.distinct_witness) {
+        EXPECT_EQ(pr.distinct_witness->ToString(),
+                  sr.distinct_witness->ToString());
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, PreservationMatchesSerial) {
+  auto star = queries::MakeStarQuery(2);
+  auto tc = queries::MakeTransitiveClosure();
+  for (PreservationClass cls :
+       {PreservationClass::kHomomorphisms,
+        PreservationClass::kInjectiveHomomorphisms,
+        PreservationClass::kExtensions}) {
+    for (const Query* q : {static_cast<const Query*>(star.get()),
+                           static_cast<const Query*>(tc.get())}) {
+      PreservationOptions o;
+      o.domain_size = 2;
+      o.max_facts = 2;
+      o.threads = 1;
+      Result<std::optional<PreservationViolation>> serial =
+          FindPreservationViolation(*q, cls, o);
+      o.threads = 4;
+      Result<std::optional<PreservationViolation>> parallel =
+          FindPreservationViolation(*q, cls, o);
+      ASSERT_EQ(parallel.ok(), serial.ok());
+      if (!serial.ok()) continue;
+      ASSERT_EQ(parallel->has_value(), serial->has_value()) << q->name();
+      if (serial->has_value()) {
+        EXPECT_EQ(parallel->value().ToString(), serial->value().ToString())
+            << q->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calm
