@@ -11,6 +11,7 @@
 #include "bench/flags.h"
 #include "datalog/evaluator.h"
 #include "datalog/parser.h"
+#include "datalog/program.h"
 #include "datalog/wellfounded.h"
 #include "monotonicity/checker.h"
 #include "queries/graph_queries.h"
@@ -153,6 +154,37 @@ BENCHMARK(BM_JoinOrderPessimalRule)
     ->Args({32, 1})
     ->Args({96, 0})
     ->Args({96, 1});
+
+// Prepared-pipeline ablation. DatalogQuery::Create runs the whole frontend
+// (analysis, stratification, join ordering, compilation) exactly once; Eval
+// is then a scratch-reusing fixpoint run. The free Evaluate() entry point
+// re-runs the frontend on every call. Both report items_per_second =
+// evaluations/sec on the same input, so the prepared/recompile ratio is the
+// tracked number (tools/compare_bench.py guards it in CI).
+void BM_EvalPrepared(benchmark::State& state) {
+  datalog::DatalogQuery q = datalog::DatalogQuery::FromTextOrDie(
+      "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). .output T",
+      "tc-prepared");
+  Instance input =
+      workload::RandomGraphM(state.range(0), 3 * state.range(0), /*seed=*/7);
+  for (auto _ : state) {
+    Result<Instance> out = q.Eval(input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalPrepared)->Arg(8)->Arg(32);
+
+void BM_EvalCompileEveryCall(benchmark::State& state) {
+  Instance input =
+      workload::RandomGraphM(state.range(0), 3 * state.range(0), /*seed=*/7);
+  for (auto _ : state) {
+    Result<Instance> out = datalog::Evaluate(TcProgram(), input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalCompileEveryCall)->Arg(8)->Arg(32);
 
 void BM_MonotonicityCheckExhaustive(benchmark::State& state) {
   auto qtc = queries::MakeComplementTransitiveClosure();

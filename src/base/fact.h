@@ -1,18 +1,181 @@
 #ifndef CALM_BASE_FACT_H_
 #define CALM_BASE_FACT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <ostream>
 #include <string>
-#include <vector>
+#include <type_traits>
 
 #include "base/value.h"
 
 namespace calm {
 
-// A tuple of domain values.
-using Tuple = std::vector<Value>;
+// A tuple of domain values with inline small-tuple storage: up to
+// kInlineCapacity values live in-place (no heap allocation), longer tuples
+// spill to a heap array. The paper's relations are almost all arity <= 3, so
+// the fixpoint engine's hottest containers (tuple vectors, dedup tables,
+// probe keys) never touch the allocator per tuple. The comparison / hashing
+// contract matches the previous std::vector<Value> representation exactly:
+// lexicographic order, element-wise equality — instances therefore iterate
+// in the same deterministic order as before.
+class Tuple {
+ public:
+  using value_type = Value;
+  using iterator = Value*;
+  using const_iterator = const Value*;
+
+  static constexpr uint32_t kInlineCapacity = 4;
+
+  Tuple() : size_(0), capacity_(kInlineCapacity) {}
+
+  Tuple(std::initializer_list<Value> values) : Tuple() {
+    reserve(values.size());
+    for (Value v : values) data()[size_++] = v;
+  }
+
+  Tuple(size_t count, Value fill) : Tuple() {
+    reserve(count);
+    for (size_t i = 0; i < count; ++i) data()[size_++] = fill;
+  }
+
+  template <typename It,
+            typename = std::enable_if_t<!std::is_integral_v<It>>>
+  Tuple(It first, It last) : Tuple() {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  Tuple(const Tuple& o) : Tuple() {
+    reserve(o.size_);
+    size_ = o.size_;
+    std::copy(o.data(), o.data() + o.size_, data());
+  }
+
+  Tuple(Tuple&& o) noexcept : size_(o.size_), capacity_(o.capacity_) {
+    if (o.is_inline()) {
+      std::copy(o.rep_.inline_vals, o.rep_.inline_vals + size_,
+                rep_.inline_vals);
+    } else {
+      rep_.heap = o.rep_.heap;
+      o.capacity_ = kInlineCapacity;
+    }
+    o.size_ = 0;
+  }
+
+  Tuple& operator=(const Tuple& o) {
+    if (this == &o) return *this;
+    size_ = 0;
+    reserve(o.size_);
+    size_ = o.size_;
+    std::copy(o.data(), o.data() + o.size_, data());
+    return *this;
+  }
+
+  Tuple& operator=(Tuple&& o) noexcept {
+    if (this == &o) return *this;
+    if (!is_inline()) delete[] rep_.heap;
+    size_ = o.size_;
+    capacity_ = o.capacity_;
+    if (o.is_inline()) {
+      capacity_ = kInlineCapacity;
+      std::copy(o.rep_.inline_vals, o.rep_.inline_vals + size_,
+                rep_.inline_vals);
+    } else {
+      rep_.heap = o.rep_.heap;
+      o.capacity_ = kInlineCapacity;
+    }
+    o.size_ = 0;
+    return *this;
+  }
+
+  ~Tuple() {
+    if (!is_inline()) delete[] rep_.heap;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool is_inline() const { return capacity_ == kInlineCapacity; }
+
+  Value* data() { return is_inline() ? rep_.inline_vals : rep_.heap; }
+  const Value* data() const {
+    return is_inline() ? rep_.inline_vals : rep_.heap;
+  }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  Value& operator[](size_t i) { return data()[i]; }
+  const Value& operator[](size_t i) const { return data()[i]; }
+
+  void clear() { size_ = 0; }
+
+  void assign(size_t count, Value fill) {
+    clear();
+    reserve(count);
+    for (size_t i = 0; i < count; ++i) data()[size_++] = fill;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(static_cast<uint32_t>(n));
+  }
+
+  void push_back(Value v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data()[size_++] = v;
+  }
+
+  // Inserts `v` at the front, shifting existing values right (used for the
+  // Skolem invention position, which is always position 1).
+  void prepend(Value v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    Value* d = data();
+    for (size_t i = size_; i > 0; --i) d[i] = d[i - 1];
+    d[0] = v;
+    ++size_;
+  }
+
+  void append(const Value* first, const Value* last) {
+    reserve(size_ + static_cast<size_t>(last - first));
+    Value* d = data() + size_;
+    size_ += static_cast<uint32_t>(last - first);
+    std::copy(first, last, d);
+  }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.data(), a.data() + a.size_, b.data());
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return std::lexicographical_compare(a.data(), a.data() + a.size_,
+                                        b.data(), b.data() + b.size_);
+  }
+  friend bool operator>(const Tuple& a, const Tuple& b) { return b < a; }
+  friend bool operator<=(const Tuple& a, const Tuple& b) { return !(b < a); }
+  friend bool operator>=(const Tuple& a, const Tuple& b) { return !(a < b); }
+
+ private:
+  void Grow(uint32_t min_capacity) {
+    uint32_t new_capacity = std::max(min_capacity, capacity_ * 2);
+    Value* heap = new Value[new_capacity];
+    std::copy(data(), data() + size_, heap);
+    if (!is_inline()) delete[] rep_.heap;
+    rep_.heap = heap;
+    capacity_ = new_capacity;
+  }
+
+  uint32_t size_;
+  uint32_t capacity_;  // == kInlineCapacity iff inline
+  union Rep {
+    Rep() {}  // values are initialized on write; size_ tracks validity
+    Value inline_vals[kInlineCapacity];
+    Value* heap;
+  } rep_;
+};
 
 // Combines `h` into `seed` (boost::hash_combine recipe).
 inline size_t HashCombine(size_t seed, size_t h) {

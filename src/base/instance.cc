@@ -28,6 +28,33 @@ bool Instance::Insert(Fact&& fact) {
   return inserted;
 }
 
+size_t Instance::InsertSorted(uint32_t rel, const std::vector<Tuple>& sorted) {
+  if (sorted.empty()) return 0;  // never leave an empty relation entry behind
+  std::set<Tuple>& tuples = relations_[rel];
+  size_t before = tuples.size();
+  for (const Tuple& t : sorted) tuples.emplace_hint(tuples.end(), t);
+  size_t added = tuples.size() - before;
+  size_ += added;
+  return added;
+}
+
+size_t Instance::InsertSortedFacts(const std::vector<Fact>& sorted) {
+  size_t added = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    uint32_t rel = sorted[i].relation;
+    std::set<Tuple>& tuples = relations_[rel];
+    size_t before = tuples.size();
+    while (i < sorted.size() && sorted[i].relation == rel) {
+      tuples.emplace_hint(tuples.end(), sorted[i].args);
+      ++i;
+    }
+    added += tuples.size() - before;
+  }
+  size_ += added;
+  return added;
+}
+
 size_t Instance::InsertAll(const Instance& other) {
   size_t added = 0;
   for (const auto& [name, tuples] : other.relations_) {

@@ -28,6 +28,19 @@ class Instance {
   // Inserts every fact of `other`; returns the number of new facts.
   size_t InsertAll(const Instance& other);
 
+  // Bulk-inserts tuples into relation `rel`; `sorted` must be ascending
+  // (duplicates allowed). Amortized O(1) per tuple via end-position hints —
+  // for queries that produce their output in sorted order anyway (the native
+  // graph queries on the checker hot path), this halves the build cost.
+  // Returns the number of new facts.
+  size_t InsertSorted(uint32_t rel, const std::vector<Tuple>& sorted);
+
+  // Bulk-inserts facts; `sorted` must be ascending in Fact order (relation
+  // id, then tuple — duplicates allowed), so each relation's run inserts
+  // with end-position hints like InsertSorted. Returns the number of new
+  // facts.
+  size_t InsertSortedFacts(const std::vector<Fact>& sorted);
+
   // Removes a fact; returns true if it was present.
   bool Erase(const Fact& fact);
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/instance.h"
 #include "base/schema.h"
@@ -27,6 +28,31 @@ class Query {
   // evaluation failure (e.g. divergence limits), never "empty result".
   virtual Result<Instance> Eval(const Instance& input) const = 0;
 
+  // Evaluates the query on a ∪ b without requiring the caller to materialize
+  // the union. Semantically identical to Eval(Instance::Union(a, b)); engines
+  // that can seed from two instances directly (DatalogQuery, IlogQuery)
+  // override this to skip the union copy, which the checker inner loops call
+  // once per enumerated (I, J) pair.
+  virtual Result<Instance> EvalUnion(const Instance& a,
+                                     const Instance& b) const {
+    return Eval(Instance::Union(a, b));
+  }
+
+  // Appends Q(input)'s facts to `out` in ascending Fact order (the same
+  // deterministic order Instance::ForEachFact yields). Semantically identical
+  // to materializing Eval's result and listing its facts; queries that can
+  // produce the sorted fact stream directly (NativeQuery with a FactsFn)
+  // override this to skip building the output Instance — the checker's inner
+  // pair loop only needs a sorted-subset test, not a set.
+  virtual Status EvalFacts(const Instance& input,
+                           std::vector<Fact>* out) const {
+    Result<Instance> r = Eval(input);
+    if (!r.ok()) return r.status();
+    r->ForEachFact(
+        [&](uint32_t name, const Tuple& t) { out->emplace_back(name, t); });
+    return Status::Ok();
+  }
+
   // A short human-readable identifier used in reports.
   virtual std::string name() const = 0;
 };
@@ -36,6 +62,8 @@ class Query {
 class NativeQuery : public Query {
  public:
   using EvalFn = std::function<Result<Instance>(const Instance&)>;
+  // Appends the output facts in ascending Fact order (see Query::EvalFacts).
+  using FactsFn = std::function<Status(const Instance&, std::vector<Fact>*)>;
 
   NativeQuery(std::string name, Schema input, Schema output, EvalFn fn)
       : name_(std::move(name)),
@@ -43,19 +71,47 @@ class NativeQuery : public Query {
         output_(std::move(output)),
         fn_(std::move(fn)) {}
 
+  NativeQuery(std::string name, Schema input, Schema output, FactsFn fn)
+      : name_(std::move(name)),
+        input_(std::move(input)),
+        output_(std::move(output)),
+        facts_fn_(std::move(fn)) {}
+
   const Schema& input_schema() const override { return input_; }
   const Schema& output_schema() const override { return output_; }
   std::string name() const override { return name_; }
 
   Result<Instance> Eval(const Instance& input) const override {
-    return fn_(input.Restrict(input_));
+    // The checker loops always pass inputs already over the schema; skip the
+    // full-instance Restrict copy then.
+    const Instance* src = &input;
+    Instance restricted;
+    if (!input.IsOver(input_)) {
+      restricted = input.Restrict(input_);
+      src = &restricted;
+    }
+    if (fn_) return fn_(*src);
+    std::vector<Fact> facts;
+    Status s = facts_fn_(*src, &facts);
+    if (!s.ok()) return s;
+    Instance out;
+    out.InsertSortedFacts(facts);
+    return out;
+  }
+
+  Status EvalFacts(const Instance& input,
+                   std::vector<Fact>* out) const override {
+    if (!facts_fn_) return Query::EvalFacts(input, out);
+    if (input.IsOver(input_)) return facts_fn_(input, out);
+    return facts_fn_(input.Restrict(input_), out);
   }
 
  private:
   std::string name_;
   Schema input_;
   Schema output_;
-  EvalFn fn_;
+  EvalFn fn_;        // exactly one of fn_ / facts_fn_ is set
+  FactsFn facts_fn_;
 };
 
 // Checks Q(pi(I)) == pi(Q(I)) for the given permutation `pi` of adom(I)

@@ -1,568 +1,28 @@
 #include "datalog/evaluator.h"
 
-#include <algorithm>
-#include <climits>
-#include <cassert>
-#include <map>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+#include "datalog/prepared.h"
+
+// One-shot entry points: prepare, run once, discard. Callers that evaluate a
+// program repeatedly should hold a PreparedProgram (datalog/prepared.h) —
+// DatalogQuery/IlogQuery and the transducers do — so analysis,
+// stratification, and rule compilation are paid once instead of per call.
 
 namespace calm::datalog {
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Evaluation-time storage: per-relation tuple vectors with a dedup set and
-// lazily built, incrementally extended hash indexes on bound-position masks.
-// ---------------------------------------------------------------------------
-
-class RelStore {
- public:
-  bool Insert(const Tuple& t) {
-    if (!set_.insert(t).second) return false;
-    tuples_.push_back(t);
-    return true;
-  }
-
-  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  size_t size() const { return tuples_.size(); }
-
-  // Returns indices of tuples whose positions in `mask` equal `key` (the
-  // values of the masked positions in ascending position order).
-  const std::vector<uint32_t>& Probe(uint32_t mask, const Tuple& key) {
-    IndexForMask& index = indexes_[mask];
-    // Extend the index over tuples added since the last probe of this mask.
-    for (uint32_t i = index.upto; i < tuples_.size(); ++i) {
-      index.buckets[KeyOf(tuples_[i], mask)].push_back(i);
-    }
-    index.upto = static_cast<uint32_t>(tuples_.size());
-    auto it = index.buckets.find(key);
-    if (it == index.buckets.end()) return kNoMatches();
-    return it->second;
-  }
-
-  static Tuple KeyOf(const Tuple& t, uint32_t mask) {
-    Tuple key;
-    for (size_t i = 0; i < t.size(); ++i) {
-      if (mask & (1u << i)) key.push_back(t[i]);
-    }
-    return key;
-  }
-
- private:
-  struct IndexForMask {
-    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
-    uint32_t upto = 0;
-  };
-
-  static const std::vector<uint32_t>& kNoMatches() {
-    static const std::vector<uint32_t>* kEmpty = new std::vector<uint32_t>();
-    return *kEmpty;
-  }
-
-  std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> set_;
-  std::map<uint32_t, IndexForMask> indexes_;
-};
-
-class Database {
- public:
-  explicit Database(const Instance& instance) {
-    instance.ForEachFact([&](uint32_t name, const Tuple& t) {
-      rels_[name].Insert(t);
-      ++size_;
-    });
-  }
-
-  bool Insert(uint32_t rel, const Tuple& t) {
-    if (rels_[rel].Insert(t)) {
-      ++size_;
-      return true;
-    }
-    return false;
-  }
-
-  bool Contains(uint32_t rel, const Tuple& t) const {
-    auto it = rels_.find(rel);
-    return it != rels_.end() && it->second.Contains(t);
-  }
-
-  RelStore* Store(uint32_t rel) {
-    auto it = rels_.find(rel);
-    return it == rels_.end() ? nullptr : &it->second;
-  }
-
-  size_t size() const { return size_; }
-
-  Instance ToInstance() const {
-    Instance out;
-    for (const auto& [name, store] : rels_) {
-      for (const Tuple& t : store.tuples()) out.Insert(Fact(name, t));
-    }
-    return out;
-  }
-
- private:
-  std::map<uint32_t, RelStore> rels_;
-  size_t size_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Rule compilation: variables renamed to dense slots; per positive atom the
-// bound/free layout is decided at match time (bindings flow left to right).
-// ---------------------------------------------------------------------------
-
-struct CompiledAtom {
-  uint32_t relation = 0;
-  bool invents = false;  // head-only: leading Skolem invention position
-  // Per argument: the variable slot, or -1 for a constant.
-  std::vector<int> slots;
-  std::vector<Value> constants;  // parallel; meaningful where slot == -1
-};
-
-struct CompiledIneq {
-  int left_slot = -1;   // -1 => constant
-  int right_slot = -1;
-  Value left_const;
-  Value right_const;
-  size_t ready_after = 0;  // pos-atom index after which both sides are bound
-};
-
-struct CompiledRule {
-  CompiledAtom head;
-  std::vector<CompiledAtom> pos;
-  std::vector<CompiledAtom> neg;
-  std::vector<CompiledIneq> ineqs;
-  size_t slot_count = 0;
-  bool recursive_in_current_stratum = false;  // set per stratum
-};
-
-class RuleCompiler {
- public:
-  CompiledRule Compile(const Rule& rule, bool reorder_joins) {
-    slots_.clear();
-    CompiledRule out;
-    std::vector<const Atom*> ordered = OrderAtoms(rule, reorder_joins);
-    out.pos.reserve(ordered.size());
-    for (const Atom* a : ordered) out.pos.push_back(CompileAtom(*a));
-    out.head = CompileAtom(rule.head);
-    for (const Atom& a : rule.neg) out.neg.push_back(CompileAtom(a));
-
-    // For each slot, the first pos atom index (1-based "after matching") at
-    // which it is bound.
-    std::vector<size_t> bound_after(slots_.size(), 0);
-    std::vector<bool> seen(slots_.size(), false);
-    for (size_t i = 0; i < out.pos.size(); ++i) {
-      for (int s : out.pos[i].slots) {
-        if (s >= 0 && !seen[s]) {
-          seen[s] = true;
-          bound_after[s] = i + 1;
-        }
-      }
-    }
-    for (const auto& [l, r] : rule.ineqs) {
-      CompiledIneq ci;
-      size_t ready = 0;
-      if (l.is_var()) {
-        ci.left_slot = SlotOf(l.var);
-        ready = std::max(ready, bound_after[ci.left_slot]);
-      } else {
-        ci.left_const = l.constant;
-      }
-      if (r.is_var()) {
-        ci.right_slot = SlotOf(r.var);
-        ready = std::max(ready, bound_after[ci.right_slot]);
-      } else {
-        ci.right_const = r.constant;
-      }
-      ci.ready_after = ready;
-      out.ineqs.push_back(ci);
-    }
-    out.slot_count = slots_.size();
-    return out;
-  }
-
- private:
-  // Greedy join ordering: repeatedly pick the remaining atom with the most
-  // bound argument positions (constants or variables already bound by the
-  // chosen prefix); ties broken by fewer new variables, then written order.
-  static std::vector<const Atom*> OrderAtoms(const Rule& rule,
-                                             bool reorder_joins) {
-    std::vector<const Atom*> out;
-    out.reserve(rule.pos.size());
-    if (!reorder_joins) {
-      for (const Atom& a : rule.pos) out.push_back(&a);
-      return out;
-    }
-    std::vector<const Atom*> remaining;
-    for (const Atom& a : rule.pos) remaining.push_back(&a);
-    std::set<uint32_t> bound;
-    while (!remaining.empty()) {
-      size_t best = 0;
-      int best_bound = -1;
-      int best_new = INT_MAX;
-      for (size_t i = 0; i < remaining.size(); ++i) {
-        int bound_positions = 0;
-        std::set<uint32_t> fresh;
-        for (const Term& t : remaining[i]->args) {
-          if (!t.is_var() || bound.count(t.var) > 0) {
-            ++bound_positions;
-          } else {
-            fresh.insert(t.var);
-          }
-        }
-        int new_vars = static_cast<int>(fresh.size());
-        if (bound_positions > best_bound ||
-            (bound_positions == best_bound && new_vars < best_new)) {
-          best = i;
-          best_bound = bound_positions;
-          best_new = new_vars;
-        }
-      }
-      const Atom* chosen = remaining[best];
-      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
-      for (const Term& t : chosen->args) {
-        if (t.is_var()) bound.insert(t.var);
-      }
-      out.push_back(chosen);
-    }
-    return out;
-  }
-
-  int SlotOf(uint32_t var) {
-    auto [it, inserted] = slots_.emplace(var, static_cast<int>(slots_.size()));
-    return it->second;
-  }
-
-  CompiledAtom CompileAtom(const Atom& atom) {
-    CompiledAtom out;
-    out.relation = atom.relation;
-    out.invents = atom.invents;
-    out.slots.reserve(atom.args.size());
-    out.constants.resize(atom.args.size());
-    for (size_t i = 0; i < atom.args.size(); ++i) {
-      const Term& t = atom.args[i];
-      if (t.is_var()) {
-        out.slots.push_back(SlotOf(t.var));
-      } else {
-        out.slots.push_back(-1);
-        out.constants[i] = t.constant;
-      }
-    }
-    return out;
-  }
-
-  std::map<uint32_t, int> slots_;
-};
-
-// ---------------------------------------------------------------------------
-// Rule matching.
-// ---------------------------------------------------------------------------
-
-constexpr uint32_t kNoSlot = UINT32_MAX;
-
-// Hash-conses Skolem terms f_R(a1..ak) to invented values, one table per
-// evaluation so identical derivations reuse the same value (Section 5.2).
-class InventionContext {
- public:
-  Value GetOrCreate(uint32_t relation, const Tuple& args) {
-    auto [it, inserted] =
-        table_.emplace(std::make_pair(relation, args), Value());
-    if (inserted) it->second = Value::Invented(next_id_++);
-    return it->second;
-  }
-  size_t size() const { return table_.size(); }
-
- private:
-  std::map<std::pair<uint32_t, Tuple>, Value> table_;
-  uint64_t next_id_ = 0;
-};
-
-class RuleMatcher {
- public:
-  // `negation_db`: database against which negated atoms are tested (the main
-  // db under stratified semantics; a fixed reference under the Gamma
-  // operator of the well-founded semantics).
-  RuleMatcher(Database* db, const Database* negation_db, EvalStats* stats,
-              InventionContext* invention = nullptr)
-      : db_(db), negation_db_(negation_db), stats_(stats),
-        invention_(invention) {}
-
-  // Evaluates `rule`, deriving head facts into `out`. When `delta` is
-  // non-null, exactly the atom at `delta_index` ranges over `delta` instead
-  // of the full store (semi-naive evaluation).
-  void Eval(const CompiledRule& rule, RelStore* delta, size_t delta_index,
-            std::vector<std::pair<uint32_t, Tuple>>* out) {
-    rule_ = &rule;
-    delta_ = delta;
-    delta_index_ = delta_index;
-    out_ = out;
-    binding_.assign(rule.slot_count, Value());
-    bound_.assign(rule.slot_count, false);
-    Match(0);
-  }
-
- private:
-  void Match(size_t atom_index) {
-    if (atom_index == rule_->pos.size()) {
-      Finish();
-      return;
-    }
-    const CompiledAtom& atom = rule_->pos[atom_index];
-    RelStore* source = (delta_ != nullptr && atom_index == delta_index_)
-                           ? delta_
-                           : db_->Store(atom.relation);
-    if (source == nullptr || source->size() == 0) return;
-
-    // Determine bound positions under the current binding.
-    uint32_t mask = 0;
-    Tuple key;
-    for (size_t i = 0; i < atom.slots.size(); ++i) {
-      int s = atom.slots[i];
-      if (s < 0) {
-        mask |= (1u << i);
-        key.push_back(atom.constants[i]);
-      } else if (bound_[s]) {
-        mask |= (1u << i);
-        key.push_back(binding_[s]);
-      }
-    }
-
-    auto try_tuple = [&](const Tuple& t) {
-      // Bind free positions; repeated variables within the atom must agree.
-      std::vector<int> newly_bound;
-      bool ok = true;
-      for (size_t i = 0; i < atom.slots.size() && ok; ++i) {
-        int s = atom.slots[i];
-        if (s < 0) {
-          if (t[i] != atom.constants[i]) ok = false;
-        } else if (bound_[s]) {
-          if (binding_[s] != t[i]) ok = false;
-        } else {
-          binding_[s] = t[i];
-          bound_[s] = true;
-          newly_bound.push_back(s);
-        }
-      }
-      if (ok) ok = IneqsHold(atom_index + 1);
-      if (ok) Match(atom_index + 1);
-      for (int s : newly_bound) bound_[s] = false;
-    };
-
-    if (mask == 0) {
-      // Full scan. Iterate by index: the store can grow while we recurse
-      // (same-relation derivations are only applied between rounds, so no —
-      // but iterate defensively by index anyway).
-      const std::vector<Tuple>& tuples = source->tuples();
-      size_t n = tuples.size();
-      for (size_t i = 0; i < n; ++i) try_tuple(tuples[i]);
-    } else {
-      const std::vector<uint32_t>& hits = source->Probe(mask, key);
-      const std::vector<Tuple>& tuples = source->tuples();
-      for (uint32_t i : hits) try_tuple(tuples[i]);
-    }
-  }
-
-  bool IneqsHold(size_t after) const {
-    for (const CompiledIneq& iq : rule_->ineqs) {
-      if (iq.ready_after != after) continue;
-      Value l = iq.left_slot >= 0 ? binding_[iq.left_slot] : iq.left_const;
-      Value r = iq.right_slot >= 0 ? binding_[iq.right_slot] : iq.right_const;
-      if (l == r) return false;
-    }
-    return true;
-  }
-
-  void Finish() {
-    // Inequalities with no positive variables (ready_after == 0).
-    if (!IneqsHold(0)) return;
-    // Negated atoms: all variables are bound (safety).
-    for (const CompiledAtom& atom : rule_->neg) {
-      Tuple t = Instantiate(atom);
-      if (negation_db_->Contains(atom.relation, t)) return;
-    }
-    if (stats_ != nullptr) ++stats_->rule_applications;
-    Tuple head = Instantiate(rule_->head);
-    if (rule_->head.invents) {
-      assert(invention_ != nullptr);
-      Value skolem = invention_->GetOrCreate(rule_->head.relation, head);
-      head.insert(head.begin(), skolem);
-    }
-    out_->emplace_back(rule_->head.relation, std::move(head));
-  }
-
-  Tuple Instantiate(const CompiledAtom& atom) const {
-    Tuple t;
-    t.reserve(atom.slots.size());
-    for (size_t i = 0; i < atom.slots.size(); ++i) {
-      int s = atom.slots[i];
-      t.push_back(s >= 0 ? binding_[s] : atom.constants[i]);
-    }
-    return t;
-  }
-
-  Database* db_;
-  const Database* negation_db_;
-  EvalStats* stats_;
-  InventionContext* invention_;
-
-  const CompiledRule* rule_ = nullptr;
-  RelStore* delta_ = nullptr;
-  size_t delta_index_ = kNoSlot;
-  std::vector<std::pair<uint32_t, Tuple>>* out_ = nullptr;
-  Tuple binding_;
-  std::vector<bool> bound_;
-};
-
-// ---------------------------------------------------------------------------
-// Fixpoint drivers.
-// ---------------------------------------------------------------------------
-
-// Runs the fixpoint of `rules` over `db`. `growing` tells which relations
-// may grow during this fixpoint (the heads of `rules`); atoms over growing
-// relations are the semi-naive delta positions. `negation_db` is the
-// database used for negated atoms (== db under stratified semantics).
-Status RunFixpoint(const std::vector<CompiledRule>& rules, Database* db,
-                   const Database* negation_db,
-                   const std::set<uint32_t>& growing,
-                   const EvalOptions& options, EvalStats* stats,
-                   InventionContext* invention = nullptr) {
-  RuleMatcher matcher(db, negation_db, stats, invention);
-  std::vector<std::pair<uint32_t, Tuple>> derived;
-
-  // Round 0: evaluate every rule against the full database.
-  for (const CompiledRule& rule : rules) {
-    matcher.Eval(rule, nullptr, kNoSlot, &derived);
-  }
-
-  std::map<uint32_t, RelStore> delta;
-  for (auto& [rel, tuple] : derived) {
-    if (db->Insert(rel, tuple)) delta[rel].Insert(tuple);
-  }
-  if (stats != nullptr) ++stats->fixpoint_rounds;
-
-  if (!options.semi_naive) {
-    // Naive: re-run all rules on the full database until no change.
-    bool changed = !delta.empty();
-    while (changed) {
-      if (db->size() > options.max_total_facts) {
-        return ResourceExhaustedError("fixpoint exceeded max_total_facts");
-      }
-      derived.clear();
-      for (const CompiledRule& rule : rules) {
-        matcher.Eval(rule, nullptr, kNoSlot, &derived);
-      }
-      changed = false;
-      for (auto& [rel, tuple] : derived) {
-        if (db->Insert(rel, tuple)) changed = true;
-      }
-      if (stats != nullptr) ++stats->fixpoint_rounds;
-    }
-    return Status::Ok();
-  }
-
-  // Semi-naive: in each round, for every rule and every positive atom over a
-  // growing relation, evaluate with that atom restricted to the delta.
-  while (!delta.empty()) {
-    if (db->size() > options.max_total_facts) {
-      return ResourceExhaustedError("fixpoint exceeded max_total_facts");
-    }
-    derived.clear();
-    for (const CompiledRule& rule : rules) {
-      for (size_t i = 0; i < rule.pos.size(); ++i) {
-        uint32_t rel = rule.pos[i].relation;
-        if (growing.count(rel) == 0) continue;
-        auto it = delta.find(rel);
-        if (it == delta.end()) continue;
-        matcher.Eval(rule, &it->second, i, &derived);
-      }
-    }
-    std::map<uint32_t, RelStore> next_delta;
-    for (auto& [rel, tuple] : derived) {
-      if (db->Insert(rel, tuple)) next_delta[rel].Insert(tuple);
-    }
-    delta = std::move(next_delta);
-    if (stats != nullptr) ++stats->fixpoint_rounds;
-  }
-  return Status::Ok();
-}
-
-void SeedAdom(const ProgramInfo& info, Instance& input) {
-  if (!info.uses_adom) return;
-  // Active domain of the input restricted to edb relations other than Adom.
-  Schema edb_without_adom;
-  for (const RelationDecl& r : info.edb.relations()) {
-    if (r.name != AdomRelation()) {
-      (void)edb_without_adom.AddRelation(r);
-    }
-  }
-  Instance core = input.Restrict(edb_without_adom);
-  for (Value v : core.ActiveDomain()) {
-    input.Insert(Fact(AdomRelation(), {v}));
-  }
-}
-
-size_t CountDerived(const Database& db, size_t input_size) {
-  return db.size() - std::min(db.size(), input_size);
-}
-
-}  // namespace
-
-namespace {
-
-Result<Instance> EvaluateStratifiedImpl(const Program& program,
-                                        const Instance& input,
-                                        const EvalOptions& options,
-                                        EvalStats* stats, bool allow_invention,
-                                        size_t* invented_count) {
-  CALM_ASSIGN_OR_RETURN(ProgramInfo info, Analyze(program, allow_invention));
-  CALM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program, info));
-
-  Instance working = input.Restrict(info.sch);
-  if (options.populate_adom) SeedAdom(info, working);
-  size_t input_size = working.size();
-
-  Database db(working);
-  InventionContext invention;
-  RuleCompiler compiler;
-  std::vector<CompiledRule> compiled;
-  compiled.reserve(program.rules.size());
-  for (const Rule& r : program.rules) {
-    compiled.push_back(compiler.Compile(r, options.reorder_joins));
-  }
-
-  for (uint32_t s = 0; s < strat.stratum_count; ++s) {
-    std::vector<CompiledRule> stratum_rules;
-    std::set<uint32_t> growing;
-    for (size_t idx : strat.rules_per_stratum[s]) {
-      stratum_rules.push_back(compiled[idx]);
-      growing.insert(program.rules[idx].head.relation);
-    }
-    if (stratum_rules.empty()) continue;
-    CALM_RETURN_IF_ERROR(RunFixpoint(stratum_rules, &db, &db, growing,
-                                     options, stats, &invention));
-  }
-
-  if (stats != nullptr) stats->derived_facts = CountDerived(db, input_size);
-  if (invented_count != nullptr) *invented_count = invention.size();
-  return db.ToInstance();
-}
-
-}  // namespace
-
 Result<Instance> Evaluate(const Program& program, const Instance& input,
                           const EvalOptions& options, EvalStats* stats) {
-  return EvaluateStratifiedImpl(program, input, options, stats,
-                                /*allow_invention=*/false, nullptr);
+  CALM_ASSIGN_OR_RETURN(PreparedProgram prepared,
+                        PreparedProgram::Prepare(program, options));
+  return prepared.Eval(input, stats);
 }
 
 Result<Instance> EvaluateIlog(const Program& program, const Instance& input,
                               const EvalOptions& options, EvalStats* stats,
                               size_t* invented_count) {
-  return EvaluateStratifiedImpl(program, input, options, stats,
-                                /*allow_invention=*/true, invented_count);
+  CALM_ASSIGN_OR_RETURN(
+      PreparedProgram prepared,
+      PreparedProgram::Prepare(program, options, /*allow_invention=*/true));
+  return prepared.Eval(input, stats, invented_count);
 }
 
 Result<Instance> EvaluateWithFixedNegation(const Program& program,
@@ -570,29 +30,9 @@ Result<Instance> EvaluateWithFixedNegation(const Program& program,
                                            const Instance& neg_reference,
                                            const EvalOptions& options,
                                            EvalStats* stats) {
-  CALM_ASSIGN_OR_RETURN(ProgramInfo info, Analyze(program));
-
-  Instance working = input.Restrict(info.sch);
-  if (options.populate_adom) SeedAdom(info, working);
-  size_t input_size = working.size();
-
-  Database db(working);
-  Database neg_db(neg_reference);
-
-  RuleCompiler compiler;
-  std::vector<CompiledRule> compiled;
-  compiled.reserve(program.rules.size());
-  std::set<uint32_t> growing;
-  for (const Rule& r : program.rules) {
-    compiled.push_back(compiler.Compile(r, options.reorder_joins));
-    growing.insert(r.head.relation);
-  }
-
-  CALM_RETURN_IF_ERROR(
-      RunFixpoint(compiled, &db, &neg_db, growing, options, stats));
-
-  if (stats != nullptr) stats->derived_facts = CountDerived(db, input_size);
-  return db.ToInstance();
+  CALM_ASSIGN_OR_RETURN(PreparedProgram prepared,
+                        PreparedProgram::PrepareFixedNegation(program, options));
+  return prepared.EvalFixedNegation(input, neg_reference, stats);
 }
 
 }  // namespace calm::datalog

@@ -71,9 +71,13 @@ bool IsWeaklySafe(const Program& program,
 Result<IlogQuery> IlogQuery::Create(Program program, std::string name,
                                     EvalOptions options) {
   IlogQuery q;
-  CALM_ASSIGN_OR_RETURN(q.info_, Analyze(program, /*allow_invention=*/true));
-  CALM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program, q.info_));
-  (void)strat;
+  // Analyze, stratify, and compile exactly once (invention allowed); Eval
+  // only runs the prepared form.
+  CALM_ASSIGN_OR_RETURN(
+      PreparedProgram prepared,
+      PreparedProgram::Prepare(program, options, /*allow_invention=*/true));
+  q.prepared_ = std::make_shared<const PreparedProgram>(std::move(prepared));
+  const ProgramInfo& info = q.prepared_->info();
   CALM_ASSIGN_OR_RETURN(std::set<uint32_t> inventing,
                         InventionRelations(program));
   if (!IsWeaklySafe(program, inventing)) {
@@ -81,18 +85,17 @@ Result<IlogQuery> IlogQuery::Create(Program program, std::string name,
         "ILOG¬ program is not weakly safe: an output relation has an unsafe "
         "position (invented values could leak into the output)");
   }
-  q.fragment_ = ClassifyFragment(program, q.info_);
-  CALM_ASSIGN_OR_RETURN(q.output_schema_, OutputSchema(program, q.info_));
+  q.fragment_ = ClassifyFragment(program, info);
+  CALM_ASSIGN_OR_RETURN(q.output_schema_, OutputSchema(program, info));
   if (q.output_schema_.empty()) {
     return InvalidArgumentError("ILOG¬ program has no output relations");
   }
-  for (const RelationDecl& r : q.info_.edb.relations()) {
+  for (const RelationDecl& r : info.edb.relations()) {
     if (r.name == AdomRelation()) continue;
     CALM_RETURN_IF_ERROR(q.input_schema_.AddRelation(r));
   }
   q.program_ = std::move(program);
   q.name_ = std::move(name);
-  q.options_ = options;
   return q;
 }
 
@@ -114,11 +117,11 @@ IlogQuery IlogQuery::FromTextOrDie(std::string_view text, std::string name,
   return std::move(q).value();
 }
 
-Result<Instance> IlogQuery::Eval(const Instance& input) const {
-  Instance restricted = input.Restrict(input_schema_);
-  CALM_ASSIGN_OR_RETURN(Instance full,
-                        EvaluateIlog(program_, restricted, options_));
-  Instance out = full.Restrict(output_schema_);
+Result<Instance> IlogQuery::EvalSeeded(
+    std::initializer_list<const Instance*> parts) const {
+  CALM_ASSIGN_OR_RETURN(
+      Instance out,
+      prepared_->EvalParts(parts, &input_schema_, &output_schema_));
   // Weak safety guarantees invention-free output; verify defensively.
   bool clean = true;
   out.ForEachFact([&](uint32_t, const Tuple& t) {
@@ -130,6 +133,15 @@ Result<Instance> IlogQuery::Eval(const Instance& input) const {
     return InternalError("weakly safe program emitted an invented value");
   }
   return out;
+}
+
+Result<Instance> IlogQuery::Eval(const Instance& input) const {
+  return EvalSeeded({&input});
+}
+
+Result<Instance> IlogQuery::EvalUnion(const Instance& a,
+                                      const Instance& b) const {
+  return EvalSeeded({&a, &b});
 }
 
 }  // namespace calm::datalog

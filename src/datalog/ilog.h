@@ -10,6 +10,7 @@
 #include "datalog/ast.h"
 #include "datalog/evaluator.h"
 #include "datalog/fragment.h"
+#include "datalog/prepared.h"
 
 namespace calm::datalog {
 
@@ -47,6 +48,10 @@ class IlogQuery : public Query {
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override { return name_; }
   Result<Instance> Eval(const Instance& input) const override;
+  // Seeds the prepared program from both instances directly — no
+  // materialized union (the checker inner loops call this per (I, J) pair).
+  Result<Instance> EvalUnion(const Instance& a,
+                             const Instance& b) const override;
 
   const Program& program() const { return program_; }
   // Fragment of the program viewed as (w)ILOG¬: the same connectivity and
@@ -57,13 +62,17 @@ class IlogQuery : public Query {
  private:
   IlogQuery() = default;
 
+  Result<Instance> EvalSeeded(std::initializer_list<const Instance*> parts)
+      const;
+
   Program program_;
-  ProgramInfo info_;
+  // shared_ptr: IlogQuery is copied by value; the prepared form is
+  // immutable so copies share it.
+  std::shared_ptr<const PreparedProgram> prepared_;
   FragmentInfo fragment_;
   Schema input_schema_;
   Schema output_schema_;
   std::string name_;
-  EvalOptions options_;
 };
 
 }  // namespace calm::datalog

@@ -1,0 +1,473 @@
+#include "datalog/prepared.h"
+
+#include <cassert>
+#include <climits>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace calm::datalog {
+
+namespace {
+
+constexpr uint32_t kNoSlot = UINT32_MAX;
+
+// Replicates the Instance::Restrict admission rule.
+inline bool SchemaAdmits(const Schema& schema, uint32_t name, const Tuple& t) {
+  uint32_t arity = schema.ArityOf(name);
+  return arity != 0 && t.size() == arity;
+}
+
+// Hash-conses Skolem terms f_R(a1..ak) to invented values, one table per
+// evaluation so identical derivations reuse the same value (Section 5.2).
+class InventionContext {
+ public:
+  Value GetOrCreate(uint32_t relation, const Tuple& args) {
+    auto [it, inserted] =
+        table_.emplace(std::make_pair(relation, args), Value());
+    if (inserted) it->second = Value::Invented(next_id_++);
+    return it->second;
+  }
+  size_t size() const { return table_.size(); }
+
+ private:
+  std::map<std::pair<uint32_t, Tuple>, Value> table_;
+  uint64_t next_id_ = 0;
+};
+
+// Per-round delta stores. Entries persist across Reset (clear keeps the
+// store allocations warm); emptiness is tracked by the total tuple count.
+class DeltaSet {
+ public:
+  bool Insert(uint32_t rel, const Tuple& t) {
+    RelStore* store = Find(rel);
+    if (store == nullptr) {
+      rels_.emplace_back(rel, RelStore());
+      store = &rels_.back().second;
+    }
+    if (store->Insert(t)) {
+      ++total_;
+      return true;
+    }
+    return false;
+  }
+
+  RelStore* Find(uint32_t rel) {
+    for (auto& [r, store] : rels_) {
+      if (r == rel) return &store;
+    }
+    return nullptr;
+  }
+
+  bool any() const { return total_ > 0; }
+
+  void Reset() {
+    for (auto& [r, store] : rels_) store.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::vector<std::pair<uint32_t, RelStore>> rels_;
+  size_t total_ = 0;
+};
+
+// Per-thread evaluation scratch: the working database and the semi-naive
+// delta sets live across calls (cleared, capacity kept), so a checker loop
+// evaluating one prepared program millions of times allocates almost
+// nothing after warm-up. Results are materialized into an Instance before
+// returning, so reuse is invisible to callers; sharing one scratch between
+// different programs on a thread is harmless (stores are empty between
+// runs). The stratified Eval paths run on this scratch; the well-founded
+// alternation manages its own seed copies (see RunFixedNegation).
+struct EvalScratch {
+  Database db;
+  DeltaSet delta;
+  DeltaSet next_delta;
+  std::vector<std::pair<uint32_t, Tuple>> derived;
+};
+
+EvalScratch& LocalScratch() {
+  thread_local EvalScratch scratch;
+  return scratch;
+}
+
+class RuleMatcher {
+ public:
+  // `negation_db`: database against which negated atoms are tested (the main
+  // db under stratified semantics; a fixed reference under the Gamma
+  // operator of the well-founded semantics).
+  RuleMatcher(Database* db, const Database* negation_db, EvalStats* stats,
+              InventionContext* invention = nullptr)
+      : db_(db), negation_db_(negation_db), stats_(stats),
+        invention_(invention) {}
+
+  // Evaluates `rule`, deriving head facts into `out`. When `delta` is
+  // non-null, exactly the atom at `delta_index` ranges over `delta` instead
+  // of the full store (semi-naive evaluation).
+  void Eval(const CompiledRule& rule, RelStore* delta, size_t delta_index,
+            std::vector<std::pair<uint32_t, Tuple>>* out) {
+    rule_ = &rule;
+    delta_ = delta;
+    delta_index_ = delta_index;
+    out_ = out;
+    binding_.assign(rule.slot_count, Value());
+    bound_.assign(rule.slot_count, false);
+    Match(0);
+  }
+
+ private:
+  void Match(size_t atom_index) {
+    if (atom_index == rule_->pos.size()) {
+      Finish();
+      return;
+    }
+    const CompiledAtom& atom = rule_->pos[atom_index];
+    RelStore* source = (delta_ != nullptr && atom_index == delta_index_)
+                           ? delta_
+                           : db_->Store(atom.relation);
+    if (source == nullptr || source->size() == 0) return;
+
+    // Determine bound positions under the current binding.
+    uint32_t mask = 0;
+    Tuple key;
+    for (size_t i = 0; i < atom.slots.size(); ++i) {
+      int s = atom.slots[i];
+      if (s < 0) {
+        mask |= (1u << i);
+        key.push_back(atom.constants[i]);
+      } else if (bound_[s]) {
+        mask |= (1u << i);
+        key.push_back(binding_[s]);
+      }
+    }
+
+    auto try_tuple = [&](const Tuple& t) {
+      // Bind free positions; repeated variables within the atom must agree.
+      std::vector<int> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < atom.slots.size() && ok; ++i) {
+        int s = atom.slots[i];
+        if (s < 0) {
+          if (t[i] != atom.constants[i]) ok = false;
+        } else if (bound_[s]) {
+          if (binding_[s] != t[i]) ok = false;
+        } else {
+          binding_[s] = t[i];
+          bound_[s] = true;
+          newly_bound.push_back(s);
+        }
+      }
+      if (ok) ok = IneqsHold(atom_index + 1);
+      if (ok) Match(atom_index + 1);
+      for (int s : newly_bound) bound_[s] = false;
+    };
+
+    if (mask == 0) {
+      // Full scan. Iterate by index: derivations are only applied between
+      // rounds, but iterate defensively anyway.
+      const std::vector<Tuple>& tuples = source->tuples();
+      size_t n = tuples.size();
+      for (size_t i = 0; i < n; ++i) try_tuple(tuples[i]);
+    } else {
+      const std::vector<uint32_t>& hits = source->Probe(mask, key);
+      const std::vector<Tuple>& tuples = source->tuples();
+      for (uint32_t i : hits) try_tuple(tuples[i]);
+    }
+  }
+
+  bool IneqsHold(size_t after) const {
+    for (const CompiledIneq& iq : rule_->ineqs) {
+      if (iq.ready_after != after) continue;
+      Value l = iq.left_slot >= 0 ? binding_[iq.left_slot] : iq.left_const;
+      Value r = iq.right_slot >= 0 ? binding_[iq.right_slot] : iq.right_const;
+      if (l == r) return false;
+    }
+    return true;
+  }
+
+  void Finish() {
+    // Inequalities with no positive variables (ready_after == 0).
+    if (!IneqsHold(0)) return;
+    // Negated atoms: all variables are bound (safety).
+    for (const CompiledAtom& atom : rule_->neg) {
+      Tuple t = Instantiate(atom);
+      if (negation_db_->Contains(atom.relation, t)) return;
+    }
+    if (stats_ != nullptr) ++stats_->rule_applications;
+    Tuple head = Instantiate(rule_->head);
+    if (rule_->head.invents) {
+      assert(invention_ != nullptr);
+      Value skolem = invention_->GetOrCreate(rule_->head.relation, head);
+      head.prepend(skolem);
+    }
+    out_->emplace_back(rule_->head.relation, std::move(head));
+  }
+
+  Tuple Instantiate(const CompiledAtom& atom) const {
+    Tuple t;
+    t.reserve(atom.slots.size());
+    for (size_t i = 0; i < atom.slots.size(); ++i) {
+      int s = atom.slots[i];
+      t.push_back(s >= 0 ? binding_[s] : atom.constants[i]);
+    }
+    return t;
+  }
+
+  Database* db_;
+  const Database* negation_db_;
+  EvalStats* stats_;
+  InventionContext* invention_;
+
+  const CompiledRule* rule_ = nullptr;
+  RelStore* delta_ = nullptr;
+  size_t delta_index_ = kNoSlot;
+  std::vector<std::pair<uint32_t, Tuple>>* out_ = nullptr;
+  Tuple binding_;
+  std::vector<bool> bound_;
+};
+
+size_t CountDerived(const Database& db, size_t input_size) {
+  return db.size() - std::min(db.size(), input_size);
+}
+
+// Runs the fixpoint of one prepared stratum over `db`: `rules` indexes into
+// `compiled` and `delta_sites` lists its semi-naive (rule, atom) pairs.
+// `negation_db` is the database used for negated atoms (== db under
+// stratified semantics; the fixed reference under Gamma).
+Status RunFixpoint(const std::vector<CompiledRule>& compiled,
+                   const std::vector<uint32_t>& rules,
+                   const std::vector<std::pair<uint32_t, uint32_t>>& delta_sites,
+                   Database* db, const Database* negation_db,
+                   const EvalOptions& options, EvalStats* stats,
+                   InventionContext* invention) {
+  RuleMatcher matcher(db, negation_db, stats, invention);
+  EvalScratch& scratch = LocalScratch();
+  std::vector<std::pair<uint32_t, Tuple>>& derived = scratch.derived;
+  derived.clear();
+
+  // Round 0: evaluate every rule against the full database.
+  for (uint32_t r : rules) {
+    matcher.Eval(compiled[r], nullptr, kNoSlot, &derived);
+  }
+
+  DeltaSet& delta = scratch.delta;
+  delta.Reset();
+  for (auto& [rel, tuple] : derived) {
+    if (db->Insert(rel, tuple)) delta.Insert(rel, tuple);
+  }
+  if (stats != nullptr) ++stats->fixpoint_rounds;
+
+  if (!options.semi_naive) {
+    // Naive: re-run all rules on the full database until no change.
+    bool changed = delta.any();
+    while (changed) {
+      if (db->size() > options.max_total_facts) {
+        return ResourceExhaustedError("fixpoint exceeded max_total_facts");
+      }
+      derived.clear();
+      for (uint32_t r : rules) {
+        matcher.Eval(compiled[r], nullptr, kNoSlot, &derived);
+      }
+      changed = false;
+      for (auto& [rel, tuple] : derived) {
+        if (db->Insert(rel, tuple)) changed = true;
+      }
+      if (stats != nullptr) ++stats->fixpoint_rounds;
+    }
+    return Status::Ok();
+  }
+
+  // Semi-naive: in each round, for every precomputed (rule, growing-atom)
+  // site, evaluate with that atom restricted to the delta.
+  DeltaSet& next_delta = scratch.next_delta;
+  while (delta.any()) {
+    if (db->size() > options.max_total_facts) {
+      return ResourceExhaustedError("fixpoint exceeded max_total_facts");
+    }
+    derived.clear();
+    for (const auto& [r, atom_index] : delta_sites) {
+      const CompiledRule& rule = compiled[r];
+      RelStore* d = delta.Find(rule.pos[atom_index].relation);
+      if (d == nullptr || d->size() == 0) continue;
+      matcher.Eval(rule, d, atom_index, &derived);
+    }
+    next_delta.Reset();
+    for (auto& [rel, tuple] : derived) {
+      if (db->Insert(rel, tuple)) next_delta.Insert(rel, tuple);
+    }
+    std::swap(delta, next_delta);
+    if (stats != nullptr) ++stats->fixpoint_rounds;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void PreparedProgram::CompileRules(const Program& program) {
+  RuleCompiler compiler;
+  compiled_.reserve(program.rules.size());
+  for (const Rule& r : program.rules) {
+    compiled_.push_back(compiler.Compile(r, options_.reorder_joins));
+  }
+  if (info_.uses_adom) {
+    for (const RelationDecl& r : info_.edb.relations()) {
+      if (r.name != AdomRelation()) (void)adom_source_.AddRelation(r);
+    }
+  }
+}
+
+PreparedProgram::Stratum PreparedProgram::MakeStratum(
+    const Program& program, const std::vector<size_t>& rule_indices) const {
+  Stratum st;
+  std::set<uint32_t> growing;
+  for (size_t idx : rule_indices) {
+    st.rules.push_back(static_cast<uint32_t>(idx));
+    growing.insert(program.rules[idx].head.relation);
+  }
+  for (uint32_t r : st.rules) {
+    const CompiledRule& rule = compiled_[r];
+    for (uint32_t a = 0; a < rule.pos.size(); ++a) {
+      if (growing.count(rule.pos[a].relation) > 0) {
+        st.delta_sites.emplace_back(r, a);
+      }
+    }
+  }
+  return st;
+}
+
+Result<PreparedProgram> PreparedProgram::Prepare(const Program& program,
+                                                 const EvalOptions& options,
+                                                 bool allow_invention) {
+  PreparedProgram p;
+  CALM_ASSIGN_OR_RETURN(p.info_, Analyze(program, allow_invention));
+  CALM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program, p.info_));
+  p.options_ = options;
+  p.CompileRules(program);
+  for (uint32_t s = 0; s < strat.stratum_count; ++s) {
+    if (strat.rules_per_stratum[s].empty()) continue;
+    p.strata_.push_back(p.MakeStratum(program, strat.rules_per_stratum[s]));
+  }
+  return p;
+}
+
+Result<PreparedProgram> PreparedProgram::PrepareFixedNegation(
+    const Program& program, const EvalOptions& options) {
+  PreparedProgram p;
+  CALM_ASSIGN_OR_RETURN(p.info_, Analyze(program));
+  p.options_ = options;
+  p.fixed_negation_ = true;
+  p.CompileRules(program);
+  std::vector<size_t> all;
+  all.reserve(program.rules.size());
+  for (size_t i = 0; i < program.rules.size(); ++i) all.push_back(i);
+  if (!all.empty()) p.strata_.push_back(p.MakeStratum(program, all));
+  return p;
+}
+
+Database PreparedProgram::MakeSeed(
+    std::initializer_list<const Instance*> parts,
+    const Schema* pre_restrict) const {
+  Database db;
+  SeedInto(&db, parts, pre_restrict);
+  return db;
+}
+
+void PreparedProgram::SeedInto(Database* db,
+                               std::initializer_list<const Instance*> parts,
+                               const Schema* pre_restrict) const {
+  const bool seed_adom = info_.uses_adom && options_.populate_adom;
+  const uint32_t adom_rel = AdomRelation();
+  auto admitted = [&](uint32_t name, const Tuple& t) {
+    return SchemaAdmits(info_.sch, name, t) &&
+           (pre_restrict == nullptr || SchemaAdmits(*pre_restrict, name, t));
+  };
+
+  // The seeded Adom store must hold sorted(input Adom facts ∪ active-domain
+  // values) — the insertion order the one-shot path produced by inserting
+  // Adom facts into the sorted working Instance before building the
+  // database — so derivation order (and with it ILOG's invented-value
+  // numbering) is unchanged.
+  std::set<Tuple> adom_facts;
+  if (seed_adom) {
+    for (const Instance* part : parts) {
+      part->ForEachFact([&](uint32_t name, const Tuple& t) {
+        if (!admitted(name, t)) return;
+        if (name == adom_rel) {
+          adom_facts.insert(t);
+        } else if (adom_source_.ArityOf(name) != 0) {
+          for (Value v : t) adom_facts.insert(Tuple{v});
+        }
+      });
+    }
+  }
+
+  for (const Instance* part : parts) {
+    part->ForEachFact([&](uint32_t name, const Tuple& t) {
+      if (seed_adom && name == adom_rel) return;  // merged below, sorted
+      if (admitted(name, t)) db->Insert(name, t);
+    });
+  }
+  if (seed_adom) {
+    for (const Tuple& t : adom_facts) db->Insert(adom_rel, t);
+  }
+}
+
+Result<Instance> PreparedProgram::RunInPlace(Database* db, EvalStats* stats,
+                                             size_t* invented_count,
+                                             const Schema* post_restrict) const {
+  const size_t input_size = db->size();
+  InventionContext invention;
+  for (const Stratum& s : strata_) {
+    CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, s.rules, s.delta_sites, db,
+                                     db, options_, stats, &invention));
+  }
+  if (stats != nullptr) stats->derived_facts = CountDerived(*db, input_size);
+  if (invented_count != nullptr) *invented_count = invention.size();
+  return db->ToInstance(post_restrict);
+}
+
+Result<Instance> PreparedProgram::Eval(const Instance& input, EvalStats* stats,
+                                       size_t* invented_count) const {
+  return EvalParts({&input}, nullptr, nullptr, stats, invented_count);
+}
+
+Result<Instance> PreparedProgram::EvalParts(
+    std::initializer_list<const Instance*> parts, const Schema* pre_restrict,
+    const Schema* post_restrict, EvalStats* stats,
+    size_t* invented_count) const {
+  if (fixed_negation_) {
+    return InternalError(
+        "EvalParts on a fixed-negation prepared program; use "
+        "EvalFixedNegation");
+  }
+  Database& db = LocalScratch().db;
+  db.Reset();
+  SeedInto(&db, parts, pre_restrict);
+  return RunInPlace(&db, stats, invented_count, post_restrict);
+}
+
+Result<Instance> PreparedProgram::RunFixedNegation(Database db,
+                                                   const Database& neg_db,
+                                                   EvalStats* stats) const {
+  if (!fixed_negation_) {
+    return InternalError(
+        "RunFixedNegation on a stratified prepared program; use Eval");
+  }
+  const size_t input_size = db.size();
+  if (!strata_.empty()) {
+    CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, strata_[0].rules,
+                                     strata_[0].delta_sites, &db, &neg_db,
+                                     options_, stats, nullptr));
+  }
+  if (stats != nullptr) stats->derived_facts = CountDerived(db, input_size);
+  return db.ToInstance();
+}
+
+Result<Instance> PreparedProgram::EvalFixedNegation(
+    const Instance& input, const Instance& neg_reference,
+    EvalStats* stats) const {
+  return RunFixedNegation(MakeSeed({&input}, nullptr), Database(neg_reference),
+                          stats);
+}
+
+}  // namespace calm::datalog

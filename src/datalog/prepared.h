@@ -1,0 +1,118 @@
+#ifndef CALM_DATALOG_PREPARED_H_
+#define CALM_DATALOG_PREPARED_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/schema.h"
+#include "base/status.h"
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+#include "datalog/compiled.h"
+#include "datalog/evaluator.h"
+#include "datalog/relstore.h"
+#include "datalog/stratifier.h"
+
+namespace calm::datalog {
+
+// A program compiled for repeated evaluation: analysis, stratification, join
+// ordering, and rule compilation run exactly once at Prepare time; each Eval
+// is a seed-and-run fixpoint over the compiled form with fresh scratch.
+// Instances of this class are immutable after Prepare, so one prepared
+// program can be evaluated concurrently from many threads (the parallel
+// monotonicity checkers do exactly that).
+//
+// Result and EvalStats equivalence with the one-shot entry points in
+// evaluator.h is pinned by tests/prepared_test.cc.
+class PreparedProgram {
+ public:
+  // Analyzes, stratifies, and compiles `program` (errors exactly when
+  // Evaluate/EvaluateIlog would: analysis first, then stratification).
+  // `options.reorder_joins` is baked into the compiled form; the remaining
+  // options govern every subsequent run.
+  static Result<PreparedProgram> Prepare(const Program& program,
+                                         const EvalOptions& options = {},
+                                         bool allow_invention = false);
+
+  // Analyzes and compiles for the fixed-negation (Gamma) operator: a single
+  // fixpoint with every head growing, no stratifiability requirement.
+  static Result<PreparedProgram> PrepareFixedNegation(
+      const Program& program, const EvalOptions& options = {});
+
+  const ProgramInfo& info() const { return info_; }
+  const EvalOptions& options() const { return options_; }
+
+  // Stratified (or ILOG) evaluation; equals Evaluate()/EvaluateIlog() on
+  // this program. Only valid on Prepare()-built instances.
+  Result<Instance> Eval(const Instance& input, EvalStats* stats = nullptr,
+                        size_t* invented_count = nullptr) const;
+
+  // As Eval over the set union of `parts`, without materializing the union.
+  // When `pre_restrict` is non-null, facts outside that schema are dropped
+  // while seeding — equivalent to restricting each part first, minus the
+  // intermediate Instance copies. When `post_restrict` is non-null, only
+  // facts it admits are materialized into the result — equivalent to
+  // .Restrict(*post_restrict) on the full result, again minus the copy.
+  // Runs over thread-local scratch storage, so repeated calls on one thread
+  // allocate almost nothing.
+  Result<Instance> EvalParts(std::initializer_list<const Instance*> parts,
+                             const Schema* pre_restrict,
+                             const Schema* post_restrict = nullptr,
+                             EvalStats* stats = nullptr,
+                             size_t* invented_count = nullptr) const;
+
+  // The Gamma operator: least fixpoint with negated atoms tested against the
+  // fixed `neg_reference`. Only valid on PrepareFixedNegation()-built
+  // instances; equals EvaluateWithFixedNegation() on this program.
+  Result<Instance> EvalFixedNegation(const Instance& input,
+                                     const Instance& neg_reference,
+                                     EvalStats* stats = nullptr) const;
+
+  // --- Seed/run split (the well-founded alternation reuses one seed) ---
+
+  // Builds the seed database: the union of `parts` restricted to sch(P)
+  // (and `pre_restrict`, when given), plus Adom facts when the program
+  // reads Adom and options().populate_adom is set.
+  Database MakeSeed(std::initializer_list<const Instance*> parts,
+                    const Schema* pre_restrict) const;
+
+  // Runs the fixed-negation fixpoint over a seed built by MakeSeed. Takes
+  // the seed by value: pass a copy to reuse one seed across Gamma calls.
+  Result<Instance> RunFixedNegation(Database db, const Database& neg_db,
+                                    EvalStats* stats = nullptr) const;
+
+ private:
+  // One stratum of the prepared form; fixed-negation programs have exactly
+  // one with every rule in it.
+  struct Stratum {
+    std::vector<uint32_t> rules;  // indices into compiled_, stratum order
+    // Semi-naive delta positions: (rule index into compiled_, pos-atom
+    // index) for every atom over a relation that grows in this stratum, in
+    // rule-major order — the same evaluation order as the one-shot path.
+    std::vector<std::pair<uint32_t, uint32_t>> delta_sites;
+  };
+
+  PreparedProgram() = default;
+
+  void CompileRules(const Program& program);
+  Stratum MakeStratum(const Program& program,
+                      const std::vector<size_t>& rule_indices) const;
+  void SeedInto(Database* db, std::initializer_list<const Instance*> parts,
+                const Schema* pre_restrict) const;
+  Result<Instance> RunInPlace(Database* db, EvalStats* stats,
+                              size_t* invented_count,
+                              const Schema* post_restrict) const;
+
+  ProgramInfo info_;
+  EvalOptions options_;
+  bool fixed_negation_ = false;
+  std::vector<CompiledRule> compiled_;
+  std::vector<Stratum> strata_;
+  Schema adom_source_;  // edb(P) minus Adom: where seeded Adom values come from
+};
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_PREPARED_H_

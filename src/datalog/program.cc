@@ -4,7 +4,6 @@
 #include <cstdlib>
 
 #include "datalog/parser.h"
-#include "datalog/stratifier.h"
 #include "datalog/wellfounded.h"
 
 namespace calm::datalog {
@@ -13,25 +12,29 @@ Result<DatalogQuery> DatalogQuery::Create(Program program, std::string name,
                                           Semantics semantics,
                                           EvalOptions options) {
   DatalogQuery q;
-  CALM_ASSIGN_OR_RETURN(q.info_, Analyze(program));
-  if (semantics == Semantics::kStratified) {
-    CALM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program, q.info_));
-    (void)strat;
-  }
-  q.fragment_ = ClassifyFragment(program, q.info_);
-  CALM_ASSIGN_OR_RETURN(q.output_schema_, OutputSchema(program, q.info_));
+  // Analyze, stratify (under kStratified), and compile exactly once; Eval
+  // only runs the prepared form.
+  Result<PreparedProgram> prepared =
+      semantics == Semantics::kStratified
+          ? PreparedProgram::Prepare(program, options)
+          : PreparedProgram::PrepareFixedNegation(program, options);
+  CALM_RETURN_IF_ERROR(prepared.status());
+  q.prepared_ =
+      std::make_shared<const PreparedProgram>(std::move(prepared).value());
+  const ProgramInfo& info = q.prepared_->info();
+  q.fragment_ = ClassifyFragment(program, info);
+  CALM_ASSIGN_OR_RETURN(q.output_schema_, OutputSchema(program, info));
   if (q.output_schema_.empty()) {
     return InvalidArgumentError(
         "program has no output relations (mark one with .output or name it O)");
   }
-  for (const RelationDecl& r : q.info_.edb.relations()) {
+  for (const RelationDecl& r : info.edb.relations()) {
     if (r.name == AdomRelation()) continue;
     CALM_RETURN_IF_ERROR(q.input_schema_.AddRelation(r));
   }
   q.program_ = std::move(program);
   q.name_ = name.empty() ? q.fragment_.FragmentName() : std::move(name);
   q.semantics_ = semantics;
-  q.options_ = options;
   return q;
 }
 
@@ -54,16 +57,24 @@ DatalogQuery DatalogQuery::FromTextOrDie(std::string_view text,
   return std::move(q).value();
 }
 
-Result<Instance> DatalogQuery::Eval(const Instance& input) const {
-  Instance restricted = input.Restrict(input_schema_);
+Result<Instance> DatalogQuery::EvalSeeded(
+    std::initializer_list<const Instance*> parts) const {
   if (semantics_ == Semantics::kStratified) {
-    CALM_ASSIGN_OR_RETURN(Instance full,
-                          Evaluate(program_, restricted, options_));
-    return full.Restrict(output_schema_);
+    return prepared_->EvalParts(parts, &input_schema_, &output_schema_);
   }
-  CALM_ASSIGN_OR_RETURN(WellFoundedModel model,
-                        EvaluateWellFounded(program_, restricted, options_));
+  CALM_ASSIGN_OR_RETURN(
+      WellFoundedModel model,
+      EvaluateWellFounded(*prepared_, parts, &input_schema_));
   return model.definitely.Restrict(output_schema_);
+}
+
+Result<Instance> DatalogQuery::Eval(const Instance& input) const {
+  return EvalSeeded({&input});
+}
+
+Result<Instance> DatalogQuery::EvalUnion(const Instance& a,
+                                         const Instance& b) const {
+  return EvalSeeded({&a, &b});
 }
 
 }  // namespace calm::datalog

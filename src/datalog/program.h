@@ -9,6 +9,7 @@
 #include "datalog/ast.h"
 #include "datalog/evaluator.h"
 #include "datalog/fragment.h"
+#include "datalog/prepared.h"
 
 namespace calm::datalog {
 
@@ -39,23 +40,33 @@ class DatalogQuery : public Query {
   const Schema& output_schema() const override { return output_schema_; }
   std::string name() const override { return name_; }
   Result<Instance> Eval(const Instance& input) const override;
+  // Seeds the prepared program from both instances directly — no
+  // materialized union (the checker inner loops call this per (I, J) pair).
+  Result<Instance> EvalUnion(const Instance& a,
+                             const Instance& b) const override;
 
   const Program& program() const { return program_; }
-  const ProgramInfo& info() const { return info_; }
+  const ProgramInfo& info() const { return prepared_->info(); }
   const FragmentInfo& fragment() const { return fragment_; }
   Semantics semantics() const { return semantics_; }
+  // The compile-once form both Eval paths run over.
+  const PreparedProgram& prepared() const { return *prepared_; }
 
  private:
   DatalogQuery() = default;
 
+  Result<Instance> EvalSeeded(std::initializer_list<const Instance*> parts)
+      const;
+
   Program program_;
-  ProgramInfo info_;
+  // shared_ptr: DatalogQuery is copied freely (FromTextOrDie returns by
+  // value); the prepared form is immutable so copies share it.
+  std::shared_ptr<const PreparedProgram> prepared_;
   FragmentInfo fragment_;
   Schema input_schema_;
   Schema output_schema_;
   std::string name_;
   Semantics semantics_ = Semantics::kStratified;
-  EvalOptions options_;
 };
 
 }  // namespace calm::datalog

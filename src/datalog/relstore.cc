@@ -1,0 +1,203 @@
+#include "datalog/relstore.h"
+
+#include <algorithm>
+
+namespace calm::datalog {
+
+namespace {
+
+constexpr size_t kInitialTableSize = 16;  // power of two
+
+// True when `used` entries exceed ~0.7 load of `table_size`.
+inline bool OverLoad(size_t used, size_t table_size) {
+  return used * 10 > table_size * 7;
+}
+
+}  // namespace
+
+const std::vector<uint32_t>& RelStore::NoMatches() {
+  static const std::vector<uint32_t>* kEmpty = new std::vector<uint32_t>();
+  return *kEmpty;
+}
+
+void RelStore::GrowDedupTable() {
+  size_t new_size = dedup_.empty() ? kInitialTableSize : dedup_.size() * 2;
+  dedup_.assign(new_size, 0);
+  size_t mask = new_size - 1;
+  for (uint32_t i = 0; i < tuples_.size(); ++i) {
+    size_t h = TupleHash{}(tuples_[i]) & mask;
+    while (dedup_[h] != 0) h = (h + 1) & mask;
+    dedup_[h] = i + 1;
+  }
+}
+
+bool RelStore::Insert(const Tuple& t) {
+  if (OverLoad(tuples_.size() + 1, dedup_.size())) GrowDedupTable();
+  size_t mask = dedup_.size() - 1;
+  size_t h = TupleHash{}(t) & mask;
+  while (true) {
+    uint32_t e = dedup_[h];
+    if (e == 0) {
+      dedup_[h] = static_cast<uint32_t>(tuples_.size()) + 1;
+      tuples_.push_back(t);
+      return true;
+    }
+    if (tuples_[e - 1] == t) return false;
+    h = (h + 1) & mask;
+  }
+}
+
+bool RelStore::Contains(const Tuple& t) const {
+  if (dedup_.empty()) return false;
+  size_t mask = dedup_.size() - 1;
+  size_t h = TupleHash{}(t) & mask;
+  while (true) {
+    uint32_t e = dedup_[h];
+    if (e == 0) return false;
+    if (tuples_[e - 1] == t) return true;
+    h = (h + 1) & mask;
+  }
+}
+
+void RelStore::clear() {
+  tuples_.clear();
+  std::fill(dedup_.begin(), dedup_.end(), 0);
+  // Keep the per-mask index shells (and their table allocations); they
+  // rebuild incrementally from row 0 on the next Probe.
+  for (MaskIndex& mi : indexes_) {
+    mi.upto = 0;
+    std::fill(mi.table.begin(), mi.table.end(), 0);
+    mi.buckets.clear();
+  }
+}
+
+Tuple RelStore::KeyOf(const Tuple& t, uint32_t mask) {
+  Tuple key;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (mask & (1u << i)) key.push_back(t[i]);
+  }
+  return key;
+}
+
+RelStore::Bucket* RelStore::FindOrAddBucket(MaskIndex& index,
+                                            const Tuple& key) {
+  if (OverLoad(index.buckets.size() + 1, index.table.size())) {
+    size_t new_size =
+        index.table.empty() ? kInitialTableSize : index.table.size() * 2;
+    index.table.assign(new_size, 0);
+    size_t mask = new_size - 1;
+    for (uint32_t b = 0; b < index.buckets.size(); ++b) {
+      size_t h = TupleHash{}(index.buckets[b].key) & mask;
+      while (index.table[h] != 0) h = (h + 1) & mask;
+      index.table[h] = b + 1;
+    }
+  }
+  size_t mask = index.table.size() - 1;
+  size_t h = TupleHash{}(key) & mask;
+  while (true) {
+    uint32_t e = index.table[h];
+    if (e == 0) {
+      index.table[h] = static_cast<uint32_t>(index.buckets.size()) + 1;
+      index.buckets.push_back(Bucket{key, {}});
+      return &index.buckets.back();
+    }
+    if (index.buckets[e - 1].key == key) return &index.buckets[e - 1];
+    h = (h + 1) & mask;
+  }
+}
+
+const RelStore::Bucket* RelStore::FindBucket(const MaskIndex& index,
+                                             const Tuple& key) const {
+  if (index.table.empty()) return nullptr;
+  size_t mask = index.table.size() - 1;
+  size_t h = TupleHash{}(key) & mask;
+  while (true) {
+    uint32_t e = index.table[h];
+    if (e == 0) return nullptr;
+    if (index.buckets[e - 1].key == key) return &index.buckets[e - 1];
+    h = (h + 1) & mask;
+  }
+}
+
+const std::vector<uint32_t>& RelStore::Probe(uint32_t mask, const Tuple& key) {
+  MaskIndex* index = nullptr;
+  for (MaskIndex& mi : indexes_) {
+    if (mi.mask == mask) {
+      index = &mi;
+      break;
+    }
+  }
+  if (index == nullptr) {
+    indexes_.push_back(MaskIndex{});
+    index = &indexes_.back();
+    index->mask = mask;
+  }
+  // Extend the index over tuples added since the last probe of this mask.
+  for (uint32_t i = index->upto; i < tuples_.size(); ++i) {
+    FindOrAddBucket(*index, KeyOf(tuples_[i], mask))->rows.push_back(i);
+  }
+  index->upto = static_cast<uint32_t>(tuples_.size());
+  const Bucket* bucket = FindBucket(*index, key);
+  return bucket == nullptr ? NoMatches() : bucket->rows;
+}
+
+Database::Database(const Instance& instance) {
+  instance.ForEachFact(
+      [&](uint32_t name, const Tuple& t) { Insert(name, t); });
+}
+
+RelStore* Database::Find(uint32_t rel) const {
+  if (last_ < rels_.size() && rels_[last_].first == rel) {
+    return const_cast<RelStore*>(&rels_[last_].second);
+  }
+  for (size_t i = 0; i < rels_.size(); ++i) {
+    if (rels_[i].first == rel) {
+      last_ = i;
+      return const_cast<RelStore*>(&rels_[i].second);
+    }
+  }
+  return nullptr;
+}
+
+bool Database::Insert(uint32_t rel, const Tuple& t) {
+  RelStore* store = Find(rel);
+  if (store == nullptr) {
+    rels_.emplace_back(rel, RelStore());
+    last_ = rels_.size() - 1;
+    store = &rels_.back().second;
+  }
+  if (store->Insert(t)) {
+    ++size_;
+    return true;
+  }
+  return false;
+}
+
+bool Database::Contains(uint32_t rel, const Tuple& t) const {
+  const RelStore* store = Find(rel);
+  return store != nullptr && store->Contains(t);
+}
+
+RelStore* Database::Store(uint32_t rel) { return Find(rel); }
+
+void Database::Reset() {
+  for (auto& [name, store] : rels_) store.clear();
+  size_ = 0;
+}
+
+Instance Database::ToInstance(const Schema* restrict_to) const {
+  Instance out;
+  for (const auto& [name, store] : rels_) {
+    uint32_t arity =
+        restrict_to != nullptr ? restrict_to->ArityOf(name) : 0;
+    if (restrict_to != nullptr && arity == 0) continue;
+    for (const Tuple& t : store.tuples()) {
+      // Same per-fact rule as Instance::Restrict.
+      if (restrict_to != nullptr && t.size() != arity) continue;
+      out.Insert(Fact(name, t));
+    }
+  }
+  return out;
+}
+
+}  // namespace calm::datalog

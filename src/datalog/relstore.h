@@ -1,0 +1,106 @@
+#ifndef CALM_DATALOG_RELSTORE_H_
+#define CALM_DATALOG_RELSTORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/fact.h"
+#include "base/instance.h"
+
+namespace calm::datalog {
+
+// Evaluation-time storage for one relation: a tuple vector (insertion order,
+// which the fixpoint drivers rely on for deterministic matching) with a flat
+// open-addressing dedup table and lazily built, incrementally extended hash
+// indexes keyed on bound-position masks. Everything is index-based — no
+// per-tuple or per-node heap allocation on the hot path (the old
+// unordered_set/std::map representation allocated a node per insert).
+class RelStore {
+ public:
+  RelStore() = default;
+
+  // Inserts `t` if new; returns whether it was inserted.
+  bool Insert(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+
+  // Tuples in insertion order.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  // Drops all tuples but keeps the allocated capacity (delta reuse across
+  // fixpoint rounds).
+  void clear();
+
+  // Returns indices of tuples whose positions in `mask` equal `key` (the
+  // values of the masked positions in ascending position order). The index
+  // for `mask` is built on first probe and extended incrementally over
+  // tuples inserted since.
+  const std::vector<uint32_t>& Probe(uint32_t mask, const Tuple& key);
+
+  static Tuple KeyOf(const Tuple& t, uint32_t mask);
+
+ private:
+  struct Bucket {
+    Tuple key;
+    std::vector<uint32_t> rows;
+  };
+  // One probe index: open-addressing table of bucket-index+1 entries over
+  // the distinct keys for this mask.
+  struct MaskIndex {
+    uint32_t mask = 0;
+    uint32_t upto = 0;  // tuples_[0, upto) are indexed
+    std::vector<uint32_t> table;
+    std::vector<Bucket> buckets;
+  };
+
+  static const std::vector<uint32_t>& NoMatches();
+
+  void GrowDedupTable();
+  Bucket* FindOrAddBucket(MaskIndex& index, const Tuple& key);
+  const Bucket* FindBucket(const MaskIndex& index, const Tuple& key) const;
+
+  std::vector<Tuple> tuples_;
+  // Open-addressing dedup table: entries are tuple-index+1, 0 = empty.
+  // Power-of-two size, linear probing, grown at ~0.7 load.
+  std::vector<uint32_t> dedup_;
+  std::vector<MaskIndex> indexes_;  // few masks per store; linear scan
+};
+
+// The per-relation stores of one evaluation. Relations are kept in a small
+// flat vector (programs have a handful of relations); lookups linear-scan
+// with a most-recently-used cache. Copyable, so a prepared seed database can
+// be reused across the well-founded alternation's Gamma calls.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(const Instance& instance);
+
+  bool Insert(uint32_t rel, const Tuple& t);
+  bool Contains(uint32_t rel, const Tuple& t) const;
+
+  // The store for `rel`, or nullptr when no fact of `rel` was inserted.
+  RelStore* Store(uint32_t rel);
+
+  size_t size() const { return size_; }
+
+  // Empties every store but keeps the relation entries and their allocated
+  // tables — the scratch-reuse hook for repeated evaluations.
+  void Reset();
+
+  // Materializes the database as an Instance; with `restrict_to`, only facts
+  // admitted by that schema (the Instance::Restrict rule) are emitted, so
+  // callers that restrict anyway skip the intermediate full instance.
+  Instance ToInstance(const Schema* restrict_to = nullptr) const;
+
+ private:
+  RelStore* Find(uint32_t rel) const;
+
+  std::vector<std::pair<uint32_t, RelStore>> rels_;
+  size_t size_ = 0;
+  mutable size_t last_ = 0;  // MRU index into rels_
+};
+
+}  // namespace calm::datalog
+
+#endif  // CALM_DATALOG_RELSTORE_H_

@@ -9,17 +9,43 @@ namespace calm::datalog {
 Result<WellFoundedModel> EvaluateWellFounded(const Program& program,
                                              const Instance& input,
                                              const EvalOptions& options) {
-  CALM_ASSIGN_OR_RETURN(ProgramInfo info, Analyze(program));
-  Instance restricted = input.Restrict(info.sch);
+  CALM_ASSIGN_OR_RETURN(PreparedProgram prepared,
+                        PreparedProgram::PrepareFixedNegation(program, options));
+  return EvaluateWellFounded(prepared, {&input}, nullptr);
+}
+
+Result<WellFoundedModel> EvaluateWellFounded(
+    const PreparedProgram& prepared,
+    std::initializer_list<const Instance*> parts,
+    const Schema* pre_restrict) {
+  const Schema& sch = prepared.info().sch;
+  // The restricted input, *without* Adom seeding: the alternation's initial
+  // underapproximation (Gamma outputs do include seeded Adom facts).
+  Instance restricted;
+  for (const Instance* part : parts) {
+    part->ForEachFact([&](uint32_t name, const Tuple& t) {
+      uint32_t arity = sch.ArityOf(name);
+      if (arity == 0 || t.size() != arity) return;
+      if (pre_restrict != nullptr) {
+        uint32_t pre_arity = pre_restrict->ArityOf(name);
+        if (pre_arity == 0 || t.size() != pre_arity) return;
+      }
+      restricted.Insert(Fact(name, t));
+    });
+  }
+
+  // The seed (restricted input + Adom) is built once; every Gamma call runs
+  // the compiled fixpoint over a copy of it.
+  Database seed = prepared.MakeSeed(parts, pre_restrict);
 
   // Gamma(S): least fixpoint with negation tested against fixed S.
   auto gamma = [&](const Instance& s) -> Result<Instance> {
-    return EvaluateWithFixedNegation(program, restricted, s, options);
+    return prepared.RunFixedNegation(seed, Database(s));
   };
 
   // Alternating fixpoint: lo underapproximates the true facts, hi
   // overapproximates them; both are fixed after finitely many rounds.
-  Instance lo = restricted;
+  Instance lo = std::move(restricted);
   CALM_ASSIGN_OR_RETURN(Instance hi, gamma(lo));
   while (true) {
     CALM_ASSIGN_OR_RETURN(Instance new_lo, gamma(hi));

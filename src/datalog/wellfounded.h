@@ -1,10 +1,13 @@
 #ifndef CALM_DATALOG_WELLFOUNDED_H_
 #define CALM_DATALOG_WELLFOUNDED_H_
 
+#include <initializer_list>
+
 #include "base/instance.h"
 #include "base/status.h"
 #include "datalog/ast.h"
 #include "datalog/evaluator.h"
+#include "datalog/prepared.h"
 
 namespace calm::datalog {
 
@@ -29,6 +32,16 @@ struct WellFoundedModel {
 Result<WellFoundedModel> EvaluateWellFounded(const Program& program,
                                              const Instance& input,
                                              const EvalOptions& options = {});
+
+// Prepared form: `prepared` must come from PreparedProgram::
+// PrepareFixedNegation. The input is the set union of `parts` (optionally
+// pre-restricted to `pre_restrict`); the seed database is built once and
+// reused across every Gamma call of the alternation instead of re-restricting
+// and re-compiling per call.
+Result<WellFoundedModel> EvaluateWellFounded(
+    const PreparedProgram& prepared,
+    std::initializer_list<const Instance*> parts,
+    const Schema* pre_restrict = nullptr);
 
 // The "doubled program" transformation (paper's conclusion): given a
 // Datalog¬ program P over predicates R, produces a *stratifiable* program

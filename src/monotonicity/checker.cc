@@ -26,23 +26,43 @@ std::string Counterexample::ToString() const {
          ", retracted output fact: " + FactToString(retracted);
 }
 
+Result<std::optional<Counterexample>> PairChecker::Check(const Instance& j) {
+  if (!base_ready_) {
+    base_ready_ = true;
+    base_status_ = query_.EvalFacts(i_, &base_facts_);
+    union_ = i_;
+  }
+  if (!base_status_.ok()) return base_status_;
+
+  // Overlay j onto the persistent copy of i, evaluate, then roll back —
+  // set-wise this is exactly Instance::Union(i, j), minus the copy.
+  overlay_.clear();
+  j.ForEachFact([&](uint32_t name, const Tuple& t) {
+    Fact f(name, t);
+    if (union_.Insert(f)) overlay_.push_back(std::move(f));
+  });
+  out_scratch_.clear();
+  Status s = query_.EvalFacts(union_, &out_scratch_);
+  for (const Fact& f : overlay_) union_.Erase(f);
+  if (!s.ok()) return s;
+
+  // Both fact streams are ascending, so a single merge pass finds the first
+  // Q(I) fact missing from Q(I ∪ J) — the same fact the old per-fact
+  // Contains scan reported, since both walk Q(I) in sorted order.
+  auto it = out_scratch_.begin();
+  for (const Fact& f : base_facts_) {
+    while (it != out_scratch_.end() && *it < f) ++it;
+    if (it == out_scratch_.end() || !(*it == f)) {
+      return std::optional<Counterexample>(Counterexample{i_, j, f});
+    }
+  }
+  return std::optional<Counterexample>();
+}
+
 Result<std::optional<Counterexample>> CheckPair(const Query& query,
                                                 const Instance& i,
                                                 const Instance& j) {
-  Result<Instance> out_i = query.Eval(i);
-  if (!out_i.ok()) return out_i.status();
-  Result<Instance> out_ij = query.Eval(Instance::Union(i, j));
-  if (!out_ij.ok()) return out_ij.status();
-
-  std::optional<Counterexample> found;
-  out_i->ForEachFact([&](uint32_t name, const Tuple& t) {
-    if (found.has_value()) return;
-    Fact f(name, t);
-    if (!out_ij->Contains(f)) {
-      found = Counterexample{i, j, std::move(f)};
-    }
-  });
-  return found;
+  return PairChecker(query, i).Check(j);
 }
 
 namespace {
@@ -114,9 +134,12 @@ Result<std::optional<Counterexample>> FindViolation(
     const Instance& i = is[idx];
     InstanceOutcome& slot = slots[idx];
     std::vector<Fact> candidates = CandidateJFacts(schema, i, fresh, cls);
+    // One checker per outer I: Q(i) is computed once and reused across the
+    // whole J enumeration below.
+    PairChecker checker(query, i);
     ForEachFactSubset(candidates, options.max_facts_j, [&](const Instance& j) {
       if (first_stop.load(std::memory_order_relaxed) < idx) return false;
-      Result<std::optional<Counterexample>> r = CheckPair(query, i, j);
+      Result<std::optional<Counterexample>> r = checker.Check(j);
       if (!r.ok()) {
         slot.error = r.status();
         return false;

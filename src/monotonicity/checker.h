@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "base/instance.h"
 #include "base/query.h"
@@ -71,6 +72,32 @@ struct RandomOptions {
 // Randomized search over larger instances.
 Result<std::optional<Counterexample>> FindViolationRandom(
     const Query& query, MonotonicityClass cls, const RandomOptions& options);
+
+// Checks pairs (i, j) sharing a fixed outer i: Q(i) is evaluated once (on
+// the first Check) and reused for every j, and I u J is maintained as an
+// overlay on a persistent copy of i — j's facts are inserted before the
+// evaluation and erased after — so no per-pair Instance::Union copy is ever
+// made. The exhaustive searches create one PairChecker per candidate I;
+// `i` must outlive the checker.
+class PairChecker {
+ public:
+  PairChecker(const Query& query, const Instance& i) : query_(query), i_(i) {}
+
+  // Returns a counterexample iff Q(i) is not a subset of Q(i u j) — the
+  // retracted fact is the first one in Q(i)'s iteration order, identical to
+  // evaluating the pair in isolation. Callers are responsible for j's kind.
+  Result<std::optional<Counterexample>> Check(const Instance& j);
+
+ private:
+  const Query& query_;
+  const Instance& i_;
+  bool base_ready_ = false;
+  Status base_status_;            // Q(i)'s error, replayed on every Check
+  std::vector<Fact> base_facts_;  // Q(i) in iteration order
+  Instance union_;                // == i between Check calls
+  std::vector<Fact> overlay_;     // j's facts newly added to union_
+  std::vector<Fact> out_scratch_;  // Q(i u j), reused across Check calls
+};
 
 // Checks one specific pair: returns a counterexample iff Q(i) is not a
 // subset of Q(i u j). Callers are responsible for j's kind.

@@ -29,18 +29,19 @@ std::string PreservationViolation::ToString() const {
 namespace {
 
 // Checks preservation of Q under (injective) homomorphisms from i to j.
+// `out_i` is Q(i), computed once per source by the caller and reused across
+// every target j.
 Result<std::optional<PreservationViolation>> CheckHomPair(const Query& query,
                                                           const Instance& i,
+                                                          const Instance& out_i,
                                                           const Instance& j,
                                                           bool injective) {
-  Result<Instance> out_i = query.Eval(i);
-  if (!out_i.ok()) return out_i.status();
   Result<Instance> out_j = query.Eval(j);
   if (!out_j.ok()) return out_j.status();
 
   std::optional<PreservationViolation> found;
   ForEachHomomorphism(i, j, injective, [&](const std::map<Value, Value>& h) {
-    Instance mapped = ApplyValueMap(out_i.value(), h);
+    Instance mapped = ApplyValueMap(out_i, h);
     mapped.ForEachFact([&](uint32_t name, const Tuple& t) {
       if (found.has_value()) return;
       Fact f(name, t);
@@ -147,11 +148,19 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
       if (first_stop.load(std::memory_order_relaxed) < idx) return;
       const Instance& i = sources[idx];
       SourceOutcome& slot = slots[idx];
+      // Q(i) is evaluated at most once per source (lazily, so an error
+      // surfaces at the same point in the enumeration it always did).
+      std::optional<Result<Instance>> out_i;
       ForEachInstance(schema, domain_j, options.max_facts,
                       [&](const Instance& j) {
         if (first_stop.load(std::memory_order_relaxed) < idx) return false;
+        if (!out_i.has_value()) out_i = query.Eval(i);
+        if (!out_i->ok()) {
+          slot.error = out_i->status();
+          return false;
+        }
         Result<std::optional<PreservationViolation>> r =
-            CheckHomPair(query, i, j, injective);
+            CheckHomPair(query, i, out_i->value(), j, injective);
         if (!r.ok()) {
           slot.error = r.status();
           return false;

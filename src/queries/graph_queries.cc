@@ -15,19 +15,32 @@ namespace {
 
 Schema GraphSchema() { return Schema({{"E", 2}}); }
 
-uint32_t Rel(const char* name) { return InternName(name); }
+// The relation ids every query touches per fact, interned once (the symbol
+// table lookup is measurable inside the checker's inner pair loop).
+uint32_t RelE() {
+  static const uint32_t id = InternName("E");
+  return id;
+}
+uint32_t RelO() {
+  static const uint32_t id = InternName("O");
+  return id;
+}
+uint32_t RelT() {
+  static const uint32_t id = InternName("T");
+  return id;
+}
 
 // Directed adjacency lists from the E relation.
 std::map<Value, std::vector<Value>> Adjacency(const Instance& in) {
   std::map<Value, std::vector<Value>> adj;
-  for (const Tuple& t : in.TuplesOf(Rel("E"))) adj[t[0]].push_back(t[1]);
+  for (const Tuple& t : in.TuplesOf(RelE())) adj[t[0]].push_back(t[1]);
   return adj;
 }
 
 // Undirected neighbor sets (excluding self loops).
 std::map<Value, std::set<Value>> UndirectedNeighbors(const Instance& in) {
   std::map<Value, std::set<Value>> nbr;
-  for (const Tuple& t : in.TuplesOf(Rel("E"))) {
+  for (const Tuple& t : in.TuplesOf(RelE())) {
     if (t[0] != t[1]) {
       nbr[t[0]].insert(t[1]);
       nbr[t[1]].insert(t[0]);
@@ -36,34 +49,97 @@ std::map<Value, std::set<Value>> UndirectedNeighbors(const Instance& in) {
   return nbr;
 }
 
-// All pairs (a, b) connected by a nonempty directed path.
-std::set<std::pair<Value, Value>> ReachablePairs(const Instance& in) {
-  std::map<Value, std::vector<Value>> adj = Adjacency(in);
-  std::set<std::pair<Value, Value>> reach;
-  std::set<Value> vertices;
-  for (const auto& [v, outs] : adj) {
-    vertices.insert(v);
-    for (Value w : outs) vertices.insert(w);
+// The transitive closure of E, flat form: `verts` is the sorted vertex set
+// (== adom(I) for instances over the graph schema, since every value is an
+// E endpoint) and `reach` the sorted pairs (a, b) connected by a nonempty
+// directed path. Uses a dense vertex numbering and flat adjacency/seen
+// vectors: this runs once per (I, J) pair inside the exhaustive
+// monotonicity sweeps, where rb-tree node churn used to dominate the whole
+// check.
+struct Closure {
+  std::vector<Value> verts;
+  std::vector<std::pair<Value, Value>> reach;
+};
+
+Closure ReachableClosure(const Instance& in) {
+  Closure c;
+  const std::set<Tuple>& edges = in.TuplesOf(RelE());
+  std::vector<Value>& verts = c.verts;
+  verts.reserve(edges.size() * 2);
+  for (const Tuple& t : edges) {
+    verts.push_back(t[0]);
+    verts.push_back(t[1]);
   }
-  for (Value start : vertices) {
-    std::queue<Value> queue;
-    std::set<Value> seen;
-    auto push_successors = [&](Value v) {
-      auto it = adj.find(v);
-      if (it == adj.end()) return;
-      for (Value w : it->second) {
-        if (seen.insert(w).second) queue.push(w);
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  size_t n = verts.size();
+  auto index_of = [&](Value v) {
+    return std::lower_bound(verts.begin(), verts.end(), v) - verts.begin();
+  };
+
+  std::vector<std::pair<Value, Value>>& reach = c.reach;
+  if (n <= 64) {
+    // Bitmask closure: adj[v] is the successor set of v as a 64-bit mask;
+    // each start's reachable set is saturated by OR-ing in the successor
+    // masks of newly reached vertices. No allocation beyond the output.
+    uint64_t adj[64] = {};
+    for (const Tuple& t : edges) {
+      adj[index_of(t[0])] |= uint64_t{1} << index_of(t[1]);
+    }
+    for (size_t s = 0; s < n; ++s) {
+      uint64_t reached = adj[s];
+      uint64_t frontier = reached;
+      while (frontier != 0) {
+        uint64_t next = 0;
+        while (frontier != 0) {
+          int v = __builtin_ctzll(frontier);
+          frontier &= frontier - 1;
+          next |= adj[v];
+        }
+        frontier = next & ~reached;
+        reached |= next;
       }
-    };
-    push_successors(start);
-    while (!queue.empty()) {
-      Value v = queue.front();
-      queue.pop();
-      reach.emplace(start, v);
-      push_successors(v);
+      // Emitting reached vertices in index order keeps `reach` sorted.
+      while (reached != 0) {
+        int v = __builtin_ctzll(reached);
+        reached &= reached - 1;
+        reach.emplace_back(verts[s], verts[v]);
+      }
+    }
+    return c;
+  }
+
+  std::vector<std::vector<int>> adj(n);
+  for (const Tuple& t : edges) {
+    adj[index_of(t[0])].push_back(static_cast<int>(index_of(t[1])));
+  }
+  std::vector<char> seen(n);
+  std::vector<int> stack;
+  for (size_t s = 0; s < n; ++s) {
+    std::fill(seen.begin(), seen.end(), 0);
+    stack.clear();
+    for (int w : adj[s]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int w : adj[v]) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    // Emitting reached vertices in index order keeps `reach` sorted.
+    for (size_t v = 0; v < n; ++v) {
+      if (seen[v]) reach.emplace_back(verts[s], verts[v]);
     }
   }
-  return reach;
+  return c;
 }
 
 // Whether an undirected k-clique exists (backtracking extension search).
@@ -97,7 +173,7 @@ bool HasClique(const std::map<Value, std::set<Value>>& nbr, size_t k) {
 std::vector<std::array<Value, 3>> DirectedTriangles(const Instance& in) {
   std::map<Value, std::vector<Value>> adj = Adjacency(in);
   std::set<std::pair<Value, Value>> edges;
-  for (const Tuple& t : in.TuplesOf(Rel("E"))) edges.emplace(t[0], t[1]);
+  for (const Tuple& t : in.TuplesOf(RelE())) edges.emplace(t[0], t[1]);
   std::vector<std::array<Value, 3>> out;
   for (const auto& [x, outs] : adj) {
     for (Value y : outs) {
@@ -115,7 +191,7 @@ std::vector<std::array<Value, 3>> DirectedTriangles(const Instance& in) {
 
 Instance EdgesAsOutput(const Instance& in) {
   Instance out;
-  for (const Tuple& t : in.TuplesOf(Rel("E"))) out.Insert(Fact("O", t));
+  for (const Tuple& t : in.TuplesOf(RelE())) out.Insert(Fact(RelO(), t));
   return out;
 }
 
@@ -124,29 +200,32 @@ Instance EdgesAsOutput(const Instance& in) {
 std::unique_ptr<Query> MakeTransitiveClosure() {
   return std::make_unique<NativeQuery>(
       "TC", GraphSchema(), Schema({{"T", 2}}),
-      [](const Instance& in) -> Result<Instance> {
-        Instance out;
-        for (const auto& [a, b] : ReachablePairs(in)) {
-          out.Insert(Fact("T", {a, b}));
-        }
-        return out;
-      });
+      NativeQuery::FactsFn(
+          [](const Instance& in, std::vector<Fact>* out) -> Status {
+            for (const auto& [a, b] : ReachableClosure(in).reach) {
+              out->emplace_back(RelT(), Tuple{a, b});  // reach is sorted
+            }
+            return Status::Ok();
+          }));
 }
 
 std::unique_ptr<Query> MakeComplementTransitiveClosure() {
   return std::make_unique<NativeQuery>(
       "Q_TC", GraphSchema(), Schema({{"O", 2}}),
-      [](const Instance& in) -> Result<Instance> {
-        std::set<std::pair<Value, Value>> reach = ReachablePairs(in);
-        std::set<Value> adom = in.ActiveDomain();
-        Instance out;
-        for (Value a : adom) {
-          for (Value b : adom) {
-            if (reach.count({a, b}) == 0) out.Insert(Fact("O", {a, b}));
-          }
-        }
-        return out;
-      });
+      NativeQuery::FactsFn(
+          [](const Instance& in, std::vector<Fact>* out) -> Status {
+            Closure c = ReachableClosure(in);
+            // The adom x adom scan emits in sorted order.
+            for (Value a : c.verts) {
+              for (Value b : c.verts) {
+                if (!std::binary_search(c.reach.begin(), c.reach.end(),
+                                        std::make_pair(a, b))) {
+                  out->emplace_back(RelO(), Tuple{a, b});
+                }
+              }
+            }
+            return Status::Ok();
+          }));
 }
 
 std::unique_ptr<Query> MakeCliqueQuery(size_t k) {

@@ -2,32 +2,31 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "datalog/analysis.h"
 #include "datalog/parser.h"
-#include "datalog/stratifier.h"
 
 namespace calm::transducer {
 
 namespace {
 
-// Validates one of the four programs against its target schema and returns
-// the schema of its marked output relations.
+// Validates one of the four programs against its target schema and compiles
+// it once; Step only runs the prepared form.
 //
 // Conventions: a program may define scratch idb relations (fresh names) and
 // may use *target* relation names as heads. Head relations are evaluated
 // against a D with their existing copy stripped (see EvalPart) — the
 // paper's queries produce a fresh target instance. Shadowing any other
 // schema relation is rejected.
-Result<Schema> ValidatePart(const datalog::Program& program,
-                            const Schema& query_input, const Schema& target,
-                            const char* which, Schema* idb) {
-  Schema out;
+Result<std::pair<std::shared_ptr<const datalog::PreparedProgram>, Schema>>
+PreparePart(const datalog::Program& program, const Schema& query_input,
+            const Schema& target, const char* which) {
+  std::pair<std::shared_ptr<const datalog::PreparedProgram>, Schema> out;
   if (program.rules.empty()) return out;
-  CALM_ASSIGN_OR_RETURN(datalog::ProgramInfo info, datalog::Analyze(program));
-  CALM_ASSIGN_OR_RETURN(datalog::Stratification strat,
-                        datalog::Stratify(program, info));
-  (void)strat;
+  CALM_ASSIGN_OR_RETURN(datalog::PreparedProgram prepared,
+                        datalog::PreparedProgram::Prepare(program));
+  const datalog::ProgramInfo& info = prepared.info();
   for (const RelationDecl& r : info.edb.relations()) {
     if (r.name == datalog::AdomRelation()) continue;
     if (query_input.ArityOf(r.name) != r.arity) {
@@ -48,15 +47,16 @@ Result<Schema> ValidatePart(const datalog::Program& program,
     return InvalidArgumentError(std::string(which) +
                                 " has no marked output relations");
   }
-  CALM_ASSIGN_OR_RETURN(out, datalog::OutputSchema(program, info));
-  *idb = info.idb;
-  for (const RelationDecl& r : out.relations()) {
+  CALM_ASSIGN_OR_RETURN(out.second, datalog::OutputSchema(program, info));
+  for (const RelationDecl& r : out.second.relations()) {
     if (target.ArityOf(r.name) != r.arity) {
       return InvalidArgumentError(std::string(which) + " output relation '" +
                                   NameOf(r.name) +
                                   "' is not in its target schema");
     }
   }
+  out.first = std::make_shared<const datalog::PreparedProgram>(
+      std::move(prepared));
   return out;
 }
 
@@ -69,54 +69,43 @@ Result<DatalogTransducer> DatalogTransducer::Create(
   DatalogTransducer t;
   CALM_RETURN_IF_ERROR(schema.Validate(model));
   CALM_ASSIGN_OR_RETURN(Schema query_input, schema.QueryInputSchema(model));
-  CALM_ASSIGN_OR_RETURN(t.out_schema_, ValidatePart(qout, query_input,
-                                                    schema.out, "Qout",
-                                                    &t.out_idb_));
-  CALM_ASSIGN_OR_RETURN(t.ins_schema_, ValidatePart(qins, query_input,
-                                                    schema.mem, "Qins",
-                                                    &t.ins_idb_));
-  CALM_ASSIGN_OR_RETURN(t.del_schema_, ValidatePart(qdel, query_input,
-                                                    schema.mem, "Qdel",
-                                                    &t.del_idb_));
-  CALM_ASSIGN_OR_RETURN(t.snd_schema_, ValidatePart(qsnd, query_input,
-                                                    schema.msg, "Qsnd",
-                                                    &t.snd_idb_));
+  auto prepare = [&](const datalog::Program& program, const Schema& target,
+                     const char* which, Part* part) -> Status {
+    CALM_ASSIGN_OR_RETURN(auto prepared,
+                          PreparePart(program, query_input, target, which));
+    part->prepared = std::move(prepared.first);
+    part->target = std::move(prepared.second);
+    return Status::Ok();
+  };
+  CALM_RETURN_IF_ERROR(prepare(qout, schema.out, "Qout", &t.out_));
+  CALM_RETURN_IF_ERROR(prepare(qins, schema.mem, "Qins", &t.ins_));
+  CALM_RETURN_IF_ERROR(prepare(qdel, schema.mem, "Qdel", &t.del_));
+  CALM_RETURN_IF_ERROR(prepare(qsnd, schema.msg, "Qsnd", &t.snd_));
 
   t.schema_ = std::move(schema);
-  t.qout_ = std::move(qout);
-  t.qins_ = std::move(qins);
-  t.qdel_ = std::move(qdel);
-  t.qsnd_ = std::move(qsnd);
   t.name_ = std::move(name);
   return t;
 }
 
-Result<Instance> DatalogTransducer::EvalPart(const datalog::Program& program,
-                                             const Instance& d,
-                                             const Schema& target,
-                                             const Schema& idb) const {
-  if (program.rules.empty()) return Instance();
+Result<Instance> DatalogTransducer::EvalPart(const Part& part,
+                                             const Instance& d) const {
+  if (part.prepared == nullptr) return Instance();
   // The paper's queries map D to a *fresh* instance over the target schema:
   // a head relation that also occurs in D (e.g. a message relation both
-  // delivered and re-derived) starts empty — so strip the program's idb
-  // relations from D before evaluation.
-  Instance seed;
-  d.ForEachFact([&](uint32_t name, const Tuple& tuple) {
-    if (!idb.Contains(name)) seed.Insert(Fact(name, tuple));
-  });
-  CALM_ASSIGN_OR_RETURN(Instance full, datalog::Evaluate(program, seed));
-  return full.Restrict(target);
+  // delivered and re-derived) starts empty — so seed only the program's edb
+  // relations from D (equivalent to stripping its idb relations: facts
+  // outside the program's schema are never admitted into a seed).
+  return part.prepared->EvalParts({&d}, &part.prepared->info().edb,
+                                  &part.target);
 }
 
 Result<StepOutput> DatalogTransducer::Step(const StepInput& in) const {
   Instance d = in.D();
   StepOutput out;
-  CALM_ASSIGN_OR_RETURN(out.output, EvalPart(qout_, d, out_schema_, out_idb_));
-  CALM_ASSIGN_OR_RETURN(out.insertions,
-                        EvalPart(qins_, d, ins_schema_, ins_idb_));
-  CALM_ASSIGN_OR_RETURN(out.deletions,
-                        EvalPart(qdel_, d, del_schema_, del_idb_));
-  CALM_ASSIGN_OR_RETURN(out.sends, EvalPart(qsnd_, d, snd_schema_, snd_idb_));
+  CALM_ASSIGN_OR_RETURN(out.output, EvalPart(out_, d));
+  CALM_ASSIGN_OR_RETURN(out.insertions, EvalPart(ins_, d));
+  CALM_ASSIGN_OR_RETURN(out.deletions, EvalPart(del_, d));
+  CALM_ASSIGN_OR_RETURN(out.sends, EvalPart(snd_, d));
   return out;
 }
 

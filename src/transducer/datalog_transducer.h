@@ -1,10 +1,12 @@
 #ifndef CALM_TRANSDUCER_DATALOG_TRANSDUCER_H_
 #define CALM_TRANSDUCER_DATALOG_TRANSDUCER_H_
 
+#include <memory>
 #include <string>
 
 #include "datalog/ast.h"
 #include "datalog/evaluator.h"
+#include "datalog/prepared.h"
 #include "transducer/transducer.h"
 
 namespace calm::transducer {
@@ -40,19 +42,23 @@ class DatalogTransducer : public Transducer {
 
   const TransducerSchema& schema() const override { return schema_; }
   std::string name() const override { return name_; }
-  Result<StepOutput> Step(const StepInput& input) const override;
+  Result<StepOutput> Step(const StepInput& in) const override;
 
  private:
   DatalogTransducer() = default;
 
-  Result<Instance> EvalPart(const datalog::Program& program,
-                            const Instance& d, const Schema& target,
-                            const Schema& idb) const;
+  // One of the four queries, compiled at Create; `prepared` is null for an
+  // empty program. shared_ptr: transducers are copied by value into networks
+  // and the prepared form is immutable, so copies share it.
+  struct Part {
+    std::shared_ptr<const datalog::PreparedProgram> prepared;
+    Schema target;  // the program's marked output relations
+  };
+
+  Result<Instance> EvalPart(const Part& part, const Instance& d) const;
 
   TransducerSchema schema_;
-  datalog::Program qout_, qins_, qdel_, qsnd_;
-  Schema out_schema_, ins_schema_, del_schema_, snd_schema_;  // marked outputs
-  Schema out_idb_, ins_idb_, del_idb_, snd_idb_;  // head relations per part
+  Part out_, ins_, del_, snd_;
   std::string name_;
 };
 

@@ -40,6 +40,9 @@ class TransducerNetwork {
   const Instance& state(Value node) const;
   const net::MessageBuffer& buffer(Value node) const;
   net::MessageBuffer& mutable_buffer(Value node);
+  // All buffers, indexed like nodes() — the scheduler's view, exposed
+  // directly so the runner need not copy the entry lists every transition.
+  const std::vector<net::MessageBuffer>& buffers() const { return buffers_; }
 
   // out(R): union over nodes of the state restricted to the out schema.
   Instance GlobalOutput() const;

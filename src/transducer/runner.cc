@@ -22,7 +22,6 @@ Result<RunResult> RunToQuiescence(TransducerNetwork& network,
       break;
   }
 
-  std::vector<net::MessageBuffer> buffer_view(nodes.size());
   size_t transitions = 0;
   // A run is quiescent when buffers are empty and *every node* has taken a
   // heartbeat that changed nothing since the last observable change. Merely
@@ -32,11 +31,10 @@ Result<RunResult> RunToQuiescence(TransducerNetwork& network,
   std::vector<bool> calm(nodes.size(), false);
   size_t calm_count = 0;
   while (transitions < options.max_transitions) {
-    // Rebuild the scheduler's buffer view (cheap copies of entry lists).
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      buffer_view[i] = network.buffer(nodes[i]);
-    }
-    net::Scheduler::Choice choice = scheduler->Next(buffer_view, transitions);
+    // The network's buffer vector is already indexed like nodes(): hand it
+    // to the scheduler directly instead of copying every entry list.
+    net::Scheduler::Choice choice =
+        scheduler->Next(network.buffers(), transitions);
     CALM_RETURN_IF_ERROR(
         network.StepNode(nodes[choice.node_index], choice.deliveries));
     ++transitions;

@@ -357,7 +357,7 @@ class DomainRequestTransducer : public Transducer {
         Tuple addressed;
         addressed.reserve(t.size() + 1);
         addressed.push_back(target);
-        addressed.insert(addressed.end(), t.begin(), t.end());
+        addressed.append(t.begin(), t.end());
         Fact sent_marker(sent_xfer_.Of(rel), addressed);
         if (!in.state.Contains(sent_marker)) {
           out.sends.Insert(Fact(msg_xfer_.Of(rel), addressed));

@@ -51,6 +51,90 @@ TEST(ValueTest, KindsAndOrdering) {
   EXPECT_EQ(ValueToString(inv), "&3");
 }
 
+TEST(TupleTest, InlineAndSpilledStorage) {
+  Tuple small{V(1), V(2), V(3), V(4)};
+  EXPECT_TRUE(small.is_inline());
+  EXPECT_EQ(small.size(), 4u);
+
+  Tuple big{V(1), V(2), V(3), V(4), V(5)};
+  EXPECT_FALSE(big.is_inline());
+  ASSERT_EQ(big.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(big[i], V(i + 1));
+
+  // Growing past the inline capacity preserves the prefix.
+  Tuple grown;
+  for (uint64_t i = 0; i < 10; ++i) grown.push_back(V(i));
+  EXPECT_FALSE(grown.is_inline());
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(grown[i], V(i));
+}
+
+TEST(TupleTest, CopyAndMoveAcrossRepresentations) {
+  Tuple inl{V(1), V(2)};
+  Tuple spill{V(1), V(2), V(3), V(4), V(5), V(6)};
+
+  Tuple inl_copy = inl;
+  Tuple spill_copy = spill;
+  EXPECT_EQ(inl_copy, inl);
+  EXPECT_EQ(spill_copy, spill);
+
+  Tuple moved = std::move(spill_copy);
+  EXPECT_EQ(moved, spill);
+
+  // Assignment across representations in both directions.
+  Tuple t = inl;
+  t = spill;
+  EXPECT_EQ(t, spill);
+  t = inl;
+  EXPECT_EQ(t, inl);
+}
+
+TEST(TupleTest, ComparisonMatchesLexicographicContract) {
+  // Same contract as the old std::vector<Value> representation:
+  // lexicographic, shorter prefix first, independent of storage mode.
+  EXPECT_LT((Tuple{V(1), V(2)}), (Tuple{V(1), V(3)}));
+  EXPECT_LT((Tuple{V(1)}), (Tuple{V(1), V(0)}));
+  EXPECT_LT((Tuple{V(1), V(2), V(3), V(4)}),
+            (Tuple{V(1), V(2), V(3), V(4), V(0)}));
+  EXPECT_EQ((Tuple{V(7), V(8), V(9), V(10), V(11)}),
+            (Tuple{V(7), V(8), V(9), V(10), V(11)}));
+  EXPECT_NE((Tuple{V(1), V(2)}), (Tuple{V(1)}));
+}
+
+TEST(TupleTest, HashAgreesAcrossRepresentations) {
+  // Equal tuples must hash equal whether built inline or spilled-then-equal
+  // (hash depends only on size and values).
+  Tuple a{V(1), V(2), V(3)};
+  Tuple b;
+  b.reserve(8);  // force heap storage despite the small size
+  b.push_back(V(1));
+  b.push_back(V(2));
+  b.push_back(V(3));
+  EXPECT_FALSE(b.is_inline());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(TupleHash{}(a), TupleHash{}(b));
+}
+
+TEST(InstanceTest, InsertSortedMatchesInsert) {
+  std::vector<Tuple> tuples{{V(1), V(2)}, {V(1), V(3)}, {V(2), V(2)}};
+  Instance bulk;
+  bulk.InsertSorted(InternName("E"), tuples);
+  Instance one_by_one;
+  for (const Tuple& t : tuples) one_by_one.Insert(Fact("E", t));
+  EXPECT_EQ(bulk, one_by_one);
+
+  // An empty bulk insert must leave the instance untouched (no phantom
+  // empty-relation entry, which would break operator==).
+  Instance empty_bulk;
+  empty_bulk.InsertSorted(InternName("E"), {});
+  EXPECT_EQ(empty_bulk, Instance{});
+
+  Instance facts_bulk;
+  facts_bulk.InsertSortedFacts(
+      {Fact("E", {V(1), V(2)}), Fact("S", {V(9)})});
+  Instance facts_ref{Fact("E", {V(1), V(2)}), Fact("S", {V(9)})};
+  EXPECT_EQ(facts_bulk, facts_ref);
+}
+
 TEST(FactTest, EqualityAndPrinting) {
   Fact f("E", {V(1), V(2)});
   Fact g("E", {V(1), V(2)});

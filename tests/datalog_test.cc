@@ -247,6 +247,29 @@ TEST(EvaluatorTest, StatsReported) {
   EXPECT_GT(stats.fixpoint_rounds, 1u);
 }
 
+TEST(EvaluatorTest, StatsNaiveVsSemiNaiveOnPath) {
+  // TC on the path 0->1->2->3->4. Both modes derive the same 10 T facts and
+  // need the same 5 delta rounds (longest derivation is length 4, plus the
+  // empty round that detects the fixpoint); naive re-finds every valuation
+  // each round, so its rule_applications count is strictly larger.
+  Program p = ParseOrDie(
+      "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). .output T");
+
+  EvalStats semi;
+  ASSERT_TRUE(Evaluate(p, workload::Path(5), {}, &semi).ok());
+  EvalOptions naive_opts;
+  naive_opts.semi_naive = false;
+  EvalStats naive;
+  ASSERT_TRUE(Evaluate(p, workload::Path(5), naive_opts, &naive).ok());
+
+  EXPECT_EQ(semi.fixpoint_rounds, 5u);
+  EXPECT_EQ(naive.fixpoint_rounds, 5u);
+  EXPECT_EQ(semi.derived_facts, 10u);
+  EXPECT_EQ(naive.derived_facts, 10u);
+  EXPECT_EQ(semi.rule_applications, 10u);  // each T fact found exactly once
+  EXPECT_LT(semi.rule_applications, naive.rule_applications);
+}
+
 TEST(EvaluatorTest, ResourceLimitEnforced) {
   Program p = ParseOrDie(
       "T(x, y) :- E(x, y). T(x, z) :- T(x, y), T(y, z). .output T");

@@ -1,0 +1,152 @@
+#include "datalog/relstore.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/fact.h"
+#include "base/schema.h"
+
+namespace calm::datalog {
+namespace {
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+TEST(RelStoreTest, InsertDeduplicates) {
+  RelStore store;
+  EXPECT_TRUE(store.Insert({V(1), V(2)}));
+  EXPECT_FALSE(store.Insert({V(1), V(2)}));
+  EXPECT_TRUE(store.Insert({V(2), V(1)}));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains({V(1), V(2)}));
+  EXPECT_FALSE(store.Contains({V(3), V(4)}));
+}
+
+TEST(RelStoreTest, KeyOfExtractsMaskedPositions) {
+  Tuple t{V(10), V(20), V(30)};
+  EXPECT_EQ(RelStore::KeyOf(t, 0b001), (Tuple{V(10)}));
+  EXPECT_EQ(RelStore::KeyOf(t, 0b100), (Tuple{V(30)}));
+  EXPECT_EQ(RelStore::KeyOf(t, 0b101), (Tuple{V(10), V(30)}));
+  EXPECT_EQ(RelStore::KeyOf(t, 0b111), t);
+}
+
+TEST(RelStoreTest, ProbeSinglePosition) {
+  RelStore store;
+  store.Insert({V(1), V(2)});
+  store.Insert({V(1), V(3)});
+  store.Insert({V(2), V(3)});
+  // Position 0 bound to 1: rows 0 and 1, in insertion order.
+  const std::vector<uint32_t>& rows = store.Probe(0b01, Tuple{V(1)});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 1u);
+  // Position 1 bound to 3: rows 1 and 2.
+  const std::vector<uint32_t>& rows2 = store.Probe(0b10, Tuple{V(3)});
+  ASSERT_EQ(rows2.size(), 2u);
+  EXPECT_EQ(rows2[0], 1u);
+  EXPECT_EQ(rows2[1], 2u);
+  EXPECT_TRUE(store.Probe(0b01, Tuple{V(9)}).empty());
+}
+
+TEST(RelStoreTest, ProbeAllPositionsActsAsPointLookup) {
+  RelStore store;
+  store.Insert({V(1), V(2), V(3)});
+  store.Insert({V(1), V(2), V(4)});
+  const std::vector<uint32_t>& rows =
+      store.Probe(0b111, Tuple{V(1), V(2), V(4)});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST(RelStoreTest, ProbeDistinguishesRepeatedValues) {
+  // The key for mask 0b11 on E(x, x) vs E(x, y) differs even though the
+  // evaluator's repeated-variable rules (O(x) :- E(x, x)) probe with the
+  // same value twice.
+  RelStore store;
+  store.Insert({V(1), V(1)});
+  store.Insert({V(1), V(2)});
+  store.Insert({V(2), V(2)});
+  const std::vector<uint32_t>& diag = store.Probe(0b11, Tuple{V(1), V(1)});
+  ASSERT_EQ(diag.size(), 1u);
+  EXPECT_EQ(diag[0], 0u);
+  const std::vector<uint32_t>& off = store.Probe(0b11, Tuple{V(1), V(2)});
+  ASSERT_EQ(off.size(), 1u);
+  EXPECT_EQ(off[0], 1u);
+}
+
+TEST(RelStoreTest, ProbeIndexExtendsIncrementally) {
+  RelStore store;
+  store.Insert({V(1), V(2)});
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(1)}).size(), 1u);
+  // Inserting after the first probe must extend the already-built index.
+  store.Insert({V(1), V(3)});
+  store.Insert({V(4), V(5)});
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(1)}).size(), 2u);
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(4)}).size(), 1u);
+}
+
+TEST(RelStoreTest, GrowthPastLoadFactorKeepsEverythingFindable) {
+  RelStore store;
+  constexpr uint64_t kN = 500;  // forces several dedup/index table doublings
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(store.Insert({V(i), V(i % 7)}));
+  }
+  EXPECT_EQ(store.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_TRUE(store.Contains({V(i), V(i % 7)}));
+    ASSERT_EQ(store.Probe(0b01, Tuple{V(i)}).size(), 1u);
+  }
+  // Each residue class mod 7 collects ~kN/7 rows under the position-1 index.
+  size_t total = 0;
+  for (uint64_t r = 0; r < 7; ++r) {
+    total += store.Probe(0b10, Tuple{V(r)}).size();
+  }
+  EXPECT_EQ(total, kN);
+}
+
+TEST(RelStoreTest, ClearResetsIndexesForReuse) {
+  RelStore store;
+  store.Insert({V(1), V(2)});
+  store.Insert({V(1), V(3)});
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(1)}).size(), 2u);
+
+  // After clear (the scratch-reuse path), stale rows must not resurface.
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.Contains({V(1), V(2)}));
+  EXPECT_TRUE(store.Probe(0b01, Tuple{V(1)}).empty());
+
+  store.Insert({V(1), V(9)});
+  const std::vector<uint32_t>& rows = store.Probe(0b01, Tuple{V(1)});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+}
+
+TEST(DatabaseTest, ResetKeepsRelationsButDropsFacts) {
+  Database db;
+  uint32_t e = InternName("E");
+  uint32_t s = InternName("S");
+  EXPECT_TRUE(db.Insert(e, {V(1), V(2)}));
+  EXPECT_TRUE(db.Insert(s, {V(3)}));
+  EXPECT_EQ(db.size(), 2u);
+
+  db.Reset();
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_FALSE(db.Contains(e, {V(1), V(2)}));
+  EXPECT_TRUE(db.Insert(e, {V(1), V(2)}));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(DatabaseTest, ToInstanceRestrictsLikeInstanceRestrict) {
+  Database db(Instance{Fact("E", {V(1), V(2)}), Fact("S", {V(3)}),
+                       Fact("T", {V(4), V(5)})});
+  Schema schema({{"E", 2}, {"S", 1}});
+
+  Instance full = db.ToInstance();
+  EXPECT_EQ(full.size(), 3u);
+  EXPECT_EQ(db.ToInstance(&schema), full.Restrict(schema));
+}
+
+}  // namespace
+}  // namespace calm::datalog

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold 2.0]
+
+Exits nonzero when any benchmark present in the baseline is missing from the
+current run or has regressed by more than the threshold factor on cpu_time.
+Benchmarks only present in the current run are reported but do not fail the
+comparison (add them to the baseline when they stabilize). Absolute times
+differ across machines; the wide default threshold is meant to catch
+order-of-magnitude regressions (e.g. losing the prepared-program fast path),
+not minor noise. Stdlib only, so it runs anywhere CI has python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cpu_times(path):
+    """Returns {name: (cpu_time, time_unit)} for non-aggregate entries."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = (
+            float(bench["cpu_time"]),
+            bench.get("time_unit", "ns"),
+        )
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current cpu_time > threshold * baseline (default 2.0)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_cpu_times(args.baseline)
+    current = load_cpu_times(args.current)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}")
+        return 2
+
+    failures = []
+    for name in sorted(baseline):
+        base_t, unit = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur_t, _ = current[name]
+        ratio = cur_t / base_t if base_t > 0 else float("inf")
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(
+            f"{status:4} {name}: {base_t:.2f} {unit} -> {cur_t:.2f} {unit} "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > args.threshold:
+            failures.append(f"{name}: {ratio:.2f}x slower (> {args.threshold}x)")
+
+    for name in sorted(set(current) - set(baseline)):
+        cur_t, unit = current[name]
+        print(f"new  {name}: {cur_t:.2f} {unit} (not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond {args.threshold}x:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nall {len(baseline)} benchmarks within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
