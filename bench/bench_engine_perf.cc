@@ -14,6 +14,7 @@
 #include "datalog/program.h"
 #include "datalog/wellfounded.h"
 #include "monotonicity/checker.h"
+#include "monotonicity/ladder.h"
 #include "queries/graph_queries.h"
 #include "transducer/network.h"
 #include "transducer/policy.h"
@@ -200,6 +201,81 @@ void BM_MonotonicityCheckExhaustive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MonotonicityCheckExhaustive)->Arg(1)->Arg(2)->Arg(3);
+
+// The genericity-aware symmetry reduction, measured head to head on the same
+// violation-free search (Q_TC in Mdisjoint — the whole space is enumerated)
+// at a bound one notch past what the full sweep was previously clamped to.
+// BM_FindViolationFull runs the plain sweep; BM_FindViolationCanonical sweeps
+// orbit representatives with the stabilizer-filtered J space. Both are pinned
+// to one thread so the ratio isolates the reduction (the canonical/full
+// speedup is the tracked number; byte-identical verdicts are pinned by
+// tests/canonical_test.cc).
+monotonicity::ExhaustiveOptions CanonicalBenchBounds() {
+  monotonicity::ExhaustiveOptions o;
+  o.domain_size = 3;
+  o.max_facts_i = 3;
+  o.fresh_values = 2;
+  o.max_facts_j = 2;
+  o.threads = 1;
+  return o;
+}
+
+void BM_FindViolationFull(benchmark::State& state) {
+  auto qtc = queries::MakeComplementTransitiveClosure();
+  monotonicity::ExhaustiveOptions o = CanonicalBenchBounds();
+  o.symmetry = SymmetryMode::kOff;
+  for (auto _ : state) {
+    auto r = monotonicity::FindViolation(
+        *qtc, monotonicity::MonotonicityClass::kDomainDisjoint, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FindViolationFull)->Unit(benchmark::kMillisecond);
+
+void BM_FindViolationCanonical(benchmark::State& state) {
+  auto qtc = queries::MakeComplementTransitiveClosure();
+  monotonicity::ExhaustiveOptions o = CanonicalBenchBounds();
+  o.symmetry = SymmetryMode::kForceOn;
+  for (auto _ : state) {
+    auto r = monotonicity::FindViolation(
+        *qtc, monotonicity::MonotonicityClass::kDomainDisjoint, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FindViolationCanonical)->Unit(benchmark::kMillisecond);
+
+// The ladder re-evaluates the identical I space 3 * max_i times; the cached
+// variant shares one canonical result cache across all cells, so each
+// isomorphism class of unions is evaluated once for the whole table.
+void BM_LadderFull(benchmark::State& state) {
+  auto qtc = queries::MakeComplementTransitiveClosure();
+  monotonicity::ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 3;
+  o.fresh_values = 2;
+  o.threads = 1;
+  o.symmetry = SymmetryMode::kOff;
+  for (auto _ : state) {
+    auto r = monotonicity::ComputeLadder(*qtc, 3, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LadderFull)->Unit(benchmark::kMillisecond);
+
+void BM_LadderCached(benchmark::State& state) {
+  auto qtc = queries::MakeComplementTransitiveClosure();
+  monotonicity::ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 3;
+  o.fresh_values = 2;
+  o.threads = 1;
+  o.symmetry = SymmetryMode::kForceOn;
+  for (auto _ : state) {
+    auto r = monotonicity::ComputeLadder(*qtc, 3, o);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LadderCached)->Unit(benchmark::kMillisecond);
 
 // The parallel exhaustive-check workload: a violation-free search (the whole
 // space is enumerated, the embarrassingly parallel worst case) at a larger

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "monotonicity/checker.h"
 #include "monotonicity/preservation.h"
@@ -44,20 +45,26 @@ std::unique_ptr<Query> MakeNonLoopEdges() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("Lemma 3.2 — H ( Hinj = M ( E = Mdistinct");
+  report.EnableJson(flags.json_path);
 
   // Homomorphism checks are exponential in |adom| x |adom_target|, so they
   // run on 2-value domains; the extensions column needs 3 values (Q_TC's
-  // witness is a 2-edge path through a midpoint).
+  // witness is a 2-edge path through a midpoint). --domain_bump widens every
+  // column in lockstep (the CI deep-sweep job passes 1): the lemma's
+  // equalities are genuine, so wider bounds only grow the searched space —
+  // affordable with the source-orbit reduction and result cache on.
+  const size_t bump = flags.domain_bump;
   PreservationOptions po;
-  po.domain_size = 2;
+  po.domain_size = 2 + bump;
   po.max_facts = 2;
   PreservationOptions pe;
-  pe.domain_size = 3;
+  pe.domain_size = 3 + bump;
   pe.max_facts = 3;
   ExhaustiveOptions mo;
-  mo.domain_size = 2;
+  mo.domain_size = 2 + bump;
   mo.max_facts_i = 2;
   mo.fresh_values = 2;
   mo.max_facts_j = 2;

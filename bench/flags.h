@@ -11,12 +11,16 @@
 namespace calm::bench {
 
 // Flags shared by the bench binaries:
-//   --threads N   worker threads for the parallel checkers (also settable
-//                 via the CALM_THREADS environment variable; the flag wins)
-//   --json PATH   write the report's verdicts/metrics as JSON to PATH
+//   --threads N       worker threads for the parallel checkers (also settable
+//                     via the CALM_THREADS environment variable; the flag wins)
+//   --json PATH       write the report's verdicts/metrics as JSON to PATH
+//   --domain_bump N   widen the exhaustive searches' domain_size by N beyond
+//                     the seed bounds (the CI "deep sweep" job passes 1; only
+//                     affordable with the symmetry reduction on)
 struct Flags {
   size_t threads = 0;     // 0 = CALM_THREADS / hardware default
   std::string json_path;  // empty = no JSON output
+  size_t domain_bump = 0;
 };
 
 // Parses and strips the flags above from argv (leaving unrecognized
@@ -30,6 +34,7 @@ inline Flags ParseFlags(int* argc, char** argv) {
     const char* value = nullptr;
     bool is_threads = false;
     bool is_json = false;
+    bool is_bump = false;
     if (std::strncmp(arg, "--threads=", 10) == 0) {
       is_threads = true;
       value = arg + 10;
@@ -42,16 +47,27 @@ inline Flags ParseFlags(int* argc, char** argv) {
     } else if (std::strcmp(arg, "--json") == 0 && in + 1 < *argc) {
       is_json = true;
       value = argv[++in];
+    } else if (std::strncmp(arg, "--domain_bump=", 14) == 0) {
+      is_bump = true;
+      value = arg + 14;
+    } else if (std::strcmp(arg, "--domain_bump") == 0 && in + 1 < *argc) {
+      is_bump = true;
+      value = argv[++in];
     }
-    if (is_threads) {
+    if (is_threads || is_bump) {
       char* end = nullptr;
       unsigned long n = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || n == 0) {
-        std::fprintf(stderr, "--threads expects a positive integer, got %s\n",
-                     value);
+      if (end == value || *end != '\0' || (is_threads && n == 0)) {
+        std::fprintf(stderr, "%s expects a %s integer, got %s\n",
+                     is_threads ? "--threads" : "--domain_bump",
+                     is_threads ? "positive" : "non-negative", value);
         std::exit(2);
       }
-      flags.threads = static_cast<size_t>(n);
+      if (is_threads) {
+        flags.threads = static_cast<size_t>(n);
+      } else {
+        flags.domain_bump = static_cast<size_t>(n);
+      }
     } else if (is_json) {
       flags.json_path = value;
     } else {

@@ -1,5 +1,10 @@
 #include "base/enumerator.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
 namespace calm {
 
 std::vector<Fact> AllFactsOver(const Schema& schema,
@@ -92,6 +97,230 @@ std::vector<Value> IntDomain(size_t n, uint64_t offset) {
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) out.push_back(Value::FromInt(offset + i));
   return out;
+}
+
+namespace {
+
+// Shared state for the orbit-representative instance DFS: the fact universe
+// with an index lookup, and arrangement tables (ordered k-subsets of domain
+// indices, i.e. all injective maps from a k-value adom into the domain)
+// built lazily per adom size.
+struct CanonicalInstanceSpace {
+  std::vector<Fact> facts;
+  std::unordered_map<Fact, uint32_t, FactHash> index;
+  const std::vector<Value>& domain;
+  std::vector<std::vector<std::vector<uint32_t>>> arrangements_by_k;
+
+  explicit CanonicalInstanceSpace(const Schema& schema,
+                                  const std::vector<Value>& dom)
+      : facts(AllFactsOver(schema, dom)), domain(dom) {
+    index.reserve(facts.size());
+    for (uint32_t i = 0; i < facts.size(); ++i) index.emplace(facts[i], i);
+    arrangements_by_k.resize(domain.size() + 1);
+  }
+
+  const std::vector<std::vector<uint32_t>>& Arrangements(size_t k) {
+    std::vector<std::vector<uint32_t>>& table = arrangements_by_k[k];
+    if (!table.empty() || k == 0) return table;
+    std::vector<uint32_t> pick;
+    std::vector<bool> used(domain.size(), false);
+    std::function<void()> rec = [&]() {
+      if (pick.size() == k) {
+        table.push_back(pick);
+        return;
+      }
+      for (uint32_t d = 0; d < domain.size(); ++d) {
+        if (used[d]) continue;
+        used[d] = true;
+        pick.push_back(d);
+        rec();
+        pick.pop_back();
+        used[d] = false;
+      }
+    };
+    rec();
+    return table;
+  }
+
+  // Returns the orbit size of `current` inside the bounded space when its
+  // sorted fact-index list `cur_idx` is least over every injective
+  // relabeling of its adom into the domain, 0 otherwise. The least-index
+  // test is what makes the kept representative the enumeration-order-least
+  // orbit member (same-size subsets enumerate in index-list lex order).
+  uint64_t CanonicalOrbit(const Instance& current,
+                          const std::vector<uint32_t>& cur_idx) {
+    std::set<Value> adom_set = current.ActiveDomain();
+    std::vector<Value> adom(adom_set.begin(), adom_set.end());
+    size_t k = adom.size();
+    if (k == 0) return 1;
+    const std::vector<std::vector<uint32_t>>& arr = Arrangements(k);
+    uint64_t fixed = 0;
+    std::vector<uint32_t> mapped;
+    mapped.reserve(cur_idx.size());
+    for (const std::vector<uint32_t>& t : arr) {
+      mapped.clear();
+      uint32_t min_idx = UINT32_MAX;
+      for (uint32_t fi : cur_idx) {
+        const Fact& f = facts[fi];
+        Tuple tt;
+        tt.reserve(f.arity());
+        for (Value v : f.args) {
+          size_t pos = static_cast<size_t>(
+              std::lower_bound(adom.begin(), adom.end(), v) - adom.begin());
+          tt.push_back(domain[t[pos]]);
+        }
+        uint32_t mi = index.find(Fact(f.relation, std::move(tt)))->second;
+        // A mapped fact below the least current index decides immediately.
+        if (mi < cur_idx[0]) return 0;
+        min_idx = std::min(min_idx, mi);
+        mapped.push_back(mi);
+      }
+      if (min_idx > cur_idx[0]) continue;  // strictly above; not smaller
+      std::sort(mapped.begin(), mapped.end());
+      if (std::lexicographical_compare(mapped.begin(), mapped.end(),
+                                       cur_idx.begin(), cur_idx.end())) {
+        return 0;
+      }
+      if (mapped == cur_idx) ++fixed;
+    }
+    return static_cast<uint64_t>(arr.size()) / fixed;
+  }
+
+  bool Rec(size_t start, size_t remaining, Instance& current,
+           std::vector<uint32_t>& cur_idx,
+           const std::function<bool(const Instance&, uint64_t)>& fn) {
+    if (remaining == 0 || start == facts.size()) return true;
+    for (size_t i = start; i < facts.size(); ++i) {
+      current.Insert(facts[i]);
+      cur_idx.push_back(static_cast<uint32_t>(i));
+      uint64_t orbit = CanonicalOrbit(current, cur_idx);
+      // A non-least node only extends to non-least nodes (extensions append
+      // indices above the current maximum on both sides of the comparison),
+      // so the whole subtree prunes.
+      if (orbit > 0) {
+        if (!fn(current, orbit) ||
+            !Rec(i + 1, remaining - 1, current, cur_idx, fn)) {
+          cur_idx.pop_back();
+          current.Erase(facts[i]);
+          return false;
+        }
+      }
+      cur_idx.pop_back();
+      current.Erase(facts[i]);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool ForEachCanonicalInstance(
+    const Schema& schema, const std::vector<Value>& domain, size_t max_facts,
+    const std::function<bool(const Instance&, uint64_t)>& fn) {
+  Instance empty;
+  if (!fn(empty, 1)) return false;
+  CanonicalInstanceSpace space(schema, domain);
+  Instance current;
+  std::vector<uint32_t> cur_idx;
+  return space.Rec(0, max_facts, current, cur_idx, fn);
+}
+
+std::vector<Instance> AllCanonicalInstances(
+    const Schema& schema, const std::vector<Value>& domain, size_t max_facts,
+    std::vector<uint64_t>* orbit_sizes) {
+  std::vector<Instance> out;
+  ForEachCanonicalInstance(schema, domain, max_facts,
+                           [&](const Instance& inst, uint64_t orbit) {
+                             out.push_back(inst);
+                             if (orbit_sizes) orbit_sizes->push_back(orbit);
+                             return true;
+                           });
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> FactIndexPermutations(
+    const std::vector<Fact>& facts,
+    const std::vector<std::map<Value, Value>>& value_maps) {
+  std::unordered_map<Fact, uint32_t, FactHash> index;
+  index.reserve(facts.size());
+  for (uint32_t i = 0; i < facts.size(); ++i) index.emplace(facts[i], i);
+
+  std::set<std::vector<uint32_t>> seen;
+  std::vector<std::vector<uint32_t>> out;
+  for (const std::map<Value, Value>& m : value_maps) {
+    std::vector<uint32_t> perm(facts.size());
+    bool closed = true;
+    bool identity = true;
+    for (uint32_t i = 0; i < facts.size() && closed; ++i) {
+      Tuple t;
+      t.reserve(facts[i].arity());
+      for (Value v : facts[i].args) {
+        auto it = m.find(v);
+        t.push_back(it == m.end() ? v : it->second);
+      }
+      auto it = index.find(Fact(facts[i].relation, std::move(t)));
+      if (it == index.end()) {
+        closed = false;
+        break;
+      }
+      perm[i] = it->second;
+      identity = identity && perm[i] == i;
+    }
+    if (!closed || identity) continue;
+    if (seen.insert(perm).second) out.push_back(std::move(perm));
+  }
+  return out;
+}
+
+namespace {
+
+bool CanonicalSubsetsRec(
+    const std::vector<Fact>& facts, size_t start, size_t remaining,
+    Instance& current, std::vector<uint32_t>& cur_idx,
+    const std::vector<std::vector<uint32_t>>& index_perms,
+    const std::function<bool(const Instance&)>& fn) {
+  if (remaining == 0 || start == facts.size()) return true;
+  std::vector<uint32_t> mapped;
+  for (size_t i = start; i < facts.size(); ++i) {
+    current.Insert(facts[i]);
+    cur_idx.push_back(static_cast<uint32_t>(i));
+    bool least = true;
+    for (const std::vector<uint32_t>& perm : index_perms) {
+      mapped.clear();
+      for (uint32_t fi : cur_idx) mapped.push_back(perm[fi]);
+      std::sort(mapped.begin(), mapped.end());
+      if (std::lexicographical_compare(mapped.begin(), mapped.end(),
+                                       cur_idx.begin(), cur_idx.end())) {
+        least = false;
+        break;
+      }
+    }
+    if (least) {
+      if (!fn(current) ||
+          !CanonicalSubsetsRec(facts, i + 1, remaining - 1, current, cur_idx,
+                               index_perms, fn)) {
+        cur_idx.pop_back();
+        current.Erase(facts[i]);
+        return false;
+      }
+    }
+    cur_idx.pop_back();
+    current.Erase(facts[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachCanonicalFactSubset(
+    const std::vector<Fact>& facts, size_t max_facts,
+    const std::vector<std::vector<uint32_t>>& index_perms,
+    const std::function<bool(const Instance&)>& fn) {
+  if (index_perms.empty()) return ForEachFactSubset(facts, max_facts, fn);
+  Instance current;
+  std::vector<uint32_t> cur_idx;
+  return CanonicalSubsetsRec(facts, 0, max_facts, current, cur_idx,
+                             index_perms, fn);
 }
 
 }  // namespace calm

@@ -1,5 +1,11 @@
 #include "base/query.h"
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/enumerator.h"
+
 namespace calm {
 
 Status CheckGenericity(const Query& query, const Instance& input,
@@ -14,6 +20,49 @@ Status CheckGenericity(const Query& query, const Instance& input,
                          "' on input " + input.ToString() + ": Q(pi(I)) = " +
                          permuted.value().ToString() + " but pi(Q(I)) = " +
                          expected.ToString());
+  }
+  return Status::Ok();
+}
+
+Status ProbeGenericity(const Query& query, size_t domain_size,
+                       size_t max_facts, size_t samples) {
+  std::vector<Value> domain = IntDomain(domain_size);
+
+  // A fixed family of permutations of {0..n-1}, extended with the identity
+  // elsewhere. The two shifts move the probed values out of the small-int
+  // range entirely — one far away, one onto the checkers' fresh-value range
+  // {1000..} that the reduced J-sweeps permute — so value-specific behavior
+  // anywhere the sweeps touch is exercised, not just relabelings within
+  // {0..n-1}.
+  std::vector<std::map<Value, Value>> perms;
+  {
+    std::map<Value, Value> shift_high, shift_fresh, reverse, swap01;
+    for (size_t i = 0; i < domain_size; ++i) {
+      shift_high[domain[i]] = Value::FromInt((uint64_t{1} << 20) + i);
+      shift_fresh[domain[i]] = Value::FromInt(1000 + i);
+      reverse[domain[i]] = domain[domain_size - 1 - i];
+    }
+    perms.push_back(std::move(shift_high));
+    perms.push_back(std::move(shift_fresh));
+    if (domain_size >= 2) {
+      perms.push_back(std::move(reverse));
+      swap01[domain[0]] = domain[1];
+      swap01[domain[1]] = domain[0];
+      perms.push_back(std::move(swap01));
+    }
+  }
+
+  std::vector<Instance> space =
+      AllInstances(query.input_schema(), domain, max_facts);
+  if (space.empty() || samples == 0) return Status::Ok();
+  size_t take = std::min(samples, space.size());
+  size_t stride = space.size() / take;
+  for (size_t s = 0; s < take; ++s) {
+    const Instance& probe = space[s * stride];
+    for (const std::map<Value, Value>& pi : perms) {
+      Status st = CheckGenericity(query, probe, pi);
+      if (!st.ok()) return st;
+    }
   }
   return Status::Ok();
 }

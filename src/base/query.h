@@ -120,6 +120,28 @@ class NativeQuery : public Query {
 Status CheckGenericity(const Query& query, const Instance& input,
                        const std::map<Value, Value>& pi);
 
+// How the exhaustive checkers use the genericity-based symmetry reduction
+// (orbit-representative sweeps + canonical result cache).
+//   kAuto:    run ProbeGenericity first; reduce only when the probe passes.
+//   kForceOn: reduce unconditionally (caller vouches for genericity).
+//   kOff:     always run the full sweep (and no result cache).
+enum class SymmetryMode {
+  kAuto,
+  kForceOn,
+  kOff,
+};
+
+// Samples CheckGenericity over the bounded instance space the exhaustive
+// checkers sweep: up to `samples` stride-spaced instances over
+// {0..domain_size-1} with at most max_facts facts, each tested against a
+// fixed family of permutations (a shift into a high value range, a shift
+// into the checkers' fresh-value range {1000..}, the domain reversal, and
+// the (0,1) transposition). Returns OK when every probe commutes; the first
+// violation (or evaluation error) otherwise. A passing probe is evidence,
+// not proof — exactly the epistemic status of the bounded sweeps it guards.
+Status ProbeGenericity(const Query& query, size_t domain_size,
+                       size_t max_facts, size_t samples = 12);
+
 }  // namespace calm
 
 #endif  // CALM_BASE_QUERY_H_

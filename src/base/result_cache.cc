@@ -1,0 +1,88 @@
+#include "base/result_cache.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "base/canonical.h"
+
+namespace calm {
+
+Status QueryResultCache::EvalFacts(const Instance& input,
+                                   std::vector<Fact>* out) {
+  CanonicalForm form = CanonicalizeInstance(input);
+  std::string key = CanonicalKey(form.facts);
+  Shard& shard = ShardOf(key);
+
+  bool hit = false;
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hit = true;
+      entry = it->second;  // copied out so the lock is not held during mapping
+    }
+  }
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (!entry.status.ok()) return entry.status;
+    // Map the canonical result back through the inverse of this input's
+    // witnessing permutation. Values outside the canonical label range
+    // (possible only for non-generic queries, which the probe gate rejects)
+    // pass through unchanged.
+    std::map<Value, Value> from_canonical;
+    for (const auto& [value, label] : form.to_canonical) {
+      from_canonical[label] = value;
+    }
+    size_t first = out->size();
+    for (const Fact& f : entry.canonical_facts) {
+      Tuple t;
+      t.reserve(f.arity());
+      for (Value v : f.args) {
+        auto it = from_canonical.find(v);
+        t.push_back(it == from_canonical.end() ? v : it->second);
+      }
+      out->emplace_back(f.relation, std::move(t));
+    }
+    std::sort(out->begin() + first, out->end());
+    return Status::Ok();
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Fact> raw;
+  Status s = query_.EvalFacts(input, &raw);
+  Entry fresh;
+  fresh.status = s;
+  if (s.ok()) {
+    fresh.canonical_facts.reserve(raw.size());
+    for (const Fact& f : raw) {
+      Tuple t;
+      t.reserve(f.arity());
+      for (Value v : f.args) {
+        auto it = form.to_canonical.find(v);
+        t.push_back(it == form.to_canonical.end() ? v : it->second);
+      }
+      fresh.canonical_facts.emplace_back(f.relation, std::move(t));
+    }
+    std::sort(fresh.canonical_facts.begin(), fresh.canonical_facts.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(std::move(key), std::move(fresh));
+  }
+  if (!s.ok()) return s;
+  out->insert(out->end(), raw.begin(), raw.end());
+  return Status::Ok();
+}
+
+Result<Instance> QueryResultCache::Eval(const Instance& input) {
+  std::vector<Fact> facts;
+  Status s = EvalFacts(input, &facts);
+  if (!s.ok()) return s;
+  Instance out;
+  out.InsertSortedFacts(facts);
+  return out;
+}
+
+}  // namespace calm

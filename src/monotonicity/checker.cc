@@ -1,9 +1,12 @@
 #include "monotonicity/checker.h"
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
+#include "base/canonical.h"
 #include "base/enumerator.h"
+#include "base/result_cache.h"
 #include "base/thread_pool.h"
 #include "workload/instance_gen.h"
 
@@ -26,16 +29,25 @@ std::string Counterexample::ToString() const {
          ", retracted output fact: " + FactToString(retracted);
 }
 
+Status PairChecker::EvalFactsMaybeCached(const Instance& input,
+                                         std::vector<Fact>* out) {
+  if (cache_) return cache_->EvalFacts(input, out);
+  return query_.EvalFacts(input, out);
+}
+
 Result<std::optional<Counterexample>> PairChecker::Check(const Instance& j) {
   if (!base_ready_) {
     base_ready_ = true;
-    base_status_ = query_.EvalFacts(i_, &base_facts_);
+    base_status_ = EvalFactsMaybeCached(i_, &base_facts_);
     union_ = i_;
   }
   if (!base_status_.ok()) return base_status_;
 
   // Overlay j onto the persistent copy of i, evaluate, then roll back —
-  // set-wise this is exactly Instance::Union(i, j), minus the copy.
+  // set-wise this is exactly Instance::Union(i, j), minus the copy. The
+  // union evaluation deliberately bypasses the cache: canonicalizing every
+  // (I, J) pair costs more than a native evaluation at the tiny bounds the
+  // sweeps run at, and unions rarely repeat within one search anyway.
   overlay_.clear();
   j.ForEachFact([&](uint32_t name, const Tuple& t) {
     Fact f(name, t);
@@ -108,6 +120,54 @@ struct InstanceOutcome {
   std::optional<Counterexample> cex;
 };
 
+// Whether the symmetry reduction applies: forced modes answer directly,
+// kAuto runs the sampling genericity probe over a small slice of the sweep
+// space (max_facts capped at 2 keeps the probe around a percent of a full
+// sweep). Any probe failure — genericity violation or evaluation error —
+// means the full sweep runs, which is always sound.
+bool ResolveSymmetry(const Query& query, SymmetryMode mode, size_t domain_size,
+                     size_t max_facts) {
+  switch (mode) {
+    case SymmetryMode::kOff:
+      return false;
+    case SymmetryMode::kForceOn:
+      return true;
+    case SymmetryMode::kAuto:
+      return ProbeGenericity(query, domain_size,
+                             std::min<size_t>(max_facts, 2)).ok();
+  }
+  return false;
+}
+
+// The violation-preserving value maps for I's J-space: Aut(I) composed with
+// every permutation of the fresh values. Both parts fix I setwise (the
+// automorphisms by definition, the fresh part vacuously), so for a generic
+// query g(J) violates at I exactly when J does, and every candidate fact
+// list is closed under g. Capped defensively — dropping maps only loses
+// reduction, never soundness.
+std::vector<std::map<Value, Value>> StabilizerValueMaps(
+    const Instance& i, const std::vector<Value>& fresh) {
+  constexpr size_t kMaxMaps = 512;
+  std::vector<std::map<Value, Value>> auts = InstanceAutomorphisms(i);
+  std::vector<std::vector<Value>> fresh_perms;
+  std::vector<Value> p = fresh;
+  do {
+    fresh_perms.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+
+  std::vector<std::map<Value, Value>> out;
+  out.reserve(std::min(kMaxMaps, auts.size() * fresh_perms.size()));
+  for (const std::map<Value, Value>& aut : auts) {
+    for (const std::vector<Value>& fp : fresh_perms) {
+      if (out.size() >= kMaxMaps) return out;
+      std::map<Value, Value> m = aut;
+      for (size_t t = 0; t < fresh.size(); ++t) m[fresh[t]] = fp[t];
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::optional<Counterexample>> FindViolation(
@@ -125,7 +185,19 @@ Result<std::optional<Counterexample>> FindViolation(
   // are deterministic and thread-count-independent. `first_stop` is a
   // monotonically decreasing cursor used only to prune work at indices that
   // can no longer win.
-  std::vector<Instance> is = AllInstances(schema, domain, options.max_facts_i);
+  // With the symmetry reduction active, the I stream keeps only the
+  // enumeration-least member of each isomorphism orbit; because violation
+  // existence is orbit-invariant for a generic query, the first violating
+  // representative is the first violating instance of the full stream, so
+  // the reported counterexample is byte-identical. The same argument filters
+  // each I's J-subset space under the stabilizer maps. The cache is only
+  // consulted under the same genericity gate.
+  bool reduce = ResolveSymmetry(query, options.symmetry, options.domain_size,
+                                options.max_facts_i);
+  QueryResultCache* cache = reduce ? options.cache : nullptr;
+  std::vector<Instance> is =
+      reduce ? AllCanonicalInstances(schema, domain, options.max_facts_i)
+             : AllInstances(schema, domain, options.max_facts_i);
   std::vector<InstanceOutcome> slots(is.size());
   std::atomic<size_t> first_stop{is.size()};
 
@@ -136,8 +208,8 @@ Result<std::optional<Counterexample>> FindViolation(
     std::vector<Fact> candidates = CandidateJFacts(schema, i, fresh, cls);
     // One checker per outer I: Q(i) is computed once and reused across the
     // whole J enumeration below.
-    PairChecker checker(query, i);
-    ForEachFactSubset(candidates, options.max_facts_j, [&](const Instance& j) {
+    PairChecker checker(query, i, cache);
+    auto visit = [&](const Instance& j) {
       if (first_stop.load(std::memory_order_relaxed) < idx) return false;
       Result<std::optional<Counterexample>> r = checker.Check(j);
       if (!r.ok()) {
@@ -149,7 +221,15 @@ Result<std::optional<Counterexample>> FindViolation(
         return false;
       }
       return true;
-    });
+    };
+    if (reduce) {
+      ForEachCanonicalFactSubset(candidates, options.max_facts_j,
+                                 FactIndexPermutations(
+                                     candidates, StabilizerValueMaps(i, fresh)),
+                                 visit);
+    } else {
+      ForEachFactSubset(candidates, options.max_facts_j, visit);
+    }
     if (!slot.error.ok() || slot.cex.has_value()) {
       size_t cur = first_stop.load(std::memory_order_relaxed);
       while (idx < cur &&

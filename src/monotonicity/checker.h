@@ -10,6 +10,10 @@
 #include "base/query.h"
 #include "base/status.h"
 
+namespace calm {
+class QueryResultCache;
+}
+
 namespace calm::monotonicity {
 
 // The monotonicity hierarchy of Section 3.1 (Definition 1):
@@ -50,6 +54,21 @@ struct ExhaustiveOptions {
   // enumeration order, so the verdict and counterexample are identical for
   // every thread count.
   size_t threads = 0;
+  // Genericity-aware symmetry reduction (base/canonical.h): sweep one
+  // representative per isomorphism orbit of I, and filter each I's J-subset
+  // space down to orbit representatives under Aut(I) x Sym(fresh values).
+  // kAuto probes genericity first (ProbeGenericity in base/query.h); a query
+  // failing the probe — including by evaluation error — falls back to the
+  // full sweep. Because the kept representative is always the
+  // enumeration-order-least orbit member, verdicts AND counterexamples are
+  // byte-identical to the full sweep for generic queries.
+  SymmetryMode symmetry = SymmetryMode::kAuto;
+  // Optional shared canonical result cache (base/result_cache.h), consulted
+  // only while the symmetry reduction is active (its correctness rests on
+  // the same genericity assumption). ComputeLadder wires one cache across
+  // its 3 * max_i cells; standalone FindViolation calls run uncached unless
+  // the caller provides one. Not owned.
+  QueryResultCache* cache = nullptr;
 };
 
 // Exhaustively searches the bounded space for a violation of `cls`.
@@ -81,7 +100,15 @@ Result<std::optional<Counterexample>> FindViolationRandom(
 // `i` must outlive the checker.
 class PairChecker {
  public:
-  PairChecker(const Query& query, const Instance& i) : query_(query), i_(i) {}
+  // When `cache` is non-null, the base Q(i) evaluation goes through it —
+  // isomorphic outer instances anywhere in the sweep (e.g. the 3 * max_i
+  // ladder cells re-sweeping the same I space) then share one evaluation.
+  // The per-pair Q(i u j) evaluations always run directly: unions rarely
+  // repeat within a search, so canonicalizing each one costs more than it
+  // saves. Callers must only pass a cache under the genericity gate.
+  PairChecker(const Query& query, const Instance& i,
+              QueryResultCache* cache = nullptr)
+      : query_(query), i_(i), cache_(cache) {}
 
   // Returns a counterexample iff Q(i) is not a subset of Q(i u j) — the
   // retracted fact is the first one in Q(i)'s iteration order, identical to
@@ -89,8 +116,11 @@ class PairChecker {
   Result<std::optional<Counterexample>> Check(const Instance& j);
 
  private:
+  Status EvalFactsMaybeCached(const Instance& input, std::vector<Fact>* out);
+
   const Query& query_;
   const Instance& i_;
+  QueryResultCache* cache_ = nullptr;
   bool base_ready_ = false;
   Status base_status_;            // Q(i)'s error, replayed on every Check
   std::vector<Fact> base_facts_;  // Q(i) in iteration order

@@ -1,8 +1,10 @@
 #include "monotonicity/ladder.h"
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
+#include "base/result_cache.h"
 #include "base/thread_pool.h"
 
 namespace calm::monotonicity {
@@ -43,6 +45,24 @@ Result<Ladder> ComputeLadder(const Query& query, size_t max_i,
   const MonotonicityClass kClasses[] = {MonotonicityClass::kMonotone,
                                         MonotonicityClass::kDomainDistinct,
                                         MonotonicityClass::kDomainDisjoint};
+
+  // Resolve the genericity probe once for the whole table (the cells would
+  // otherwise each re-probe under kAuto) and, when the reduction is on,
+  // share one canonical result cache across every cell: the 3 * max_i cells
+  // sweep the identical I space, so Q(I) — and any union already seen in an
+  // isomorphic form — is evaluated once instead of once per cell.
+  QueryResultCache shared_cache(query);
+  if (base.symmetry == SymmetryMode::kAuto) {
+    base.symmetry =
+        ProbeGenericity(query, base.domain_size,
+                        std::min<size_t>(base.max_facts_i, 2)).ok()
+            ? SymmetryMode::kForceOn
+            : SymmetryMode::kOff;
+  }
+  if (base.symmetry == SymmetryMode::kForceOn && base.cache == nullptr) {
+    base.cache = &shared_cache;
+  }
+
   size_t cells = 3 * max_i;
   std::vector<std::optional<Counterexample>> witnesses(cells);
   std::vector<Status> errors(cells);

@@ -38,6 +38,14 @@ struct PreservationOptions {
   // space is partitioned across the pool; results merge in enumeration
   // order, so the violation returned is thread-count-independent.
   size_t threads = 0;
+  // Genericity-aware symmetry reduction: sweep only the enumeration-least
+  // representative of each source-instance isomorphism orbit (violation
+  // existence is orbit-invariant for generic queries, so the first violating
+  // representative is the first violating source and the reported violation
+  // is byte-identical to the full sweep), and serve the repeated target /
+  // subinstance evaluations from a canonical result cache. kAuto probes
+  // genericity first; failures fall back to the full sweep.
+  SymmetryMode symmetry = SymmetryMode::kAuto;
 };
 
 // Exhaustively searches the bounded space for a preservation violation.

@@ -1,0 +1,508 @@
+// The genericity-aware symmetry reduction (base/canonical.h,
+// base/enumerator.h, base/result_cache.h) and its wiring into the exhaustive
+// checkers. The load-bearing contracts:
+//   * the canonical form is invariant under value permutations,
+//   * orbit representatives and orbit sizes match a brute-force grouping of
+//     the full instance stream,
+//   * reduced sweeps return byte-identical verdicts AND counterexamples to
+//     the full sweeps on every Figure 1/2 query at the seed bounds,
+//   * a non-generic query is caught by the probe and falls back to the full
+//     sweep (with the violation the reduction would have missed still found).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/canonical.h"
+#include "base/enumerator.h"
+#include "base/instance.h"
+#include "base/query.h"
+#include "base/result_cache.h"
+#include "monotonicity/checker.h"
+#include "monotonicity/ladder.h"
+#include "monotonicity/preservation.h"
+#include "queries/graph_queries.h"
+#include "workload/instance_gen.h"
+
+namespace calm {
+namespace {
+
+using monotonicity::ComputeLadder;
+using monotonicity::Counterexample;
+using monotonicity::ExhaustiveOptions;
+using monotonicity::FindPreservationViolation;
+using monotonicity::FindViolation;
+using monotonicity::Ladder;
+using monotonicity::MonotonicityClass;
+using monotonicity::MonotonicityClassName;
+using monotonicity::PreservationClass;
+using monotonicity::PreservationOptions;
+using monotonicity::PreservationViolation;
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+// ---------------------------------------------------------------------------
+// Canonical labeling
+// ---------------------------------------------------------------------------
+
+TEST(CanonicalFormTest, EmptyInstance) {
+  CanonicalForm form = CanonicalizeInstance(Instance{});
+  EXPECT_TRUE(form.facts.empty());
+  EXPECT_TRUE(form.to_canonical.empty());
+  EXPECT_EQ(form.automorphism_count, 1u);
+  EXPECT_EQ(InstanceAutomorphisms(Instance{}).size(), 1u);
+}
+
+TEST(CanonicalFormTest, KnownAutomorphismCounts) {
+  struct Case {
+    std::string label;
+    Instance instance;
+    uint64_t auts;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"single edge", Instance{Fact("E", {V(0), V(1)})}, 1});
+  cases.push_back(
+      {"2-cycle", Instance{Fact("E", {V(0), V(1)}), Fact("E", {V(1), V(0)})},
+       2});
+  cases.push_back({"3-cycle",
+                   Instance{Fact("E", {V(0), V(1)}), Fact("E", {V(1), V(2)}),
+                            Fact("E", {V(2), V(0)})},
+                   3});
+  cases.push_back({"two disjoint edges",
+                   Instance{Fact("E", {V(0), V(1)}), Fact("E", {V(2), V(3)})},
+                   2});
+  cases.push_back({"loop", Instance{Fact("E", {V(7), V(7)})}, 1});
+  for (const Case& c : cases) {
+    CanonicalForm form = CanonicalizeInstance(c.instance);
+    EXPECT_EQ(form.automorphism_count, c.auts) << c.label;
+    // InstanceAutomorphisms enumerates exactly the |Aut(I)| fixing maps.
+    std::vector<std::map<Value, Value>> auts =
+        InstanceAutomorphisms(c.instance);
+    EXPECT_EQ(auts.size(), c.auts) << c.label;
+    for (const std::map<Value, Value>& a : auts) {
+      EXPECT_EQ(ApplyValueMap(c.instance, a).AllFacts(),
+                c.instance.AllFacts())
+          << c.label << ": a claimed automorphism does not fix the instance";
+    }
+  }
+}
+
+TEST(CanonicalFormTest, ToCanonicalWitnessesTheForm) {
+  Instance i{Fact("E", {V(10), V(42)}), Fact("E", {V(42), V(42)}),
+             Fact("E", {V(42), V(7)})};
+  CanonicalForm form = CanonicalizeInstance(i);
+  // The witnessing relabeling really produces the canonical fact list...
+  EXPECT_EQ(ApplyValueMap(i, form.to_canonical).AllFacts(), form.facts);
+  // ...and maps adom(I) onto {0..k-1}.
+  std::set<Value> image;
+  for (const auto& [from, to] : form.to_canonical) image.insert(to);
+  ASSERT_EQ(form.to_canonical.size(), i.ActiveDomain().size());
+  ASSERT_EQ(image.size(), form.to_canonical.size());
+  for (size_t v = 0; v < image.size(); ++v) EXPECT_TRUE(image.count(V(v)));
+}
+
+TEST(CanonicalFormTest, InvariantUnderRandomPermutations) {
+  Schema schema({{"E", 2}});
+  std::vector<Instance> probes = AllInstances(schema, IntDomain(3), 2);
+  // A few instances with scattered values (the checkers' fresh range, gaps).
+  probes.push_back(Instance{Fact("E", {V(1000), V(0)}),
+                            Fact("E", {V(1001), V(0)}),
+                            Fact("E", {V(3), V(1000)})});
+  probes.push_back(Instance{Fact("E", {V(5), V(9)}), Fact("E", {V(9), V(5)}),
+                            Fact("E", {V(2), V(2)})});
+  for (const Instance& i : probes) {
+    CanonicalForm base = CanonicalizeInstance(i);
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Instance permuted = ApplyValueMap(i, workload::RandomPermutation(i, seed));
+      CanonicalForm got = CanonicalizeInstance(permuted);
+      EXPECT_EQ(got.facts, base.facts) << i.ToString() << " seed " << seed;
+      EXPECT_EQ(got.automorphism_count, base.automorphism_count)
+          << i.ToString() << " seed " << seed;
+      EXPECT_EQ(CanonicalKey(got.facts), CanonicalKey(base.facts));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Orbit-representative enumeration
+// ---------------------------------------------------------------------------
+
+void CheckOrbitsAgainstBruteForce(const Schema& schema, size_t domain_size,
+                                  size_t max_facts) {
+  std::vector<Value> domain = IntDomain(domain_size);
+  std::vector<Instance> all = AllInstances(schema, domain, max_facts);
+
+  // Brute force: group the full stream by canonical key; the representative
+  // of each orbit is its first (enumeration-order-least) member.
+  std::map<std::string, std::vector<size_t>> orbits;  // key -> indices
+  for (size_t idx = 0; idx < all.size(); ++idx) {
+    orbits[CanonicalKey(CanonicalizeInstance(all[idx]).facts)].push_back(idx);
+  }
+
+  std::vector<uint64_t> orbit_sizes;
+  std::vector<Instance> reps =
+      AllCanonicalInstances(schema, domain, max_facts, &orbit_sizes);
+  ASSERT_EQ(reps.size(), orbits.size());
+  ASSERT_EQ(orbit_sizes.size(), reps.size());
+
+  uint64_t total = 0;
+  std::set<std::string> seen;
+  for (size_t r = 0; r < reps.size(); ++r) {
+    std::string key = CanonicalKey(CanonicalizeInstance(reps[r]).facts);
+    ASSERT_TRUE(orbits.count(key)) << reps[r].ToString();
+    ASSERT_TRUE(seen.insert(key).second)
+        << "orbit emitted twice: " << reps[r].ToString();
+    const std::vector<size_t>& members = orbits[key];
+    // The representative is the enumeration-least orbit member — this is the
+    // property that makes reduced-sweep counterexamples byte-identical.
+    EXPECT_EQ(reps[r].AllFacts(), all[members.front()].AllFacts());
+    EXPECT_EQ(orbit_sizes[r], members.size());
+    total += orbit_sizes[r];
+  }
+  EXPECT_EQ(total, all.size());
+
+  // Representatives come out in the full stream's enumeration order.
+  std::vector<Instance> streamed;
+  ForEachCanonicalInstance(schema, domain, max_facts,
+                           [&](const Instance& i, uint64_t) {
+                             streamed.push_back(i);
+                             return true;
+                           });
+  ASSERT_EQ(streamed.size(), reps.size());
+  for (size_t r = 0; r < reps.size(); ++r) {
+    EXPECT_EQ(streamed[r].AllFacts(), reps[r].AllFacts());
+  }
+}
+
+TEST(CanonicalEnumeratorTest, OrbitCountsMatchBruteForce) {
+  CheckOrbitsAgainstBruteForce(Schema({{"E", 2}}), 2, 3);
+  CheckOrbitsAgainstBruteForce(Schema({{"E", 2}}), 3, 2);
+  CheckOrbitsAgainstBruteForce(Schema({{"V", 1}, {"W", 1}}), 3, 3);
+  CheckOrbitsAgainstBruteForce(Schema({{"S", 1}, {"R", 2}}), 2, 2);
+}
+
+TEST(CanonicalEnumeratorTest, FactIndexPermutationsMatchValueMaps) {
+  std::vector<Fact> facts = {Fact("E", {V(0), V(1)}), Fact("E", {V(1), V(0)}),
+                             Fact("E", {V(0), V(0)}), Fact("E", {V(1), V(1)})};
+  // The 0<->1 swap permutes the list; a map off the fact values is dropped.
+  std::map<Value, Value> swap01{{V(0), V(1)}, {V(1), V(0)}};
+  std::map<Value, Value> away{{V(0), V(5)}, {V(1), V(0)}};
+  std::map<Value, Value> identity{{V(0), V(0)}, {V(1), V(1)}};
+  std::vector<std::vector<uint32_t>> perms =
+      FactIndexPermutations(facts, {swap01, away, identity});
+  ASSERT_EQ(perms.size(), 1u);  // identity and non-closed map dropped
+  for (size_t fi = 0; fi < facts.size(); ++fi) {
+    Fact mapped = facts[fi];
+    for (Value& v : mapped.args) v = swap01.at(v);
+    EXPECT_EQ(facts[perms[0][fi]], mapped);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduced sweeps vs full sweeps on the Figure 1/2 queries
+// ---------------------------------------------------------------------------
+
+std::string Render(const Result<std::optional<Counterexample>>& r) {
+  if (!r.ok()) return "error: " + r.status().ToString();
+  if (!r->has_value()) return "no violation";
+  return r->value().ToString();
+}
+
+struct Scenario {
+  std::string label;
+  std::unique_ptr<Query> query;
+  MonotonicityClass cls;
+  ExhaustiveOptions opts;
+};
+
+ExhaustiveOptions Opts(size_t domain, size_t facts_i, size_t fresh,
+                       size_t facts_j) {
+  ExhaustiveOptions o;
+  o.domain_size = domain;
+  o.max_facts_i = facts_i;
+  o.fresh_values = fresh;
+  o.max_facts_j = facts_j;
+  o.threads = 1;
+  return o;
+}
+
+// The bench configurations of Theorem 3.1 items (1)-(7), plus the remaining
+// Figure 1/2 specimens (triangles-unless-two-disjoint, win-move, two-hop).
+std::vector<Scenario> Figure12Scenarios() {
+  std::vector<Scenario> s;
+  s.push_back({"(1) Q_TC Mdistinct", queries::MakeComplementTransitiveClosure(),
+               MonotonicityClass::kDomainDistinct, Opts(2, 3, 2, 3)});
+  s.push_back({"(1) Q_TC Mdisjoint", queries::MakeComplementTransitiveClosure(),
+               MonotonicityClass::kDomainDisjoint, Opts(2, 3, 2, 3)});
+  for (size_t jmax : {1u, 3u}) {
+    s.push_back({"(2) TC M^" + std::to_string(jmax),
+                 queries::MakeTransitiveClosure(), MonotonicityClass::kMonotone,
+                 Opts(2, 2, 1, jmax)});
+  }
+  for (size_t i : {1u, 2u}) {
+    s.push_back({"(3) clique i=" + std::to_string(i),
+                 queries::MakeCliqueQuery(i + 2),
+                 MonotonicityClass::kDomainDistinct,
+                 Opts(i + 2, i <= 1 ? (i + 1) * i + 1 : 3, 1, i)});
+    s.push_back({"(3) clique i=" + std::to_string(i) + " violated",
+                 queries::MakeCliqueQuery(i + 2),
+                 MonotonicityClass::kDomainDistinct,
+                 Opts(i + 2, i <= 1 ? (i + 1) * i + 1 : 3, 1, i + 1)});
+  }
+  for (size_t i : {1u, 2u}) {
+    s.push_back({"(4) star i=" + std::to_string(i),
+                 queries::MakeStarQuery(i + 1),
+                 MonotonicityClass::kDomainDisjoint, Opts(2, 2, i + 1, i)});
+  }
+  s.push_back({"(5) clique3 disjoint", queries::MakeCliqueQuery(3),
+               MonotonicityClass::kDomainDisjoint, Opts(3, 3, 2, 2)});
+  s.push_back({"(5) clique3 distinct", queries::MakeCliqueQuery(3),
+               MonotonicityClass::kDomainDistinct, Opts(3, 3, 2, 2)});
+  s.push_back({"(6) star2 distinct", queries::MakeStarQuery(2),
+               MonotonicityClass::kDomainDistinct, Opts(2, 1, 1, 1)});
+  for (size_t j : {2u, 3u}) {
+    s.push_back({"(7) dup j=" + std::to_string(j) + " distinct",
+                 queries::MakeDuplicateQuery(j),
+                 MonotonicityClass::kDomainDistinct, Opts(2, 2, 2, j - 1)});
+    s.push_back({"(7) dup j=" + std::to_string(j) + " disjoint",
+                 queries::MakeDuplicateQuery(j),
+                 MonotonicityClass::kDomainDisjoint, Opts(2, 2, 2, j)});
+  }
+  s.push_back({"triangles-unless-2-disjoint",
+               queries::MakeTrianglesUnlessTwoDisjoint(),
+               MonotonicityClass::kDomainDisjoint, Opts(3, 3, 3, 2)});
+  s.push_back({"win-move disjoint", queries::MakeWinMove(),
+               MonotonicityClass::kDomainDisjoint, Opts(2, 3, 2, 2)});
+  s.push_back({"win-move distinct", queries::MakeWinMove(),
+               MonotonicityClass::kDomainDistinct, Opts(2, 2, 2, 2)});
+  s.push_back({"two-hop monotone", queries::MakeTwoHopJoin(),
+               MonotonicityClass::kMonotone, Opts(2, 2, 2, 2)});
+  return s;
+}
+
+TEST(ReducedSweepTest, FindViolationMatchesFullSweepOnFigure12Queries) {
+  for (Scenario& s : Figure12Scenarios()) {
+    ExhaustiveOptions full = s.opts;
+    full.symmetry = SymmetryMode::kOff;
+    std::string expected = Render(FindViolation(*s.query, s.cls, full));
+
+    for (SymmetryMode mode : {SymmetryMode::kForceOn, SymmetryMode::kAuto}) {
+      ExhaustiveOptions reduced = s.opts;
+      reduced.symmetry = mode;
+      QueryResultCache cache(*s.query);
+      reduced.cache = &cache;
+      EXPECT_EQ(Render(FindViolation(*s.query, s.cls, reduced)), expected)
+          << s.label << " (" << MonotonicityClassName(s.cls) << ", "
+          << (mode == SymmetryMode::kAuto ? "auto" : "forced") << ")";
+    }
+  }
+}
+
+TEST(ReducedSweepTest, LadderMatchesFullSweep) {
+  struct Case {
+    std::unique_ptr<Query> query;
+    size_t domain;
+    size_t fresh;
+  };
+  std::vector<Case> cases;
+  cases.push_back({queries::MakeCliqueQuery(3), 3, 1});
+  cases.push_back({queries::MakeStarQuery(2), 2, 3});
+  cases.push_back({queries::MakeComplementTransitiveClosure(), 2, 1});
+  for (Case& c : cases) {
+    ExhaustiveOptions o;
+    o.domain_size = c.domain;
+    o.max_facts_i = 3;
+    o.fresh_values = c.fresh;
+    o.threads = 1;
+    o.symmetry = SymmetryMode::kOff;
+    Result<Ladder> full = ComputeLadder(*c.query, 3, o);
+    ASSERT_TRUE(full.ok()) << c.query->name();
+    for (SymmetryMode mode : {SymmetryMode::kForceOn, SymmetryMode::kAuto}) {
+      o.symmetry = mode;
+      Result<Ladder> reduced = ComputeLadder(*c.query, 3, o);
+      ASSERT_TRUE(reduced.ok()) << c.query->name();
+      EXPECT_EQ(reduced->ToString(), full->ToString()) << c.query->name();
+      ASSERT_EQ(reduced->rows.size(), full->rows.size());
+      for (size_t r = 0; r < full->rows.size(); ++r) {
+        const auto& fr = full->rows[r];
+        const auto& rr = reduced->rows[r];
+        for (auto member : {&monotonicity::LadderRow::m_witness,
+                            &monotonicity::LadderRow::distinct_witness,
+                            &monotonicity::LadderRow::disjoint_witness}) {
+          const auto& fw = fr.*member;
+          const auto& rw = rr.*member;
+          ASSERT_EQ(rw.has_value(), fw.has_value()) << c.query->name();
+          if (fw.has_value()) {
+            EXPECT_EQ(rw->ToString(), fw->ToString()) << c.query->name();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ReducedSweepTest, PreservationMatchesFullSweep) {
+  auto star = queries::MakeStarQuery(2);
+  auto tc = queries::MakeTransitiveClosure();
+  for (PreservationClass cls :
+       {PreservationClass::kHomomorphisms,
+        PreservationClass::kInjectiveHomomorphisms,
+        PreservationClass::kExtensions}) {
+    for (const Query* q : {static_cast<const Query*>(star.get()),
+                           static_cast<const Query*>(tc.get())}) {
+      PreservationOptions o;
+      o.domain_size = 2;
+      o.max_facts = 2;
+      o.threads = 1;
+      o.symmetry = SymmetryMode::kOff;
+      Result<std::optional<PreservationViolation>> full =
+          FindPreservationViolation(*q, cls, o);
+      ASSERT_TRUE(full.ok()) << q->name();
+      for (SymmetryMode mode : {SymmetryMode::kForceOn, SymmetryMode::kAuto}) {
+        o.symmetry = mode;
+        Result<std::optional<PreservationViolation>> reduced =
+            FindPreservationViolation(*q, cls, o);
+        ASSERT_TRUE(reduced.ok()) << q->name();
+        ASSERT_EQ(reduced->has_value(), full->has_value()) << q->name();
+        if (full->has_value()) {
+          EXPECT_EQ(reduced->value().ToString(), full->value().ToString())
+              << q->name();
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Genericity probe and the non-generic fallback
+// ---------------------------------------------------------------------------
+
+TEST(GenericityProbeTest, GenericQueriesPass) {
+  EXPECT_TRUE(ProbeGenericity(*queries::MakeTransitiveClosure(), 2, 2).ok());
+  EXPECT_TRUE(
+      ProbeGenericity(*queries::MakeComplementTransitiveClosure(), 2, 2).ok());
+  EXPECT_TRUE(ProbeGenericity(*queries::MakeCliqueQuery(3), 3, 2).ok());
+  EXPECT_TRUE(ProbeGenericity(*queries::MakeWinMove(), 2, 2).ok());
+}
+
+// A deliberately non-generic query: Q(I) = {O(0)} iff W(0) is present and
+// NOT (V(1001) present while V(1000) absent). It inspects concrete values —
+// including the checkers' fresh range — so it is not closed under
+// permutations of dom.
+std::unique_ptr<Query> MakeNonGenericQuery() {
+  return std::make_unique<NativeQuery>(
+      "non-generic-specimen", Schema({{"V", 1}, {"W", 1}}),
+      Schema({{"O", 1}}), [](const Instance& in) -> Result<Instance> {
+        Instance out;
+        bool blocked = in.Contains(Fact("V", {V(1001)})) &&
+                       !in.Contains(Fact("V", {V(1000)}));
+        if (in.Contains(Fact("W", {V(0)})) && !blocked) {
+          out.Insert(Fact("O", {V(0)}));
+        }
+        return out;
+      });
+}
+
+TEST(GenericityProbeTest, NonGenericQueryIsRejected) {
+  EXPECT_FALSE(ProbeGenericity(*MakeNonGenericQuery(), 2, 2).ok());
+}
+
+TEST(GenericityProbeTest, NonGenericQueryFallsBackToFullSweep) {
+  auto q = MakeNonGenericQuery();
+  ExhaustiveOptions o = Opts(2, 2, 2, 1);
+
+  // The full sweep finds the violation: some I containing W(0), extended by
+  // J = {V(1001)}, loses the output fact O(0).
+  o.symmetry = SymmetryMode::kOff;
+  Result<std::optional<Counterexample>> full =
+      FindViolation(*q, MonotonicityClass::kDomainDisjoint, o);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full->has_value());
+
+  // Forcing the reduction on a non-generic query is unsound: the only
+  // violating extension {V(1001)} is pruned as the non-least member of its
+  // would-be orbit under the fresh-value swap. This is exactly why the kAuto
+  // gate is load-bearing.
+  o.symmetry = SymmetryMode::kForceOn;
+  Result<std::optional<Counterexample>> forced =
+      FindViolation(*q, MonotonicityClass::kDomainDisjoint, o);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_FALSE(forced->has_value());
+
+  // kAuto detects the non-genericity and runs the full sweep: the violation
+  // is still found, byte-identical.
+  o.symmetry = SymmetryMode::kAuto;
+  Result<std::optional<Counterexample>> fallback =
+      FindViolation(*q, MonotonicityClass::kDomainDisjoint, o);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(Render(fallback), Render(full));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical result cache
+// ---------------------------------------------------------------------------
+
+TEST(QueryResultCacheTest, ServesIsomorphicRepeatsFromOneEvaluation) {
+  auto tc = queries::MakeTransitiveClosure();
+  QueryResultCache cache(*tc);
+
+  std::vector<Instance> isomorphic = {
+      Instance{Fact("E", {V(0), V(1)}), Fact("E", {V(1), V(2)})},
+      Instance{Fact("E", {V(2), V(0)}), Fact("E", {V(0), V(1)})},
+      Instance{Fact("E", {V(7), V(3)}), Fact("E", {V(3), V(9)})},
+  };
+  for (const Instance& i : isomorphic) {
+    Result<Instance> cached = cache.Eval(i);
+    Result<Instance> direct = tc->Eval(i);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(cached->AllFacts(), direct->AllFacts()) << i.ToString();
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+
+  // A non-isomorphic input is a fresh entry.
+  Instance other{Fact("E", {V(0), V(0)})};
+  ASSERT_TRUE(cache.Eval(other).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(QueryResultCacheTest, EvalFactsAppendsInAscendingOrder) {
+  auto tc = queries::MakeTransitiveClosure();
+  QueryResultCache cache(*tc);
+  Instance i{Fact("E", {V(4), V(2)}), Fact("E", {V(2), V(0)})};
+  for (int round = 0; round < 2; ++round) {  // miss, then hit
+    std::vector<Fact> direct, cached;
+    ASSERT_TRUE(tc->EvalFacts(i, &direct).ok());
+    ASSERT_TRUE(cache.EvalFacts(i, &cached).ok());
+    EXPECT_EQ(cached, direct);
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(QueryResultCacheTest, ErrorsAreCachedAndReplayed) {
+  NativeQuery failing(
+      "always-fails", Schema({{"E", 2}}), Schema({{"O", 2}}),
+      [](const Instance&) -> Result<Instance> {
+        return ResourceExhaustedError("synthetic divergence");
+      });
+  QueryResultCache cache(failing);
+  Instance a{Fact("E", {V(0), V(1)})};
+  Instance b{Fact("E", {V(5), V(6)})};  // isomorphic to a
+  std::vector<Fact> out;
+  Status first = cache.EvalFacts(a, &out);
+  Status second = cache.EvalFacts(b, &out);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace calm

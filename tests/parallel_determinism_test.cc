@@ -36,7 +36,7 @@ class ParallelDeterminismTest : public ::testing::Test {
   // Size the global pool generously so thread counts > 1 really run on
   // workers even on single-core CI runners (this is also what puts the
   // parallel paths in front of TSan).
-  void SetUp() override { SetDefaultThreads(4); }
+  void SetUp() override { SetDefaultThreads(8); }
   void TearDown() override { SetDefaultThreads(0); }
 };
 
@@ -131,6 +131,29 @@ TEST_F(ParallelDeterminismTest, FindViolationMatchesSerialOnTheorem31Items) {
       EXPECT_EQ(got, expected)
           << s.label << " (" << MonotonicityClassName(s.cls) << ") diverged at "
           << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ReducedSweepMatchesSerialAcrossThreadCounts) {
+  // The genericity-aware reduced sweep must keep the determinism contract:
+  // identical verdicts and counterexamples at every thread count, and
+  // identical to the full serial sweep (orbit representatives are the
+  // enumeration-least members, so the merge-in-index-order argument is
+  // unchanged).
+  for (Scenario& s : Theorem31Scenarios()) {
+    ExhaustiveOptions serial_full = s.opts;
+    serial_full.threads = 1;
+    serial_full.symmetry = SymmetryMode::kOff;
+    std::string expected = Render(FindViolation(*s.query, s.cls, serial_full));
+    for (size_t threads : {1u, 2u, 8u}) {
+      ExhaustiveOptions reduced = s.opts;
+      reduced.threads = threads;
+      reduced.symmetry = SymmetryMode::kForceOn;
+      std::string got = Render(FindViolation(*s.query, s.cls, reduced));
+      EXPECT_EQ(got, expected)
+          << s.label << " (" << MonotonicityClassName(s.cls)
+          << ") reduced sweep diverged at " << threads << " threads";
     }
   }
 }
