@@ -132,6 +132,53 @@ void BM_DomainRequestNetworkWinMove(benchmark::State& state) {
 }
 BENCHMARK(BM_DomainRequestNetworkWinMove)->Arg(2)->Arg(4);
 
+// Fault-channel overhead: the same broadcast-TC run with no plan attached
+// vs. a chaos plan. The fault-injected run does strictly more work
+// (retransmit queues, durable inboxes, extra copies), so the tracked number
+// is the injected/free ratio staying modest.
+void BM_RunToQuiescenceFaultFree(benchmark::State& state) {
+  auto tc = queries::MakeTransitiveClosure();
+  auto t = transducer::MakeBroadcastTransducer(tc.get());
+  transducer::Network nodes;
+  for (int64_t k = 0; k < state.range(0); ++k) {
+    nodes.push_back(Value::FromInt(900 + k));
+  }
+  transducer::HashPolicy policy(nodes);
+  Instance input = workload::RandomGraphM(10, 24, /*seed=*/4);
+  for (auto _ : state) {
+    transducer::TransducerNetwork network(nodes, t.get(), &policy,
+                                          transducer::ModelOptions::Original());
+    (void)network.Initialize(input);
+    Result<transducer::RunResult> r = transducer::RunToQuiescence(network);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RunToQuiescenceFaultFree)->Arg(2)->Arg(4);
+
+void BM_RunToQuiescenceFaultInjected(benchmark::State& state) {
+  auto tc = queries::MakeTransitiveClosure();
+  auto t = transducer::MakeBroadcastTransducer(tc.get());
+  transducer::Network nodes;
+  for (int64_t k = 0; k < state.range(0); ++k) {
+    nodes.push_back(Value::FromInt(900 + k));
+  }
+  transducer::HashPolicy policy(nodes);
+  Instance input = workload::RandomGraphM(10, 24, /*seed=*/4);
+  uint64_t plan_seed = 0;
+  for (auto _ : state) {
+    net::FaultPlan plan =
+        net::FaultPlan::Random(++plan_seed, net::FaultProfile::Chaos());
+    transducer::TransducerNetwork network(nodes, t.get(), &policy,
+                                          transducer::ModelOptions::Original());
+    (void)network.Initialize(input);
+    transducer::RunOptions ro;
+    ro.faults = &plan;
+    Result<transducer::RunResult> r = transducer::RunToQuiescence(network, ro);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RunToQuiescenceFaultInjected)->Arg(2)->Arg(4);
+
 // A rule written in pessimal order: B(z), A(x) is a cartesian product
 // unless the compiler reorders to chain through the E atoms.
 void BM_JoinOrderPessimalRule(benchmark::State& state) {

@@ -16,6 +16,7 @@ enum class StatusCode {
   kInvalidArgument,   // malformed input (bad program text, arity mismatch, ...)
   kFailedPrecondition,// operation not applicable (e.g. unstratifiable program)
   kResourceExhausted, // evaluation diverged past a configured limit
+  kDeadlineExceeded,  // a simulated run hit its transition budget
   kInternal,          // invariant violation inside the library
   kNotFound,
 };
@@ -55,6 +56,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 Status InvalidArgumentError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
 Status InternalError(std::string message);
 Status NotFoundError(std::string message);
 

@@ -29,4 +29,13 @@ std::vector<size_t> MessageBuffer::IndicesOlderThan(uint64_t tick) const {
   return out;
 }
 
+std::string RunStatsToString(const RunStats& stats) {
+  return "transitions=" + std::to_string(stats.transitions) +
+         " heartbeats=" + std::to_string(stats.heartbeats) +
+         " sent=" + std::to_string(stats.messages_sent) +
+         " delivered=" + std::to_string(stats.messages_delivered) +
+         " output_facts=" + std::to_string(stats.output_facts) +
+         " output_complete_at=" + std::to_string(stats.output_complete_at);
+}
+
 }  // namespace calm::net

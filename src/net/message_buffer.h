@@ -1,7 +1,9 @@
 #ifndef CALM_NET_MESSAGE_BUFFER_H_
 #define CALM_NET_MESSAGE_BUFFER_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/fact.h"
@@ -22,6 +24,15 @@ class MessageBuffer {
 
   void Add(Fact fact, uint64_t tick) {
     entries_.push_back(Entry{std::move(fact), tick});
+  }
+
+  // Inserts at `position` (clamped to the end) instead of the back — the
+  // reordering fault (net/fault.h). `enqueued_at` keeps the true tick so
+  // delay bounds, and hence fairness, survive reordering.
+  void InsertAt(size_t position, Fact fact, uint64_t tick) {
+    position = std::min(position, entries_.size());
+    entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(position),
+                    Entry{std::move(fact), tick});
   }
 
   bool empty() const { return entries_.empty(); }
@@ -52,6 +63,10 @@ struct RunStats {
   // Transition index at which the final output fact appeared (0 if none).
   size_t output_complete_at = 0;
 };
+
+// "transitions=12 heartbeats=3 sent=8 delivered=8 output_facts=4" — used by
+// error messages (RunOptions::fail_on_budget) and the bench reports.
+std::string RunStatsToString(const RunStats& stats);
 
 }  // namespace calm::net
 

@@ -1,0 +1,467 @@
+#include "transducer/confluence.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/thread_pool.h"
+
+namespace calm::transducer {
+
+namespace {
+
+// One faulted run: fresh network, plan attached, run to quiescence.
+Result<RunResult> RunOnce(const NetworkFactory& make_network,
+                          net::FaultPlan* plan, const RunOptions& base) {
+  CALM_ASSIGN_OR_RETURN(std::unique_ptr<TransducerNetwork> network,
+                        make_network());
+  RunOptions ro = base;
+  ro.faults = plan;
+  return RunToQuiescence(*network, ro);
+}
+
+// Divergence = different output *or* missed quiescence (a fairness-
+// preserving plan must still let the run finish).
+bool Diverged(const RunResult& result, const Instance& expected) {
+  return !result.quiesced || result.output != expected;
+}
+
+void AccumulateFaults(const net::FaultStats& from, net::FaultStats* into) {
+  into->duplicates += from.duplicates;
+  into->drops += from.drops;
+  into->retransmits += from.retransmits;
+  into->reorders += from.reorders;
+  into->partitions += from.partitions;
+  into->partition_holds += from.partition_holds;
+  into->crashes += from.crashes;
+}
+
+}  // namespace
+
+Result<std::vector<net::FaultEvent>> ShrinkDivergence(
+    const NetworkFactory& make_network, const Instance& expected,
+    const RunOptions& base, const std::vector<net::FaultEvent>& events,
+    size_t max_runs) {
+  auto diverges = [&](const std::vector<net::FaultEvent>& candidate)
+      -> Result<bool> {
+    net::FaultPlan plan = net::FaultPlan::Scripted(candidate);
+    CALM_ASSIGN_OR_RETURN(RunResult result,
+                          RunOnce(make_network, &plan, base));
+    return Diverged(result, expected);
+  };
+
+  // ddmin with complement removal: split into n chunks, try dropping each
+  // chunk; on success restart at coarser granularity, otherwise refine.
+  // Terminates 1-minimal once n reaches the schedule length.
+  std::vector<net::FaultEvent> current = events;
+  size_t runs = 0;
+  size_t n = 2;
+  while (current.size() >= 2 && runs < max_runs) {
+    const size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < current.size() && runs < max_runs;
+         start += chunk) {
+      std::vector<net::FaultEvent> candidate;
+      candidate.reserve(current.size());
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(current[i]);
+      }
+      ++runs;
+      CALM_ASSIGN_OR_RETURN(bool d, diverges(candidate));
+      if (d) {
+        current = std::move(candidate);
+        n = std::max<size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= current.size()) break;  // singleton removals all failed
+      n = std::min(current.size(), n * 2);
+    }
+  }
+  return current;
+}
+
+Result<ConfluenceReport> CheckConfluence(const NetworkFactory& make_network,
+                                         const ConfluenceOptions& options) {
+  // Faultless round-robin reference.
+  RunOptions reference_options;
+  reference_options.scheduler = RunOptions::SchedulerKind::kRoundRobin;
+  reference_options.max_transitions = options.max_transitions;
+  reference_options.max_delay = options.max_delay;
+  CALM_ASSIGN_OR_RETURN(std::unique_ptr<TransducerNetwork> reference_network,
+                        make_network());
+  CALM_ASSIGN_OR_RETURN(RunResult reference,
+                        RunToQuiescence(*reference_network,
+                                        reference_options));
+  if (!reference.quiesced) {
+    return FailedPreconditionError(
+        "reference run did not quiesce within " +
+        std::to_string(options.max_transitions) + " transitions; " +
+        net::RunStatsToString(reference.stats));
+  }
+
+  ConfluenceReport report;
+  report.reference = reference.output;
+
+  struct RunRecord {
+    RunOptions run_options;
+    uint64_t plan_seed = 0;
+    bool diverged = false;
+    bool faulted = false;
+    std::vector<net::FaultEvent> log;
+    net::FaultStats stats;
+    Status error = Status::Ok();
+  };
+  const size_t total = options.schedulers.size() * options.fault_plans;
+  std::vector<RunRecord> records(total);
+
+  // The (scheduler, plan) product. Runs are independent — each has its own
+  // plan and network — so they parallelize; the record vector keeps the
+  // deterministic enumeration order regardless of thread count.
+  ParallelFor(total, options.threads == 0 ? 1 : options.threads,
+              [&](size_t index) {
+                const size_t kind_index = index / options.fault_plans;
+                const size_t plan_index = index % options.fault_plans;
+                RunRecord& record = records[index];
+                record.plan_seed = options.seed * 1000003 +
+                                   kind_index * 8191 + plan_index;
+                record.run_options.scheduler = options.schedulers[kind_index];
+                record.run_options.seed = record.plan_seed;
+                record.run_options.max_transitions = options.max_transitions;
+                record.run_options.max_delay = options.max_delay;
+                net::FaultPlan plan =
+                    net::FaultPlan::Random(record.plan_seed, options.profile);
+                Result<RunResult> result =
+                    RunOnce(make_network, &plan, record.run_options);
+                if (!result.ok()) {
+                  record.error = result.status();
+                  return;
+                }
+                record.diverged = Diverged(*result, report.reference);
+                record.faulted = !plan.log().empty();
+                record.log = plan.log();
+                record.stats = plan.stats();
+              });
+
+  for (RunRecord& record : records) {
+    if (!record.error.ok()) return record.error;
+    ++report.runs;
+    if (record.faulted) ++report.faulted_runs;
+    AccumulateFaults(record.stats, &report.total_faults);
+    if (!record.diverged ||
+        report.divergences.size() >= options.max_divergences) {
+      continue;
+    }
+
+    DivergenceWitness witness;
+    witness.scheduler = record.run_options.scheduler;
+    witness.plan_seed = record.plan_seed;
+    witness.original_events = record.log.size();
+    witness.events = record.log;
+    if (options.shrink) {
+      CALM_ASSIGN_OR_RETURN(
+          witness.events,
+          ShrinkDivergence(make_network, report.reference,
+                           record.run_options, record.log));
+    }
+    // Final run of the (shrunk) schedule: the replayable witness trace.
+    net::FaultPlan plan = net::FaultPlan::Scripted(witness.events);
+    RunOptions final_options = record.run_options;
+    final_options.record_choices = true;
+    CALM_ASSIGN_OR_RETURN(RunResult final_run,
+                          RunOnce(make_network, &plan, final_options));
+    witness.observed = final_run.output;
+    witness.quiesced = final_run.quiesced;
+    witness.choices = std::move(final_run.choices);
+    witness.fault_stats = plan.stats();
+    report.divergences.push_back(std::move(witness));
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Trace serialization.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<Json> FactToJson(const Fact& fact) {
+  Json out = Json::Array();
+  out.Append(Json::Str(NameOf(fact.relation)));
+  for (const Value& v : fact.args) {
+    if (!v.is_int()) {
+      return InvalidArgumentError(
+          "trace serialization requires integer domain values, got non-int "
+          "in relation " +
+          NameOf(fact.relation));
+    }
+    out.Append(Json::Uint(v.payload()));
+  }
+  return out;
+}
+
+Result<Fact> FactFromJson(const Json& json) {
+  if (!json.is_array() || json.items().empty() ||
+      !json.items()[0].is_string()) {
+    return InvalidArgumentError(
+        "trace fact must be [\"Relation\", arg, ...]");
+  }
+  Tuple args;
+  for (size_t i = 1; i < json.items().size(); ++i) {
+    if (!json.items()[i].is_number()) {
+      return InvalidArgumentError("trace fact argument is not an integer");
+    }
+    args.push_back(Value::FromInt(json.items()[i].uint_value()));
+  }
+  return Fact(InternName(json.items()[0].string_value()), std::move(args));
+}
+
+Result<Json> FactsToJson(const std::vector<Fact>& facts) {
+  Json out = Json::Array();
+  for (const Fact& fact : facts) {
+    CALM_ASSIGN_OR_RETURN(Json j, FactToJson(fact));
+    out.Append(std::move(j));
+  }
+  return out;
+}
+
+Result<std::vector<Fact>> FactsFromJson(const Json& json) {
+  std::vector<Fact> out;
+  for (const Json& item : json.items()) {
+    CALM_ASSIGN_OR_RETURN(Fact fact, FactFromJson(item));
+    out.push_back(std::move(fact));
+  }
+  return out;
+}
+
+Json EventToJson(const net::FaultEvent& event) {
+  Json out = Json::Object();
+  out.Set("kind", Json::Str(net::FaultKindName(event.kind)));
+  switch (event.kind) {
+    case net::FaultEvent::Kind::kDuplicate:
+      out.Set("send_seq", Json::Uint(event.send_seq));
+      out.Set("copies", Json::Uint(event.copies));
+      break;
+    case net::FaultEvent::Kind::kDrop:
+      out.Set("send_seq", Json::Uint(event.send_seq));
+      out.Set("deliver_at", Json::Uint(event.deliver_at));
+      out.Set("attempts", Json::Uint(event.attempts));
+      break;
+    case net::FaultEvent::Kind::kReorder:
+      out.Set("send_seq", Json::Uint(event.send_seq));
+      out.Set("position", Json::Uint(event.position));
+      break;
+    case net::FaultEvent::Kind::kPartition:
+      out.Set("tick", Json::Uint(event.tick));
+      out.Set("window", Json::Uint(event.window));
+      out.Set("node_a", Json::Uint(event.node_a));
+      out.Set("node_b", Json::Uint(event.node_b));
+      break;
+    case net::FaultEvent::Kind::kCrash:
+      out.Set("tick", Json::Uint(event.tick));
+      out.Set("node", Json::Uint(event.node));
+      break;
+  }
+  return out;
+}
+
+Result<net::FaultEvent> EventFromJson(const Json& json) {
+  net::FaultEvent event;
+  CALM_ASSIGN_OR_RETURN(std::string kind, json.GetString("kind"));
+  if (kind == "duplicate") {
+    event.kind = net::FaultEvent::Kind::kDuplicate;
+    CALM_ASSIGN_OR_RETURN(event.send_seq, json.GetUint("send_seq"));
+    CALM_ASSIGN_OR_RETURN(uint64_t copies, json.GetUint("copies"));
+    event.copies = static_cast<size_t>(copies);
+  } else if (kind == "drop") {
+    event.kind = net::FaultEvent::Kind::kDrop;
+    CALM_ASSIGN_OR_RETURN(event.send_seq, json.GetUint("send_seq"));
+    CALM_ASSIGN_OR_RETURN(event.deliver_at, json.GetUint("deliver_at"));
+    CALM_ASSIGN_OR_RETURN(uint64_t attempts, json.GetUint("attempts"));
+    event.attempts = static_cast<size_t>(attempts);
+  } else if (kind == "reorder") {
+    event.kind = net::FaultEvent::Kind::kReorder;
+    CALM_ASSIGN_OR_RETURN(event.send_seq, json.GetUint("send_seq"));
+    CALM_ASSIGN_OR_RETURN(uint64_t position, json.GetUint("position"));
+    event.position = static_cast<size_t>(position);
+  } else if (kind == "partition") {
+    event.kind = net::FaultEvent::Kind::kPartition;
+    CALM_ASSIGN_OR_RETURN(event.tick, json.GetUint("tick"));
+    CALM_ASSIGN_OR_RETURN(event.window, json.GetUint("window"));
+    CALM_ASSIGN_OR_RETURN(uint64_t a, json.GetUint("node_a"));
+    CALM_ASSIGN_OR_RETURN(uint64_t b, json.GetUint("node_b"));
+    event.node_a = static_cast<size_t>(a);
+    event.node_b = static_cast<size_t>(b);
+  } else if (kind == "crash") {
+    event.kind = net::FaultEvent::Kind::kCrash;
+    CALM_ASSIGN_OR_RETURN(event.tick, json.GetUint("tick"));
+    CALM_ASSIGN_OR_RETURN(uint64_t node, json.GetUint("node"));
+    event.node = static_cast<size_t>(node);
+  } else {
+    return InvalidArgumentError("unknown fault event kind '" + kind + "'");
+  }
+  return event;
+}
+
+Result<RunOptions::SchedulerKind> SchedulerKindFromName(
+    const std::string& name) {
+  if (name == "round-robin") return RunOptions::SchedulerKind::kRoundRobin;
+  if (name == "random") return RunOptions::SchedulerKind::kRandom;
+  if (name == "adversarial-delay") {
+    return RunOptions::SchedulerKind::kAdversarialDelay;
+  }
+  return InvalidArgumentError("unknown scheduler kind '" + name + "'");
+}
+
+}  // namespace
+
+RunOptions TraceRunOptions(const TraceRecord& trace) {
+  RunOptions ro;
+  ro.scheduler = trace.scheduler;
+  ro.seed = trace.scheduler_seed;
+  ro.deliver_prob = trace.deliver_prob;
+  ro.max_delay = trace.max_delay;
+  ro.max_transitions = trace.max_transitions;
+  return ro;
+}
+
+Result<std::string> SerializeTrace(const TraceRecord& trace) {
+  Json doc = Json::Object();
+  doc.Set("version", Json::Int(trace.version));
+  doc.Set("scenario", Json::Str(trace.scenario));
+  doc.Set("policy", Json::Str(trace.policy));
+  doc.Set("policy_salt", Json::Uint(trace.policy_salt));
+  doc.Set("model", Json::Str(trace.model));
+  Json nodes = Json::Array();
+  for (uint64_t n : trace.nodes) nodes.Append(Json::Uint(n));
+  doc.Set("nodes", std::move(nodes));
+  CALM_ASSIGN_OR_RETURN(Json input, FactsToJson(trace.input));
+  doc.Set("input", std::move(input));
+  Json scheduler = Json::Object();
+  scheduler.Set("kind", Json::Str(SchedulerKindName(trace.scheduler)));
+  scheduler.Set("seed", Json::Uint(trace.scheduler_seed));
+  scheduler.Set("deliver_prob", Json::Double(trace.deliver_prob));
+  scheduler.Set("max_delay", Json::Uint(trace.max_delay));
+  scheduler.Set("max_transitions", Json::Uint(trace.max_transitions));
+  doc.Set("scheduler", std::move(scheduler));
+  Json events = Json::Array();
+  for (const net::FaultEvent& e : trace.events) events.Append(EventToJson(e));
+  doc.Set("fault_events", std::move(events));
+  Json choices = Json::Array();
+  for (const net::Scheduler::Choice& c : trace.choices) {
+    Json choice = Json::Array();
+    choice.Append(Json::Uint(c.node_index));
+    Json deliveries = Json::Array();
+    for (size_t d : c.deliveries) deliveries.Append(Json::Uint(d));
+    choice.Append(std::move(deliveries));
+    choices.Append(std::move(choice));
+  }
+  doc.Set("choices", std::move(choices));
+  CALM_ASSIGN_OR_RETURN(Json expected, FactsToJson(trace.expected_output));
+  doc.Set("expected_output", std::move(expected));
+  CALM_ASSIGN_OR_RETURN(Json observed, FactsToJson(trace.observed_output));
+  doc.Set("observed_output", std::move(observed));
+  return doc.Dump(2);
+}
+
+Result<TraceRecord> ParseTrace(const std::string& json_text) {
+  CALM_ASSIGN_OR_RETURN(Json doc, Json::Parse(json_text));
+  if (!doc.is_object()) {
+    return InvalidArgumentError("trace document is not a JSON object");
+  }
+  TraceRecord trace;
+  CALM_ASSIGN_OR_RETURN(int64_t version, doc.GetInt("version"));
+  trace.version = static_cast<int>(version);
+  if (trace.version != 1) {
+    return InvalidArgumentError("unsupported trace version " +
+                                std::to_string(trace.version));
+  }
+  CALM_ASSIGN_OR_RETURN(trace.scenario, doc.GetString("scenario"));
+  CALM_ASSIGN_OR_RETURN(trace.policy, doc.GetString("policy"));
+  CALM_ASSIGN_OR_RETURN(trace.policy_salt, doc.GetUint("policy_salt"));
+  CALM_ASSIGN_OR_RETURN(trace.model, doc.GetString("model"));
+  CALM_ASSIGN_OR_RETURN(const Json* nodes, doc.GetArray("nodes"));
+  for (const Json& n : nodes->items()) {
+    if (!n.is_number()) {
+      return InvalidArgumentError("trace node id is not an integer");
+    }
+    trace.nodes.push_back(n.uint_value());
+  }
+  CALM_ASSIGN_OR_RETURN(const Json* input, doc.GetArray("input"));
+  CALM_ASSIGN_OR_RETURN(trace.input, FactsFromJson(*input));
+  const Json* scheduler = doc.Find("scheduler");
+  if (scheduler == nullptr || !scheduler->is_object()) {
+    return InvalidArgumentError("trace is missing the scheduler object");
+  }
+  CALM_ASSIGN_OR_RETURN(std::string kind, scheduler->GetString("kind"));
+  CALM_ASSIGN_OR_RETURN(trace.scheduler, SchedulerKindFromName(kind));
+  CALM_ASSIGN_OR_RETURN(trace.scheduler_seed, scheduler->GetUint("seed"));
+  CALM_ASSIGN_OR_RETURN(trace.deliver_prob,
+                        scheduler->GetDouble("deliver_prob"));
+  CALM_ASSIGN_OR_RETURN(trace.max_delay, scheduler->GetUint("max_delay"));
+  CALM_ASSIGN_OR_RETURN(uint64_t max_transitions,
+                        scheduler->GetUint("max_transitions"));
+  trace.max_transitions = static_cast<size_t>(max_transitions);
+  CALM_ASSIGN_OR_RETURN(const Json* events, doc.GetArray("fault_events"));
+  for (const Json& e : events->items()) {
+    CALM_ASSIGN_OR_RETURN(net::FaultEvent event, EventFromJson(e));
+    trace.events.push_back(event);
+  }
+  if (const Json* choices = doc.Find("choices");
+      choices != nullptr && choices->is_array()) {
+    for (const Json& c : choices->items()) {
+      if (!c.is_array() || c.items().size() != 2 ||
+          !c.items()[0].is_number() || !c.items()[1].is_array()) {
+        return InvalidArgumentError(
+            "trace choice must be [node_index, [deliveries...]]");
+      }
+      net::Scheduler::Choice choice;
+      choice.node_index = static_cast<size_t>(c.items()[0].uint_value());
+      for (const Json& d : c.items()[1].items()) {
+        if (!d.is_number()) {
+          return InvalidArgumentError("trace delivery index is not a number");
+        }
+        choice.deliveries.push_back(static_cast<size_t>(d.uint_value()));
+      }
+      trace.choices.push_back(std::move(choice));
+    }
+  }
+  CALM_ASSIGN_OR_RETURN(const Json* expected, doc.GetArray("expected_output"));
+  CALM_ASSIGN_OR_RETURN(trace.expected_output, FactsFromJson(*expected));
+  CALM_ASSIGN_OR_RETURN(const Json* observed, doc.GetArray("observed_output"));
+  CALM_ASSIGN_OR_RETURN(trace.observed_output, FactsFromJson(*observed));
+  return trace;
+}
+
+Result<ReplayOutcome> ReplayTrace(const NetworkFactory& make_network,
+                                  const TraceRecord& trace) {
+  net::FaultPlan plan = net::FaultPlan::Scripted(trace.events);
+  RunOptions ro = TraceRunOptions(trace);
+  ro.record_choices = true;
+  ReplayOutcome outcome;
+  CALM_ASSIGN_OR_RETURN(outcome.result, RunOnce(make_network, &plan, ro));
+
+  Instance observed;
+  for (const Fact& fact : trace.observed_output) observed.Insert(fact);
+  Instance expected;
+  for (const Fact& fact : trace.expected_output) expected.Insert(fact);
+  outcome.reproduced_output = outcome.result.output == observed;
+  outcome.diverged = outcome.result.output != expected;
+  if (trace.choices.empty()) {
+    outcome.reproduced_choices = true;
+  } else {
+    outcome.reproduced_choices = trace.choices.size() ==
+                                 outcome.result.choices.size();
+    for (size_t i = 0;
+         outcome.reproduced_choices && i < trace.choices.size(); ++i) {
+      outcome.reproduced_choices =
+          trace.choices[i].node_index ==
+              outcome.result.choices[i].node_index &&
+          trace.choices[i].deliveries == outcome.result.choices[i].deliveries;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace calm::transducer

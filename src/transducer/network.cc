@@ -23,10 +23,27 @@ Status TransducerNetwork::Initialize(const Instance& input) {
   states_.clear();
   for (Value n : nodes_) states_[n];
   buffers_.assign(nodes_.size(), net::MessageBuffer());
+  recovery_.assign(nodes_.size(), Instance());
   stats_ = net::RunStats();
   last_step_changed_ = false;
   tick_ = 0;
+  if (faults_ != nullptr) faults_->BindNetwork(nodes_.size());
   return Status::Ok();
+}
+
+void TransducerNetwork::set_fault_plan(net::FaultPlan* faults) {
+  faults_ = faults;
+  if (faults_ != nullptr) faults_->BindNetwork(nodes_.size());
+}
+
+void TransducerNetwork::Inject(const net::FaultPlan::Delivery& delivery) {
+  net::MessageBuffer& buffer = buffers_[delivery.receiver];
+  if (delivery.has_position) {
+    buffer.InsertAt(delivery.position, delivery.fact, tick_);
+  } else {
+    buffer.Add(delivery.fact, tick_);
+  }
+  ++stats_.messages_sent;
 }
 
 size_t TransducerNetwork::IndexOf(Value node) const {
@@ -104,8 +121,72 @@ Status TransducerNetwork::StepNode(Value node,
   size_t index = IndexOf(node);
   if (index >= nodes_.size()) return InvalidArgumentError("unknown node");
 
+  ++tick_;
+  // Fault channel first: crash-restarts and messages due for (re)delivery
+  // land before the step observes its buffer. Redeliveries only append, so
+  // delivery indices chosen by the scheduler before this call stay valid.
+  bool external_change = false;
+  if (faults_ != nullptr) {
+    std::vector<net::FaultPlan::Delivery> due;
+    std::vector<size_t> crashes;
+    faults_->BeginTransition(tick_, &due, &crashes);
+    for (size_t crashed : crashes) {
+      if (crashed >= nodes_.size()) {
+        return InvalidArgumentError("fault plan crashed unknown node index " +
+                                    std::to_string(crashed));
+      }
+      // Crash-restart: state back to the start configuration. The local
+      // input is re-delivered by construction (local_inputs_ is intact) and
+      // the in-flight buffer is preserved. The durable inbox is staged for
+      // one *atomic* recovery delivery at the node's next transition —
+      // routing it through the buffer would let the scheduler split it,
+      // breaking causal order between the replayed facts.
+      states_.at(nodes_[crashed]).clear();
+      recovery_[crashed].InsertAll(faults_->InboxOf(crashed));
+      external_change = true;
+    }
+    for (const net::FaultPlan::Delivery& d : due) {
+      if (d.receiver >= nodes_.size()) {
+        return InvalidArgumentError(
+            "fault plan redelivered to unknown node index " +
+            std::to_string(d.receiver));
+      }
+      Inject(d);
+      external_change = true;
+    }
+  }
+
+  // Reject malformed delivery choices (a buggy scheduler or fault plan)
+  // before they reach MessageBuffer::TakeCollapsed, which assumes them.
+  const std::vector<net::MessageBuffer::Entry>& entries =
+      buffers_[index].entries();
+  for (size_t i = 0; i < delivery_indices.size(); ++i) {
+    if (delivery_indices[i] >= entries.size()) {
+      return InvalidArgumentError(
+          "delivery index " + std::to_string(delivery_indices[i]) +
+          " out of range for node buffer of size " +
+          std::to_string(entries.size()));
+    }
+    if (i > 0 && delivery_indices[i] <= delivery_indices[i - 1]) {
+      return InvalidArgumentError(
+          "delivery indices not strictly increasing: index " +
+          std::to_string(delivery_indices[i]) + " follows " +
+          std::to_string(delivery_indices[i - 1]));
+    }
+  }
+
   Instance delivered = buffers_[index].TakeCollapsed(delivery_indices);
   stats_.messages_delivered += delivery_indices.size();
+  if (faults_ != nullptr && !recovery_[index].empty()) {
+    // Atomic write-ahead-log replay: everything the node consumed before
+    // its crash arrives as one delivery, preserving causal order.
+    delivered.InsertAll(recovery_[index]);
+    recovery_[index].clear();
+    external_change = true;
+  }
+  if (faults_ != nullptr && !delivered.empty()) {
+    faults_->OnDeliver(index, delivered);
+  }
 
   CALM_ASSIGN_OR_RETURN(Instance system, SystemFactsFor(node, delivered));
 
@@ -131,21 +212,32 @@ Status TransducerNetwork::StepNode(Value node,
   remove.ForEachFact(
       [&](uint32_t name, const Tuple& t) { state.Erase(Fact(name, t)); });
 
-  // Sends go to every other node's buffer (multiset union).
-  ++tick_;
+  // Sends go to every other node's buffer (multiset union), through the
+  // fault channel when one is attached. A held (dropped / partitioned) send
+  // produces no immediate insertion; it reappears via BeginTransition.
   size_t fanout = 0;
+  std::vector<net::FaultPlan::Delivery> deliveries;
   out.sends.ForEachFact([&](uint32_t name, const Tuple& t) {
     for (size_t y = 0; y < nodes_.size(); ++y) {
       if (y == index) continue;
-      buffers_[y].Add(Fact(name, t), tick_);
-      ++fanout;
+      if (faults_ != nullptr) {
+        deliveries.clear();
+        faults_->OnSend(index, y, Fact(name, t), tick_, &deliveries);
+        for (const net::FaultPlan::Delivery& d : deliveries) {
+          Inject(d);
+          ++fanout;
+        }
+      } else {
+        buffers_[y].Add(Fact(name, t), tick_);
+        ++stats_.messages_sent;
+        ++fanout;
+      }
     }
   });
-  stats_.messages_sent += fanout;
 
   ++stats_.transitions;
   if (delivery_indices.empty()) ++stats_.heartbeats;
-  last_step_changed_ = (state != old_state) || fanout > 0;
+  last_step_changed_ = (state != old_state) || fanout > 0 || external_change;
 
   size_t out_size = GlobalOutput().size();
   if (out_size > stats_.output_facts) {
@@ -166,6 +258,15 @@ Instance TransducerNetwork::GlobalOutput() const {
 bool TransducerNetwork::BuffersEmpty() const {
   for (const net::MessageBuffer& b : buffers_) {
     if (!b.empty()) return false;
+  }
+  return true;
+}
+
+bool TransducerNetwork::Idle() const {
+  if (!BuffersEmpty()) return false;
+  if (faults_ != nullptr && faults_->HasPendingMessages()) return false;
+  for (const Instance& pending : recovery_) {
+    if (!pending.empty()) return false;
   }
   return true;
 }

@@ -6,6 +6,7 @@
 
 #include "base/instance.h"
 #include "base/status.h"
+#include "net/fault.h"
 #include "net/message_buffer.h"
 #include "transducer/policy.h"
 #include "transducer/schema.h"
@@ -29,6 +30,10 @@ class TransducerNetwork {
 
   // One transition with active node `node`, delivering the buffer entries at
   // `delivery_indices` (empty = heartbeat). Updates state and buffers.
+  // `delivery_indices` must be strictly increasing and in range for the
+  // node's buffer *at the start of the transition* — anything else (a buggy
+  // scheduler or fault plan) is rejected with InvalidArgument instead of
+  // reaching undefined behaviour in the buffer.
   Status StepNode(Value node, const std::vector<size_t>& delivery_indices);
 
   // Convenience: heartbeat transition at `node`.
@@ -47,9 +52,21 @@ class TransducerNetwork {
   // out(R): union over nodes of the state restricted to the out schema.
   Instance GlobalOutput() const;
 
+  // Attaches a fault-injection channel between the send path and the
+  // buffers (nullptr = perfect network). The plan is (re)bound to this
+  // network immediately and on every Initialize; it must outlive the runs.
+  void set_fault_plan(net::FaultPlan* faults);
+  net::FaultPlan* fault_plan() const { return faults_; }
+
   // True when every buffer is empty (candidate quiescence; the runner also
   // requires a no-op round of heartbeats).
   bool BuffersEmpty() const;
+
+  // BuffersEmpty plus: the fault channel holds no dropped/partitioned
+  // messages awaiting redelivery and no crashed node still awaits its
+  // atomic inbox replay. The runner's quiescence test — a message sitting
+  // in a retransmit queue or a pending recovery is still in flight.
+  bool Idle() const;
 
   // Whether the last StepNode changed any state or sent any message.
   bool last_step_changed() const { return last_step_changed_; }
@@ -61,12 +78,18 @@ class TransducerNetwork {
 
  private:
   size_t IndexOf(Value node) const;
+  // Enqueues a (possibly fault-injected) delivery into its receiver buffer.
+  void Inject(const net::FaultPlan::Delivery& delivery);
 
   Network nodes_;
   const Transducer* transducer_;
   const DistributionPolicy* policy_;
   ModelOptions model_;
 
+  net::FaultPlan* faults_ = nullptr;  // borrowed; nullptr = perfect network
+  // Per-node pending recovery delivery: a crashed node's durable inbox,
+  // merged atomically into its next transition (write-ahead-log replay).
+  std::vector<Instance> recovery_;
   std::map<Value, Instance> local_inputs_;
   std::map<Value, Instance> states_;  // over out + mem
   std::vector<net::MessageBuffer> buffers_;

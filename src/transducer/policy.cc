@@ -15,8 +15,22 @@ std::map<Value, Instance> Distribute(const DistributionPolicy& policy,
 }
 
 namespace {
+// Intern-order-independent fact hash. FactHash{} hashes the interned
+// relation id, which depends on the order relations were first named in
+// *this process* — fine inside one run, but a distribution policy must
+// place facts identically across processes, or a recorded divergence trace
+// replayed in a fresh binary silently redistributes the input and stops
+// being deterministic. Hash the relation's name and the symbol names
+// instead; integer payloads are stable as-is.
+size_t StableValueHash(Value v) {
+  if (v.is_symbol()) return std::hash<std::string>{}(NameOf(v.payload()));
+  return std::hash<uint64_t>{}(v.payload());
+}
+
 size_t HashFact(const Fact& f, uint64_t salt) {
-  return HashCombine(FactHash{}(f), std::hash<uint64_t>{}(salt));
+  size_t h = std::hash<std::string>{}(NameOf(f.relation));
+  for (Value v : f.args) h = HashCombine(h, StableValueHash(v));
+  return HashCombine(h, std::hash<uint64_t>{}(salt));
 }
 }  // namespace
 

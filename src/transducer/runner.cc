@@ -1,8 +1,22 @@
 #include "transducer/runner.h"
 
 #include <memory>
+#include <optional>
+#include <string>
 
 namespace calm::transducer {
+
+const char* SchedulerKindName(RunOptions::SchedulerKind kind) {
+  switch (kind) {
+    case RunOptions::SchedulerKind::kRoundRobin:
+      return "round-robin";
+    case RunOptions::SchedulerKind::kRandom:
+      return "random";
+    case RunOptions::SchedulerKind::kAdversarialDelay:
+      return "adversarial-delay";
+  }
+  return "unknown";
+}
 
 Result<RunResult> RunToQuiescence(TransducerNetwork& network,
                                   const RunOptions& options) {
@@ -21,13 +35,17 @@ Result<RunResult> RunToQuiescence(TransducerNetwork& network,
           nodes.size(), options.max_delay);
       break;
   }
+  if (options.faults != nullptr) network.set_fault_plan(options.faults);
 
+  RunResult result;
   size_t transitions = 0;
   // A run is quiescent when buffers are empty and *every node* has taken a
   // heartbeat that changed nothing since the last observable change. Merely
   // counting consecutive calm transitions is wrong: a random scheduler can
   // heartbeat the same idle node repeatedly while another node still has
-  // pending work.
+  // pending work. Idle() additionally covers the fault channel: a dropped
+  // message awaiting retransmission is still in flight even though no
+  // buffer holds it.
   std::vector<bool> calm(nodes.size(), false);
   size_t calm_count = 0;
   while (transitions < options.max_transitions) {
@@ -37,9 +55,10 @@ Result<RunResult> RunToQuiescence(TransducerNetwork& network,
         scheduler->Next(network.buffers(), transitions);
     CALM_RETURN_IF_ERROR(
         network.StepNode(nodes[choice.node_index], choice.deliveries));
+    if (options.record_choices) result.choices.push_back(choice);
     ++transitions;
 
-    if (network.BuffersEmpty() && !network.last_step_changed() &&
+    if (network.Idle() && !network.last_step_changed() &&
         choice.deliveries.empty()) {
       if (!calm[choice.node_index]) {
         calm[choice.node_index] = true;
@@ -52,10 +71,16 @@ Result<RunResult> RunToQuiescence(TransducerNetwork& network,
     }
   }
 
-  RunResult result;
   result.output = network.GlobalOutput();
   result.stats = network.stats();
   result.quiesced = transitions < options.max_transitions;
+  if (!result.quiesced && options.fail_on_budget) {
+    return DeadlineExceededError(
+        "run hit max_transitions=" + std::to_string(options.max_transitions) +
+        " before quiescence under " + SchedulerKindName(options.scheduler) +
+        "(seed=" + std::to_string(options.seed) + "); " +
+        net::RunStatsToString(result.stats));
+  }
   return result;
 }
 
@@ -73,16 +98,24 @@ Result<Instance> RunConsistently(
       ro.seed = options.seed * 131 + run;
     }
     ro.max_transitions = options.max_transitions;
+    const std::string label = std::string(SchedulerKindName(ro.scheduler)) +
+                              "(seed=" + std::to_string(ro.seed) + ")";
     CALM_ASSIGN_OR_RETURN(RunResult result, RunToQuiescence(*network, ro));
     if (!result.quiesced) {
-      return FailedPreconditionError("run did not quiesce within limit");
+      return FailedPreconditionError(
+          "run " + std::to_string(run) + " under " + label +
+          " did not quiesce within " +
+          std::to_string(options.max_transitions) + " transitions; " +
+          net::RunStatsToString(result.stats));
     }
     if (!reference.has_value()) {
       reference = std::move(result.output);
     } else if (*reference != result.output) {
       return FailedPreconditionError(
-          "schedule-dependent output: " + reference->ToString() + " vs " +
-          result.output.ToString());
+          "schedule-dependent output: run " + std::to_string(run) +
+          " under " + label + " produced " + result.output.ToString() +
+          " but run 0 under round-robin(seed=0) produced " +
+          reference->ToString());
     }
   }
   return *reference;

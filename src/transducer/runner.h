@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/scheduler.h"
 #include "transducer/network.h"
 
@@ -16,25 +17,44 @@ struct RunOptions {
   double deliver_prob = 0.5;   // random scheduler only
   uint64_t max_delay = 16;     // random scheduler: fairness bound
   size_t max_transitions = 200000;
+
+  // Fault injection: when set, attached to the network for the run (the
+  // channel between the send path and the buffers; see net/fault.h). The
+  // plan must outlive the call.
+  net::FaultPlan* faults = nullptr;
+
+  // Record every scheduler Choice into RunResult::choices — the
+  // record/replay trace of the run's nondeterminism.
+  bool record_choices = false;
+
+  // Exhausting max_transitions becomes a DeadlineExceeded *error* (with the
+  // RunStats rendered into the message) instead of quiesced = false.
+  bool fail_on_budget = false;
 };
+
+// "round-robin", "random", "adversarial-delay".
+const char* SchedulerKindName(RunOptions::SchedulerKind kind);
 
 struct RunResult {
   Instance output;
   net::RunStats stats;
   bool quiesced = false;  // false = max_transitions hit before quiescence
+  // The schedule actually taken, when RunOptions::record_choices is set.
+  std::vector<net::Scheduler::Choice> choices;
 };
 
-// Simulates a fair run until quiescence: all buffers empty and a full round
-// of heartbeats at every node changes nothing. Formal runs are infinite;
-// quiescence means every continuation produces nothing further for the
-// deterministic transducers built here, so out(R) is the returned output.
+// Simulates a fair run until quiescence: all buffers empty (including the
+// fault channel's retransmit queues) and a full round of heartbeats at every
+// node changes nothing. Formal runs are infinite; quiescence means every
+// continuation produces nothing further for the deterministic transducers
+// built here, so out(R) is the returned output.
 Result<RunResult> RunToQuiescence(TransducerNetwork& network,
                                   const RunOptions& options = {});
 
 // Runs the same (transducer, policy, input) under several schedules and
 // checks all runs produce the same output (the network "computes" a
-// deterministic result). Returns that output or FailedPrecondition on a
-// mismatch.
+// deterministic result). Returns that output, or FailedPrecondition naming
+// the diverging schedule (scheduler kind + seed) on a mismatch.
 struct ConsistencyOptions {
   size_t random_runs = 4;
   uint64_t seed = 0;

@@ -432,6 +432,51 @@ class DomainRequestTransducer : public Transducer {
   RelMap msg_xfer_, msg_ack_, got_, sent_xfer_, acked_, sent_ack_;
 };
 
+// ---------------------------------------------------------------------------
+// Racy election (coordinating; the confluence oracle's negative control).
+// ---------------------------------------------------------------------------
+
+class RacyElectionTransducer : public Transducer {
+ public:
+  RacyElectionTransducer() {
+    (void)schema_.in.AddRelation("P", 1);
+    (void)schema_.out.AddRelation("First", 1);
+    (void)schema_.msg.AddRelation("cast", 1);
+    (void)schema_.mem.AddRelation("sentc", 1);
+    (void)schema_.mem.AddRelation("won", 1);
+  }
+
+  const TransducerSchema& schema() const override { return schema_; }
+  std::string name() const override { return "racy-election"; }
+
+  Result<StepOutput> Step(const StepInput& in) const override {
+    StepOutput out;
+
+    // Cast every local P-fact once.
+    for (const Tuple& t : in.local_input.TuplesOf(InternName("P"))) {
+      Fact marker(InternName("sentc"), t);
+      if (!in.state.Contains(marker)) {
+        out.sends.Insert(Fact(InternName("cast"), t));
+        out.insertions.Insert(marker);
+      }
+    }
+
+    // Commit to the minimum value among the casts in the first delivery
+    // that contains any. Deterministic per step — the nondeterminism is in
+    // *which* casts share that first delivery, i.e. the schedule.
+    const std::set<Tuple>& casts = in.messages.TuplesOf(InternName("cast"));
+    if (!casts.empty() && in.state.TuplesOf(InternName("won")).empty()) {
+      const Tuple& winner = *casts.begin();  // sorted: the minimum value
+      out.output.Insert(Fact(InternName("First"), winner));
+      out.insertions.Insert(Fact(InternName("won"), winner));
+    }
+    return out;
+  }
+
+ private:
+  TransducerSchema schema_;
+};
+
 }  // namespace
 
 std::unique_ptr<Transducer> MakeBroadcastTransducer(const Query* query) {
@@ -442,6 +487,9 @@ std::unique_ptr<Transducer> MakeAbsenceTransducer(const Query* query) {
 }
 std::unique_ptr<Transducer> MakeDomainRequestTransducer(const Query* query) {
   return std::make_unique<DomainRequestTransducer>(query);
+}
+std::unique_ptr<Transducer> MakeRacyElectionTransducer() {
+  return std::make_unique<RacyElectionTransducer>();
 }
 
 }  // namespace calm::transducer

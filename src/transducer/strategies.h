@@ -37,6 +37,18 @@ std::unique_ptr<Transducer> MakeBroadcastTransducer(const Query* query);
 std::unique_ptr<Transducer> MakeAbsenceTransducer(const Query* query);
 std::unique_ptr<Transducer> MakeDomainRequestTransducer(const Query* query);
 
+// A deliberately *coordinating* transducer — the confluence oracle's
+// negative control. Every node casts its local P-facts once (msg cast/1) and
+// commits, exactly once, to the minimum value among the casts in the first
+// delivery that contains any (out First/1): a race on arrival order. Fair
+// schedules that split the casts across deliveries elect different winners,
+// so the network does not compute a deterministic query; under fault
+// injection even the otherwise-confluent round-robin schedule diverges
+// (e.g. one dropped-and-retransmitted cast changes a node's first-seen set),
+// which is precisely the "divergence under faults" class of separating
+// witness. Input schema {P/1}, works in the original model of [13].
+std::unique_ptr<Transducer> MakeRacyElectionTransducer();
+
 }  // namespace calm::transducer
 
 #endif  // CALM_TRANSDUCER_STRATEGIES_H_

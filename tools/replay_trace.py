@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Replay a recorded divergence trace deterministically.
+
+Thin wrapper around `bench_fault_confluence --replay`: locates the bench
+binary (or takes --bench), pretty-prints the trace header so you can see
+what you are replaying, then hands off to the C++ replayer, which rebuilds
+the scenario, re-runs it under the scripted fault plan and recorded
+scheduler choices, and checks the outcome is byte-identical to the
+recording.
+
+Usage:
+  tools/replay_trace.py TRACE.json [--bench PATH]
+
+Exit code is the bench's: 0 iff the trace replays to the recorded outcome.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+CANDIDATE_BUILD_DIRS = ("build", "build-rel", "build-asan", "cmake-build-debug")
+
+
+def find_bench(repo_root):
+    for d in CANDIDATE_BUILD_DIRS:
+        path = os.path.join(repo_root, d, "bench", "bench_fault_confluence")
+        if os.access(path, os.X_OK):
+            return path
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="divergence trace JSON (from the oracle)")
+    parser.add_argument("--bench", help="path to bench_fault_confluence")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read trace: {err}", file=sys.stderr)
+        return 2
+
+    scheduler = trace.get("scheduler", {})
+    print(f"trace:      {args.trace}")
+    print(f"scenario:   {trace.get('scenario', '?')}")
+    print(f"scheduler:  {scheduler.get('kind', '?')}"
+          f"(seed={scheduler.get('seed', '?')})")
+    print(f"events:     {len(trace.get('fault_events', []))} fault events")
+    print(f"expected:   {trace.get('expected_output', '?')}")
+    print(f"observed:   {trace.get('observed_output', '?')}")
+    print()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bench = args.bench or find_bench(repo_root)
+    if bench is None:
+        print("error: bench_fault_confluence not found; build it first "
+              "(cmake --build build --target bench_fault_confluence) "
+              "or pass --bench", file=sys.stderr)
+        return 2
+
+    return subprocess.call([bench, "--replay", args.trace])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
