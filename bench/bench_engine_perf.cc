@@ -357,14 +357,59 @@ BENCHMARK(BM_MonotonicityCheckParallel)
 
 }  // namespace
 
-// Custom main: strip --threads/--json (bench/flags.h) before handing argv to
-// google-benchmark, so `bench_engine_perf --threads N` sizes the pool. JSON
-// output goes through google-benchmark's own --benchmark_out.
+namespace {
+
+using namespace calm;  // NOLINT
+
+// With --trace_out set, every Evaluate in the loops above recorded one
+// datalog.eval span and one datalog.stratum span per stratum. Pin that
+// relationship on one more evaluation whose EvalStats we hold, so the trace
+// file's span counts are validated against the engine's own accounting
+// before it is written.
+int CrossCheckTrace() {
+  if (!calm::TracingEnabled()) return 0;
+  Instance input = workload::RandomGraphM(16, 48, /*seed=*/7);
+  const size_t evals_before = calm::Trace::SpanCount("datalog.eval");
+  const size_t strata_before = calm::Trace::SpanCount("datalog.stratum");
+  datalog::EvalStats stats;
+  Result<Instance> out = datalog::Evaluate(TcProgram(), input, {}, &stats);
+  if (!out.ok()) {
+    std::fprintf(stderr, "trace cross-check evaluation failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  const size_t evals = calm::Trace::SpanCount("datalog.eval") - evals_before;
+  const size_t strata =
+      calm::Trace::SpanCount("datalog.stratum") - strata_before;
+  // TcProgram is a single stratum, so 1 eval span and 1 stratum span; the
+  // stratum span's rounds arg equals stats.fixpoint_rounds by construction.
+  if (evals != 1 || strata != 1) {
+    std::fprintf(stderr,
+                 "trace cross-check failed: %zu datalog.eval / %zu "
+                 "datalog.stratum spans for one single-stratum evaluation "
+                 "(stats: %s)\n",
+                 evals, strata, datalog::EvalStatsToString(stats).c_str());
+    return 1;
+  }
+  std::printf("trace cross-check ok: 1 eval span, 1 stratum span (%s)\n",
+              datalog::EvalStatsToString(stats).c_str());
+  return 0;
+}
+
+}  // namespace
+
+// Custom main: strip --threads/--json/--metrics_out/--trace_out
+// (bench/flags.h) before handing argv to google-benchmark, so
+// `bench_engine_perf --threads N` sizes the pool. JSON output goes through
+// google-benchmark's own --benchmark_out; --trace_out/--metrics_out write
+// the observability artifacts after the benchmarks finish.
 int main(int argc, char** argv) {
-  calm::bench::ParseFlags(&argc, argv);
+  calm::bench::Flags flags = calm::bench::ParseFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  int rc = CrossCheckTrace();
+  calm::bench::WriteObservability(flags);
+  return rc;
 }

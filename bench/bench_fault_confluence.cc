@@ -337,5 +337,62 @@ int main(int argc, char** argv) {
                aggregate.duplicates > 0 && aggregate.drops > 0 &&
                    aggregate.reorders > 0 && aggregate.partitions > 0 &&
                    aggregate.crashes > 0);
+  // Observability cross-check: one traced, faulted run of the win-move
+  // scenario. Every completed transition records exactly one net.step span
+  // and every reorder/partition/crash exactly one net.fault.* instant, so
+  // the Chrome trace written by --trace_out must agree with RunStats and
+  // FaultStats to the event.
+  if (TracingEnabled()) {
+    report.Section("observability cross-check (trace vs RunStats)");
+    std::unique_ptr<Scenario> s = MakeScenario("request-winmove");
+    Result<std::unique_ptr<transducer::TransducerNetwork>> network =
+        s->Factory()();
+    if (!network.ok()) {
+      report.Check("cross-check network builds", false,
+                   network.status().ToString());
+    } else {
+      net::FaultPlan plan =
+          net::FaultPlan::Random(seed, net::FaultProfile::Chaos());
+      transducer::RunOptions ro;
+      ro.faults = &plan;
+      const size_t steps_before = Trace::SpanCount("net.step");
+      const size_t reorders_before = Trace::InstantCount("net.fault.reorder");
+      const size_t crashes_before = Trace::InstantCount("net.fault.crash");
+      const size_t partitions_before =
+          Trace::InstantCount("net.fault.partition");
+      Result<transducer::RunResult> run =
+          transducer::RunToQuiescence(**network, ro);
+      if (!run.ok()) {
+        report.Check("cross-check run quiesces", false,
+                     run.status().ToString());
+      } else {
+        report.Stats("cross_check_run", net::RunStatsToJson(run->stats));
+        const size_t steps = Trace::SpanCount("net.step") - steps_before;
+        report.Check(
+            "net.step span count equals RunStats transitions",
+            steps == run->stats.transitions,
+            std::to_string(steps) + " spans vs " +
+                std::to_string(run->stats.transitions) + " transitions");
+        const net::FaultStats& fs = plan.stats();
+        const size_t reorders =
+            Trace::InstantCount("net.fault.reorder") - reorders_before;
+        const size_t crashes =
+            Trace::InstantCount("net.fault.crash") - crashes_before;
+        const size_t partitions =
+            Trace::InstantCount("net.fault.partition") - partitions_before;
+        report.Check("net.fault.* instants equal FaultStats counts",
+                     reorders == fs.reorders && crashes == fs.crashes &&
+                         partitions == fs.partitions,
+                     "reorders " + std::to_string(reorders) + "/" +
+                         std::to_string(fs.reorders) + ", crashes " +
+                         std::to_string(crashes) + "/" +
+                         std::to_string(fs.crashes) + ", partitions " +
+                         std::to_string(partitions) + "/" +
+                         std::to_string(fs.partitions));
+      }
+    }
+  }
+
+  bench::WriteObservability(flags);
   return report.Finish();
 }

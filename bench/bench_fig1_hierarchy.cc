@@ -252,5 +252,6 @@ int main(int argc, char** argv) {
                  outside.detail);
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -203,5 +203,6 @@ int main(int argc, char** argv) {
                  r.ok() && r->has_value());
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -119,5 +119,6 @@ int main(int argc, char** argv) {
     report.Check("M ( E: V\\S in E \\ M", !m && e);
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "queries/graph_queries.h"
 #include "transducer/network.h"
@@ -50,8 +51,10 @@ CostRow Measure(const Transducer& t, const DistributionPolicy& policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("Section 4.3 — strategy cost comparison");
+  report.EnableJson(flags.json_path);
 
   auto tc = queries::MakeTransitiveClosure();
   auto qtc = queries::MakeComplementTransitiveClosure();
@@ -144,5 +147,6 @@ int main() {
       "absence cost is adom-bound: < 3x growth while |E| grows 6x",
       abs_by_edges.back() < 3 * abs_by_edges.front());
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -211,5 +211,6 @@ int main(int argc, char** argv) {
                  NoViolation(*q, MonotonicityClass::kDomainDistinct, o));
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "queries/graph_queries.h"
 #include "transducer/coordination.h"
@@ -77,8 +78,10 @@ void CheckComputesEverywhere(bench::Report& report, const Transducer& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("Theorem 4.3 — F1 = Mdistinct (policy-aware model)");
+  report.EnableJson(flags.json_path);
 
   auto q = MakeVMinusS();
   auto t = MakeAbsenceTransducer(q.get());
@@ -183,5 +186,6 @@ int main() {
         leaked);
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "queries/graph_queries.h"
 #include "transducer/coordination.h"
@@ -68,8 +69,10 @@ Instance RenameEdgesTo(const Instance& graph, const char* rel) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("Theorem 4.4 — F2 = Mdisjoint (domain-guided model)");
+  report.EnableJson(flags.json_path);
 
   report.Section("Mdisjoint <= F2: win-move (non-monotone!) and Q_TC");
   {
@@ -179,5 +182,6 @@ int main() {
         leaked);
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "queries/graph_queries.h"
 #include "transducer/network.h"
@@ -58,9 +59,11 @@ bool ComputesConsistently(const Transducer& t, const Query& q,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report(
       "Theorem 4.5 / Corollary 4.6 — the no-All and oblivious models");
+  report.EnableJson(flags.json_path);
 
   Network nodes2{V(900), V(901)};
   Network nodes3{V(900), V(901), V(902)};
@@ -172,5 +175,6 @@ int main() {
                  s1.ok() && s2.ok() && s1.value() != s2.value());
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

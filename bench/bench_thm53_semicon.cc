@@ -3,6 +3,7 @@
 // the fragment landscape SP-Datalog ( semicon-Datalog¬, SP !<= con,
 // con ( semicon.
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "datalog/fragment.h"
 #include "datalog/parser.h"
@@ -37,9 +38,11 @@ bool NoDisjointViolation(const Query& q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report(
       "Theorem 5.3 / Lemma 5.2 / Example 5.1 — semicon-Datalog¬ and Mdisjoint");
+  report.EnableJson(flags.json_path);
 
   report.Section("fragment landscape (Section 5.1)");
   {
@@ -141,5 +144,6 @@ int main() {
                  rp2.ok() && rp2->has_value());
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

@@ -5,6 +5,7 @@
 // the figure cites: SP-wILOG programs stay in Mdistinct (= E) on bounded
 // checks, and wILOG(!=) programs stay in M.
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "datalog/ilog.h"
 #include "datalog/parser.h"
@@ -33,8 +34,10 @@ bool NoViolation(const Query& q, MonotonicityClass cls) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("Theorem 5.4 / Section 5.2 — wILOG¬ fragments");
+  report.EnableJson(flags.json_path);
 
   report.Section("weak safety analysis");
   {
@@ -119,5 +122,6 @@ int main() {
                  !d.ok() && d.status().code() == StatusCode::kResourceExhausted);
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

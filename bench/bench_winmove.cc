@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "bench/flags.h"
 #include "bench/report.h"
 #include "datalog/fragment.h"
 #include "datalog/parser.h"
@@ -44,8 +45,10 @@ Instance AsGame(const Instance& graph) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags = bench::ParseFlags(&argc, argv);
   bench::Report report("win-move — the flagship non-monotone coordination-free query");
+  report.EnableJson(flags.json_path);
 
   datalog::Program win = datalog::ParseOrDie("Win(x) :- Move(x, y), !Win(y).");
   datalog::ProgramInfo info = datalog::Analyze(win).value();
@@ -193,5 +196,6 @@ int main() {
     report.Check("broadcast leaks the retracted output O(0)", leaked);
   }
 
+  bench::WriteObservability(flags);
   return report.Finish();
 }

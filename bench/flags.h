@@ -6,7 +6,9 @@
 #include <cstring>
 #include <string>
 
+#include "base/metrics.h"
 #include "base/thread_pool.h"
+#include "base/trace.h"
 
 namespace calm::bench {
 
@@ -17,15 +19,23 @@ namespace calm::bench {
 //   --domain_bump N   widen the exhaustive searches' domain_size by N beyond
 //                     the seed bounds (the CI "deep sweep" job passes 1; only
 //                     affordable with the symmetry reduction on)
+//   --metrics_out P   enable the metrics registry for the run and write its
+//                     JSON snapshot to P on exit (WriteObservability)
+//   --trace_out P     enable span tracing for the run and write a Chrome
+//                     trace_event file to P on exit (load in chrome://tracing
+//                     or ui.perfetto.dev; tools/trace_view.py summarizes it)
 struct Flags {
   size_t threads = 0;     // 0 = CALM_THREADS / hardware default
   std::string json_path;  // empty = no JSON output
   size_t domain_bump = 0;
+  std::string metrics_out;  // empty = metrics registry stays disabled
+  std::string trace_out;    // empty = tracing stays disabled
 };
 
 // Parses and strips the flags above from argv (leaving unrecognized
-// arguments, e.g. google-benchmark's, in place) and applies --threads via
-// SetDefaultThreads. Exits with a usage message on a malformed value.
+// arguments, e.g. google-benchmark's, in place), applies --threads via
+// SetDefaultThreads, and switches metrics/tracing on when an output path asks
+// for them. Exits with a usage message on a malformed value.
 inline Flags ParseFlags(int* argc, char** argv) {
   Flags flags;
   int out = 1;
@@ -35,6 +45,8 @@ inline Flags ParseFlags(int* argc, char** argv) {
     bool is_threads = false;
     bool is_json = false;
     bool is_bump = false;
+    bool is_metrics = false;
+    bool is_trace = false;
     if (std::strncmp(arg, "--threads=", 10) == 0) {
       is_threads = true;
       value = arg + 10;
@@ -53,6 +65,18 @@ inline Flags ParseFlags(int* argc, char** argv) {
     } else if (std::strcmp(arg, "--domain_bump") == 0 && in + 1 < *argc) {
       is_bump = true;
       value = argv[++in];
+    } else if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
+      is_metrics = true;
+      value = arg + 14;
+    } else if (std::strcmp(arg, "--metrics_out") == 0 && in + 1 < *argc) {
+      is_metrics = true;
+      value = argv[++in];
+    } else if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+      is_trace = true;
+      value = arg + 12;
+    } else if (std::strcmp(arg, "--trace_out") == 0 && in + 1 < *argc) {
+      is_trace = true;
+      value = argv[++in];
     }
     if (is_threads || is_bump) {
       char* end = nullptr;
@@ -70,13 +94,58 @@ inline Flags ParseFlags(int* argc, char** argv) {
       }
     } else if (is_json) {
       flags.json_path = value;
+    } else if (is_metrics) {
+      flags.metrics_out = value;
+    } else if (is_trace) {
+      flags.trace_out = value;
     } else {
       argv[out++] = argv[in];
     }
   }
   *argc = out;
   if (flags.threads != 0) SetDefaultThreads(flags.threads);
+  if (!flags.metrics_out.empty()) SetMetricsEnabled(true);
+  if (!flags.trace_out.empty()) {
+    if (!TracingCompiledIn()) {
+      std::fprintf(stderr,
+                   "--trace_out requested but this binary was built with "
+                   "-DCALM_TRACING=OFF; the trace will be empty\n");
+    }
+    Trace::SetEnabled(true);
+  }
   return flags;
+}
+
+// Writes the artifacts the observability flags asked for. Call once, after
+// the workload (typically right before Report::Finish).
+inline void WriteObservability(const Flags& flags) {
+  if (!flags.metrics_out.empty()) {
+    std::string text = MetricRegistry::Global().Snapshot().Dump(2);
+    std::FILE* f = std::fopen(flags.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   flags.metrics_out.c_str());
+    } else {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("metrics snapshot written to %s\n",
+                  flags.metrics_out.c_str());
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    Status s = Trace::WriteChromeTrace(flags.trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+    } else {
+      size_t dropped = Trace::DroppedCount();
+      std::printf("trace written to %s (%zu events%s)\n",
+                  flags.trace_out.c_str(), Trace::EventCount(),
+                  dropped == 0
+                      ? ""
+                      : (", " + std::to_string(dropped) + " dropped").c_str());
+    }
+  }
 }
 
 }  // namespace calm::bench

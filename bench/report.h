@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "base/json.h"
 #include "base/thread_pool.h"
 
 namespace calm::bench {
@@ -17,6 +18,11 @@ namespace calm::bench {
 // verified. When EnableJson is set (the --json flag), Finish additionally
 // writes the verdicts plus any Metric values (wall-clock, speedups, thread
 // count) as a JSON document, so CI can archive the perf trajectory.
+//
+// The JSON document is built with base/json — the same serializer the stats
+// structs (EvalStatsToJson, RunStatsToJson) and the metrics snapshot use —
+// and the human-readable Stats lines are printed by walking that same JSON
+// object, so the two outputs cannot disagree.
 class Report {
  public:
   explicit Report(const std::string& title)
@@ -62,6 +68,31 @@ class Report {
     metrics_.push_back({name, value});
   }
 
+  // Records a named stats object (EvalStatsToJson, RunStatsToJson, a metrics
+  // snapshot slice, ...). The human-readable k=v line is rendered from the
+  // very object that lands in the JSON report under "stats", so the console
+  // and --json outputs share one source of truth.
+  void Stats(const std::string& name, const Json& object) {
+    std::string line;
+    for (const auto& [key, value] : object.members()) {
+      if (!line.empty()) line += ' ';
+      line += key + "=";
+      if (value.is_int()) {
+        line += std::to_string(value.int_value());
+      } else if (value.is_number()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", value.double_value());
+        line += buf;
+      } else if (value.is_string()) {
+        line += value.string_value();
+      } else {
+        line += value.Dump(-1);
+      }
+    }
+    std::printf("  stats %s: %s\n", name.c_str(), line.c_str());
+    stats_.emplace_back(name, object);
+  }
+
   // Prints the summary; returns 0 iff every check passed.
   int Finish() {
     std::printf("\n%zu/%zu claims verified", total_ - failed_, total_);
@@ -85,53 +116,43 @@ class Report {
     double value;
   };
 
-  static std::string JsonEscape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        out += '\\';
-        out += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "\\u%04x", c);
-        out += buf;
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
   void WriteJson() {
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    Json doc = Json::Object();
+    doc.Set("title", Json::Str(title_));
+    doc.Set("threads", Json::Uint(DefaultThreads()));
+    doc.Set("wall_ms", Json::Double(wall_ms));
+    doc.Set("passed", Json::Uint(total_ - failed_));
+    doc.Set("failed", Json::Uint(failed_));
+    Json metrics = Json::Object();
+    for (const MetricRecord& m : metrics_) {
+      metrics.Set(m.name, Json::Double(m.value));
+    }
+    doc.Set("metrics", std::move(metrics));
+    Json stats = Json::Object();
+    for (const auto& [name, object] : stats_) stats.Set(name, object);
+    doc.Set("stats", std::move(stats));
+    Json checks = Json::Array();
+    for (const CheckRecord& c : checks_) {
+      Json check = Json::Object();
+      check.Set("claim", Json::Str(c.claim));
+      check.Set("ok", Json::Bool(c.ok));
+      checks.Append(std::move(check));
+    }
+    doc.Set("checks", std::move(checks));
+
+    std::string text = doc.Dump(2);
     std::FILE* f = std::fopen(json_path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write JSON report to %s\n",
                    json_path_.c_str());
       return;
     }
-    double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start_)
-            .count();
-    std::fprintf(f, "{\n  \"title\": \"%s\",\n", JsonEscape(title_).c_str());
-    std::fprintf(f, "  \"threads\": %zu,\n", DefaultThreads());
-    std::fprintf(f, "  \"wall_ms\": %.3f,\n", wall_ms);
-    std::fprintf(f, "  \"passed\": %zu,\n  \"failed\": %zu,\n", total_ - failed_,
-                 failed_);
-    std::fprintf(f, "  \"metrics\": {");
-    for (size_t i = 0; i < metrics_.size(); ++i) {
-      std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
-                   JsonEscape(metrics_[i].name).c_str(), metrics_[i].value);
-    }
-    std::fprintf(f, "%s},\n", metrics_.empty() ? "" : "\n  ");
-    std::fprintf(f, "  \"checks\": [");
-    for (size_t i = 0; i < checks_.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"claim\": \"%s\", \"ok\": %s}",
-                   i == 0 ? "" : ",", JsonEscape(checks_[i].claim).c_str(),
-                   checks_[i].ok ? "true" : "false");
-    }
-    std::fprintf(f, "%s]\n}\n", checks_.empty() ? "" : "\n  ");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("JSON report written to %s\n", json_path_.c_str());
   }
@@ -144,6 +165,7 @@ class Report {
   std::vector<std::string> failures_;
   std::vector<CheckRecord> checks_;
   std::vector<MetricRecord> metrics_;
+  std::vector<std::pair<std::string, Json>> stats_;
 };
 
 }  // namespace calm::bench

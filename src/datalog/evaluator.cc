@@ -9,6 +9,25 @@
 
 namespace calm::datalog {
 
+Json EvalStatsToJson(const EvalStats& stats) {
+  Json out = Json::Object();
+  out.Set("derived_facts", Json::Uint(stats.derived_facts));
+  out.Set("fixpoint_rounds", Json::Uint(stats.fixpoint_rounds));
+  out.Set("rule_applications", Json::Uint(stats.rule_applications));
+  return out;
+}
+
+std::string EvalStatsToString(const EvalStats& stats) {
+  // Rendered from the JSON form so the two reports share one field list.
+  std::string out;
+  const Json json = EvalStatsToJson(stats);
+  for (const auto& [key, value] : json.members()) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + std::to_string(value.uint_value());
+  }
+  return out;
+}
+
 Result<Instance> Evaluate(const Program& program, const Instance& input,
                           const EvalOptions& options, EvalStats* stats) {
   CALM_ASSIGN_OR_RETURN(PreparedProgram prepared,

@@ -2,8 +2,10 @@
 #define CALM_DATALOG_EVALUATOR_H_
 
 #include <cstdint>
+#include <string>
 
 #include "base/instance.h"
+#include "base/json.h"
 #include "base/status.h"
 #include "datalog/analysis.h"
 #include "datalog/ast.h"
@@ -33,6 +35,15 @@ struct EvalStats {
   size_t fixpoint_rounds = 0;    // delta rounds across all strata
   size_t rule_applications = 0;  // satisfying valuations found (incl. dups)
 };
+
+// The canonical serialization: {"derived_facts": 4, ...}. The k=v string
+// below and the bench --json sections are both derived from this object, so
+// human and machine reports share one field list and can never disagree.
+Json EvalStatsToJson(const EvalStats& stats);
+
+// "derived_facts=4 fixpoint_rounds=3 rule_applications=17", derived from
+// EvalStatsToJson by walking its members in order.
+std::string EvalStatsToString(const EvalStats& stats);
 
 // Evaluates the (syntactically stratifiable) program under the stratified
 // semantics. Returns the full instance over sch(P): the input (restricted to

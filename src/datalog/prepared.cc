@@ -6,11 +6,27 @@
 #include <set>
 #include <utility>
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace calm::datalog {
 
 namespace {
 
 constexpr uint32_t kNoSlot = UINT32_MAX;
+
+// Per-fixpoint observability tallies. The matcher and the insert loops
+// accumulate into these plain locals unconditionally (an add next to a hash
+// probe is noise); whether anything observable happens with them is decided
+// once, at the end of the fixpoint. This keeps the disabled-observability
+// cost to one branch per fixpoint and guarantees instrumentation can never
+// perturb evaluation order or results.
+struct FixpointCounters {
+  uint64_t probes = 0;          // indexed Probe() calls
+  uint64_t probe_hits = 0;      // tuples those probes returned
+  uint64_t dedup_rejected = 0;  // derived tuples already present in the db
+  uint64_t inserts = 0;         // derived tuples that were new
+};
 
 // Replicates the Instance::Restrict admission rule.
 inline bool SchemaAdmits(const Schema& schema, uint32_t name, const Tuple& t) {
@@ -97,9 +113,9 @@ class RuleMatcher {
   // db under stratified semantics; a fixed reference under the Gamma
   // operator of the well-founded semantics).
   RuleMatcher(Database* db, const Database* negation_db, EvalStats* stats,
-              InventionContext* invention = nullptr)
+              InventionContext* invention, FixpointCounters* counters)
       : db_(db), negation_db_(negation_db), stats_(stats),
-        invention_(invention) {}
+        invention_(invention), counters_(counters) {}
 
   // Evaluates `rule`, deriving head facts into `out`. When `delta` is
   // non-null, exactly the atom at `delta_index` ranges over `delta` instead
@@ -170,6 +186,8 @@ class RuleMatcher {
       for (size_t i = 0; i < n; ++i) try_tuple(tuples[i]);
     } else {
       const std::vector<uint32_t>& hits = source->Probe(mask, key);
+      ++counters_->probes;
+      counters_->probe_hits += hits.size();
       const std::vector<Tuple>& tuples = source->tuples();
       for (uint32_t i : hits) try_tuple(tuples[i]);
     }
@@ -217,6 +235,7 @@ class RuleMatcher {
   const Database* negation_db_;
   EvalStats* stats_;
   InventionContext* invention_;
+  FixpointCounters* counters_;
 
   const CompiledRule* rule_ = nullptr;
   RelStore* delta_ = nullptr;
@@ -234,47 +253,122 @@ size_t CountDerived(const Database& db, size_t input_size) {
 // `compiled` and `delta_sites` lists its semi-naive (rule, atom) pairs.
 // `negation_db` is the database used for negated atoms (== db under
 // stratified semantics; the fixed reference under Gamma).
+// Flushes one fixpoint's tallies into the metrics registry. Out of line and
+// called at most once per fixpoint, so the registry lookups (the per-stratum
+// statics aside, the per-rule series are looked up by label each time) stay
+// off the evaluation path entirely.
+void FlushFixpointMetrics(const std::vector<CompiledRule>& compiled,
+                          const FixpointCounters& counters, size_t rounds,
+                          const std::vector<uint64_t>& rule_derived) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  static Counter& fixpoints = registry.GetCounter("calm.eval.fixpoints");
+  static Counter& round_total = registry.GetCounter("calm.eval.rounds");
+  static Counter& probes = registry.GetCounter("calm.eval.probes");
+  static Counter& probe_hits = registry.GetCounter("calm.eval.probe_hits");
+  static Counter& dedup = registry.GetCounter("calm.eval.dedup_rejected");
+  static Counter& inserts = registry.GetCounter("calm.eval.delta_inserts");
+  static Histogram& insert_hist =
+      registry.GetHistogram("calm.eval.delta_inserts_per_fixpoint");
+  fixpoints.Increment();
+  round_total.Increment(rounds);
+  probes.Increment(counters.probes);
+  probe_hits.Increment(counters.probe_hits);
+  dedup.Increment(counters.dedup_rejected);
+  inserts.Increment(counters.inserts);
+  insert_hist.Observe(counters.inserts);
+  for (size_t r = 0; r < rule_derived.size(); ++r) {
+    if (rule_derived[r] == 0) continue;
+    registry
+        .GetCounter("calm.eval.rule_derivations",
+                    {{"rule", NameOf(compiled[r].head.relation) + "#" +
+                                  std::to_string(r)}})
+        .Increment(rule_derived[r]);
+  }
+}
+
 Status RunFixpoint(const std::vector<CompiledRule>& compiled,
                    const std::vector<uint32_t>& rules,
                    const std::vector<std::pair<uint32_t, uint32_t>>& delta_sites,
-                   Database* db, const Database* negation_db,
-                   const EvalOptions& options, EvalStats* stats,
-                   InventionContext* invention) {
-  RuleMatcher matcher(db, negation_db, stats, invention);
+                   size_t stratum_index, Database* db,
+                   const Database* negation_db, const EvalOptions& options,
+                   EvalStats* stats, InventionContext* invention) {
+  TraceSpan span("datalog.stratum");
+  span.Arg("stratum", static_cast<int64_t>(stratum_index));
+  FixpointCounters counters;
+  // Per-rule derivation counts, kept only when the registry will consume
+  // them (the extra branch per rule per round is the entire cost otherwise).
+  const bool metrics_on = MetricsEnabled();
+  std::vector<uint64_t> rule_derived;
+  if (metrics_on) rule_derived.assign(compiled.size(), 0);
+  size_t rounds = 0;
+
+  RuleMatcher matcher(db, negation_db, stats, invention, &counters);
   EvalScratch& scratch = LocalScratch();
   std::vector<std::pair<uint32_t, Tuple>>& derived = scratch.derived;
   derived.clear();
 
   // Round 0: evaluate every rule against the full database.
   for (uint32_t r : rules) {
+    size_t before = derived.size();
     matcher.Eval(compiled[r], nullptr, kNoSlot, &derived);
+    if (metrics_on) rule_derived[r] += derived.size() - before;
   }
 
   DeltaSet& delta = scratch.delta;
   delta.Reset();
   for (auto& [rel, tuple] : derived) {
-    if (db->Insert(rel, tuple)) delta.Insert(rel, tuple);
+    if (db->Insert(rel, tuple)) {
+      delta.Insert(rel, tuple);
+      ++counters.inserts;
+    } else {
+      ++counters.dedup_rejected;
+    }
   }
   if (stats != nullptr) ++stats->fixpoint_rounds;
+  ++rounds;
+
+  auto finish = [&](Status status) {
+    if (span.active()) {
+      span.Arg("rounds", static_cast<int64_t>(rounds));
+      span.Arg("inserts", static_cast<int64_t>(counters.inserts));
+      span.Arg("probes", static_cast<int64_t>(counters.probes));
+      span.Arg("probe_hits", static_cast<int64_t>(counters.probe_hits));
+      span.Arg("dedup_rejected",
+               static_cast<int64_t>(counters.dedup_rejected));
+    }
+    if (metrics_on) {
+      FlushFixpointMetrics(compiled, counters, rounds, rule_derived);
+    }
+    return status;
+  };
 
   if (!options.semi_naive) {
     // Naive: re-run all rules on the full database until no change.
     bool changed = delta.any();
     while (changed) {
       if (db->size() > options.max_total_facts) {
-        return ResourceExhaustedError("fixpoint exceeded max_total_facts");
+        return finish(
+            ResourceExhaustedError("fixpoint exceeded max_total_facts"));
       }
       derived.clear();
       for (uint32_t r : rules) {
+        size_t before = derived.size();
         matcher.Eval(compiled[r], nullptr, kNoSlot, &derived);
+        if (metrics_on) rule_derived[r] += derived.size() - before;
       }
       changed = false;
       for (auto& [rel, tuple] : derived) {
-        if (db->Insert(rel, tuple)) changed = true;
+        if (db->Insert(rel, tuple)) {
+          changed = true;
+          ++counters.inserts;
+        } else {
+          ++counters.dedup_rejected;
+        }
       }
       if (stats != nullptr) ++stats->fixpoint_rounds;
+      ++rounds;
     }
-    return Status::Ok();
+    return finish(Status::Ok());
   }
 
   // Semi-naive: in each round, for every precomputed (rule, growing-atom)
@@ -282,23 +376,32 @@ Status RunFixpoint(const std::vector<CompiledRule>& compiled,
   DeltaSet& next_delta = scratch.next_delta;
   while (delta.any()) {
     if (db->size() > options.max_total_facts) {
-      return ResourceExhaustedError("fixpoint exceeded max_total_facts");
+      return finish(
+          ResourceExhaustedError("fixpoint exceeded max_total_facts"));
     }
     derived.clear();
     for (const auto& [r, atom_index] : delta_sites) {
       const CompiledRule& rule = compiled[r];
       RelStore* d = delta.Find(rule.pos[atom_index].relation);
       if (d == nullptr || d->size() == 0) continue;
+      size_t before = derived.size();
       matcher.Eval(rule, d, atom_index, &derived);
+      if (metrics_on) rule_derived[r] += derived.size() - before;
     }
     next_delta.Reset();
     for (auto& [rel, tuple] : derived) {
-      if (db->Insert(rel, tuple)) next_delta.Insert(rel, tuple);
+      if (db->Insert(rel, tuple)) {
+        next_delta.Insert(rel, tuple);
+        ++counters.inserts;
+      } else {
+        ++counters.dedup_rejected;
+      }
     }
     std::swap(delta, next_delta);
     if (stats != nullptr) ++stats->fixpoint_rounds;
+    ++rounds;
   }
-  return Status::Ok();
+  return finish(Status::Ok());
 }
 
 }  // namespace
@@ -416,13 +519,25 @@ Result<Instance> PreparedProgram::RunInPlace(Database* db, EvalStats* stats,
                                              size_t* invented_count,
                                              const Schema* post_restrict) const {
   const size_t input_size = db->size();
+  TraceSpan span("datalog.eval");
+  span.Arg("strata", static_cast<int64_t>(strata_.size()));
+  // The span wants round/derived totals even when the caller passed no stats
+  // sink; borrow a local one in that case (only when a span is recording).
+  EvalStats local_stats;
+  EvalStats* sink = stats;
+  if (sink == nullptr && span.active()) sink = &local_stats;
   InventionContext invention;
-  for (const Stratum& s : strata_) {
-    CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, s.rules, s.delta_sites, db,
-                                     db, options_, stats, &invention));
+  for (size_t i = 0; i < strata_.size(); ++i) {
+    const Stratum& s = strata_[i];
+    CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, s.rules, s.delta_sites, i, db,
+                                     db, options_, sink, &invention));
   }
-  if (stats != nullptr) stats->derived_facts = CountDerived(*db, input_size);
+  if (sink != nullptr) sink->derived_facts = CountDerived(*db, input_size);
   if (invented_count != nullptr) *invented_count = invention.size();
+  if (span.active() && sink != nullptr) {
+    span.Arg("rounds", static_cast<int64_t>(sink->fixpoint_rounds));
+    span.Arg("derived", static_cast<int64_t>(sink->derived_facts));
+  }
   return db->ToInstance(post_restrict);
 }
 
@@ -454,9 +569,10 @@ Result<Instance> PreparedProgram::RunFixedNegation(Database db,
         "RunFixedNegation on a stratified prepared program; use Eval");
   }
   const size_t input_size = db.size();
+  TraceSpan span("datalog.eval_fixed_negation");
   if (!strata_.empty()) {
     CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, strata_[0].rules,
-                                     strata_[0].delta_sites, &db, &neg_db,
+                                     strata_[0].delta_sites, 0, &db, &neg_db,
                                      options_, stats, nullptr));
   }
   if (stats != nullptr) stats->derived_facts = CountDerived(db, input_size);

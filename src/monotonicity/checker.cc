@@ -6,8 +6,10 @@
 
 #include "base/canonical.h"
 #include "base/enumerator.h"
+#include "base/metrics.h"
 #include "base/result_cache.h"
 #include "base/thread_pool.h"
+#include "base/trace.h"
 #include "workload/instance_gen.h"
 
 namespace calm::monotonicity {
@@ -201,6 +203,29 @@ Result<std::optional<Counterexample>> FindViolation(
   std::vector<InstanceOutcome> slots(is.size());
   std::atomic<size_t> first_stop{is.size()};
 
+  TraceSpan span("checker.find_violation");
+  span.Arg("class", static_cast<int64_t>(cls));
+  span.Arg("instances", static_cast<int64_t>(is.size()));
+  span.Arg("reduced", reduce ? 1 : 0);
+  const bool metrics_on = MetricsEnabled();
+  const QueryResultCache::Stats cache_before =
+      cache != nullptr ? cache->stats() : QueryResultCache::Stats{};
+  // Pair totals feed the span and the progress counters; they are only
+  // tallied when somebody is listening (the per-pair add is a sharded
+  // relaxed atomic, the per-I flush below is the normal path).
+  const bool observing = metrics_on || span.active();
+  std::atomic<uint64_t> pairs_total{0};
+  Counter* instances_done = nullptr;
+  Counter* pairs_done = nullptr;
+  if (metrics_on) {
+    MetricRegistry& registry = MetricRegistry::Global();
+    instances_done =
+        &registry.GetCounter("calm.checker.instances_examined",
+                             {{"class", MonotonicityClassName(cls)}});
+    pairs_done = &registry.GetCounter("calm.checker.pairs_checked",
+                                      {{"class", MonotonicityClassName(cls)}});
+  }
+
   ParallelFor(is.size(), options.threads, [&](size_t idx) {
     if (first_stop.load(std::memory_order_relaxed) < idx) return;
     const Instance& i = is[idx];
@@ -209,8 +234,10 @@ Result<std::optional<Counterexample>> FindViolation(
     // One checker per outer I: Q(i) is computed once and reused across the
     // whole J enumeration below.
     PairChecker checker(query, i, cache);
+    uint64_t pairs_here = 0;
     auto visit = [&](const Instance& j) {
       if (first_stop.load(std::memory_order_relaxed) < idx) return false;
+      ++pairs_here;
       Result<std::optional<Counterexample>> r = checker.Check(j);
       if (!r.ok()) {
         slot.error = r.status();
@@ -230,6 +257,13 @@ Result<std::optional<Counterexample>> FindViolation(
     } else {
       ForEachFactSubset(candidates, options.max_facts_j, visit);
     }
+    if (observing) {
+      pairs_total.fetch_add(pairs_here, std::memory_order_relaxed);
+      if (metrics_on) {
+        instances_done->Increment();
+        pairs_done->Increment(pairs_here);
+      }
+    }
     if (!slot.error.ok() || slot.cex.has_value()) {
       size_t cur = first_stop.load(std::memory_order_relaxed);
       while (idx < cur &&
@@ -238,6 +272,19 @@ Result<std::optional<Counterexample>> FindViolation(
       }
     }
   });
+
+  if (span.active()) {
+    span.Arg("pairs", static_cast<int64_t>(
+                          pairs_total.load(std::memory_order_relaxed)));
+  }
+  if (cache != nullptr && metrics_on) {
+    const QueryResultCache::Stats after = cache->stats();
+    MetricRegistry& registry = MetricRegistry::Global();
+    registry.GetCounter("calm.checker.cache_hits")
+        .Increment(after.hits - cache_before.hits);
+    registry.GetCounter("calm.checker.cache_misses")
+        .Increment(after.misses - cache_before.misses);
+  }
 
   size_t winner = first_stop.load(std::memory_order_relaxed);
   if (winner < is.size()) {

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <vector>
 
+#include "base/metrics.h"
 #include "base/result_cache.h"
 #include "base/thread_pool.h"
+#include "base/trace.h"
 
 namespace calm::monotonicity {
 
@@ -67,7 +69,19 @@ Result<Ladder> ComputeLadder(const Query& query, size_t max_i,
   std::vector<std::optional<Counterexample>> witnesses(cells);
   std::vector<Status> errors(cells);
 
+  TraceSpan span("ladder.compute");
+  span.Arg("max_i", static_cast<int64_t>(max_i));
+  span.Arg("cells", static_cast<int64_t>(cells));
+  span.Arg("reduced", base.symmetry == SymmetryMode::kForceOn ? 1 : 0);
+  Counter* cells_done =
+      MetricsEnabled()
+          ? &MetricRegistry::Global().GetCounter("calm.ladder.cells_done")
+          : nullptr;
+
   ParallelFor(cells, base.threads, [&](size_t cell) {
+    TraceSpan cell_span("ladder.cell");
+    cell_span.Arg("row", static_cast<int64_t>(cell / 3 + 1));
+    cell_span.Arg("class", static_cast<int64_t>(cell % 3));
     ExhaustiveOptions o = base;
     o.max_facts_j = cell / 3 + 1;
     Result<std::optional<Counterexample>> r =
@@ -75,9 +89,24 @@ Result<Ladder> ComputeLadder(const Query& query, size_t max_i,
     if (!r.ok()) {
       errors[cell] = r.status();
     } else {
+      cell_span.Arg("violated", r->has_value() ? 1 : 0);
       witnesses[cell] = std::move(r.value());
     }
+    if (cells_done != nullptr) cells_done->Increment();
   });
+
+  if (span.active() && base.cache != nullptr) {
+    const QueryResultCache::Stats cs = base.cache->stats();
+    span.Arg("cache_hits", static_cast<int64_t>(cs.hits));
+    span.Arg("cache_misses", static_cast<int64_t>(cs.misses));
+  }
+  if (MetricsEnabled() && base.cache == &shared_cache) {
+    const QueryResultCache::Stats cs = shared_cache.stats();
+    MetricRegistry& registry = MetricRegistry::Global();
+    registry.GetCounter("calm.ladder.shared_cache_hits").Increment(cs.hits);
+    registry.GetCounter("calm.ladder.shared_cache_misses")
+        .Increment(cs.misses);
+  }
 
   for (const Status& s : errors) {
     if (!s.ok()) return s;

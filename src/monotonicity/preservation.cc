@@ -6,8 +6,10 @@
 
 #include "base/enumerator.h"
 #include "base/homomorphism.h"
+#include "base/metrics.h"
 #include "base/result_cache.h"
 #include "base/thread_pool.h"
+#include "base/trace.h"
 
 namespace calm::monotonicity {
 
@@ -144,6 +146,17 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
   std::vector<SourceOutcome> slots(sources.size());
   std::atomic<size_t> first_stop{sources.size()};
 
+  TraceSpan span("preservation.find_violation");
+  span.Arg("class", static_cast<int64_t>(cls));
+  span.Arg("sources", static_cast<int64_t>(sources.size()));
+  span.Arg("reduced", reduce ? 1 : 0);
+  Counter* sources_done =
+      MetricsEnabled()
+          ? &MetricRegistry::Global().GetCounter(
+                "calm.preservation.sources_examined",
+                {{"class", PreservationClassName(cls)}})
+          : nullptr;
+
   auto record_stop = [&](size_t idx) {
     size_t cur = first_stop.load(std::memory_order_relaxed);
     while (idx < cur &&
@@ -164,6 +177,7 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
         slots[idx].violation = std::move(r.value());
         record_stop(idx);
       }
+      if (sources_done != nullptr) sources_done->Increment();
     });
   } else {
     bool injective = cls == PreservationClass::kInjectiveHomomorphisms;
@@ -198,7 +212,14 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
         return true;
       });
       if (!slot.error.ok() || slot.violation.has_value()) record_stop(idx);
+      if (sources_done != nullptr) sources_done->Increment();
     });
+  }
+
+  if (span.active() && cache != nullptr) {
+    const QueryResultCache::Stats cs = cache->stats();
+    span.Arg("cache_hits", static_cast<int64_t>(cs.hits));
+    span.Arg("cache_misses", static_cast<int64_t>(cs.misses));
   }
 
   size_t winner = first_stop.load(std::memory_order_relaxed);

@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace calm::net {
+
+namespace {
+
+// Every fault-event site also bumps a per-kind counter (when the registry is
+// listening) so metrics and the event log can be cross-checked.
+void CountFault(FaultEvent::Kind kind) {
+  if (!MetricsEnabled()) return;
+  MetricRegistry::Global()
+      .GetCounter("calm.net.faults", {{"kind", FaultKindName(kind)}})
+      .Increment();
+}
+
+}  // namespace
 
 const char* FaultKindName(FaultEvent::Kind kind) {
   switch (kind) {
@@ -124,6 +140,12 @@ void FaultPlan::OpenPartition(size_t a, size_t b, uint64_t tick,
   e.node_a = a;
   e.node_b = b;
   log_.push_back(e);
+  Trace::Instant("net.fault.partition", {{"tick", static_cast<int64_t>(tick)},
+                                         {"node_a", static_cast<int64_t>(a)},
+                                         {"node_b", static_cast<int64_t>(b)},
+                                         {"window",
+                                          static_cast<int64_t>(window)}});
+  CountFault(FaultEvent::Kind::kPartition);
 }
 
 void FaultPlan::CrashNode(size_t node, uint64_t tick,
@@ -136,6 +158,9 @@ void FaultPlan::CrashNode(size_t node, uint64_t tick,
   e.tick = tick;
   e.node = node;
   log_.push_back(e);
+  Trace::Instant("net.fault.crash", {{"tick", static_cast<int64_t>(tick)},
+                                     {"node", static_cast<int64_t>(node)}});
+  CountFault(FaultEvent::Kind::kCrash);
   // The durable inbox (everything the node ever consumed) is replayed by
   // the network as one atomic recovery delivery — see InboxOf.
 }
@@ -209,6 +234,11 @@ void FaultPlan::OnSend(size_t sender, size_t receiver, const Fact& fact,
   if (until > 0) {
     held_.push_back(Held{until, receiver, fact});
     ++stats_.partition_holds;
+    Trace::Instant("net.fault.partition_hold",
+                   {{"send_seq", static_cast<int64_t>(seq)},
+                    {"tick", static_cast<int64_t>(tick)},
+                    {"receiver", static_cast<int64_t>(receiver)},
+                    {"until", static_cast<int64_t>(until)}});
     return;
   }
 
@@ -241,6 +271,12 @@ void FaultPlan::OnSend(size_t sender, size_t receiver, const Fact& fact,
     e.deliver_at = deliver_at;
     e.attempts = attempts;
     log_.push_back(e);
+    Trace::Instant("net.fault.drop",
+                   {{"send_seq", static_cast<int64_t>(seq)},
+                    {"tick", static_cast<int64_t>(tick)},
+                    {"attempts", static_cast<int64_t>(attempts)},
+                    {"deliver_at", static_cast<int64_t>(deliver_at)}});
+    CountFault(FaultEvent::Kind::kDrop);
     return;
   }
 
@@ -266,6 +302,11 @@ void FaultPlan::OnSend(size_t sender, size_t receiver, const Fact& fact,
     e.send_seq = seq;
     e.copies = copies;
     log_.push_back(e);
+    Trace::Instant("net.fault.duplicate",
+                   {{"send_seq", static_cast<int64_t>(seq)},
+                    {"tick", static_cast<int64_t>(tick)},
+                    {"copies", static_cast<int64_t>(copies)}});
+    CountFault(FaultEvent::Kind::kDuplicate);
   }
 
   // Reordering: insert at an arbitrary position instead of the back.
@@ -292,6 +333,11 @@ void FaultPlan::OnSend(size_t sender, size_t receiver, const Fact& fact,
     e.send_seq = seq;
     e.position = position;
     log_.push_back(e);
+    Trace::Instant("net.fault.reorder",
+                   {{"send_seq", static_cast<int64_t>(seq)},
+                    {"tick", static_cast<int64_t>(tick)},
+                    {"position", static_cast<int64_t>(position)}});
+    CountFault(FaultEvent::Kind::kReorder);
   }
 
   (void)sender;

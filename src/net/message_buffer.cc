@@ -29,13 +29,26 @@ std::vector<size_t> MessageBuffer::IndicesOlderThan(uint64_t tick) const {
   return out;
 }
 
+Json RunStatsToJson(const RunStats& stats) {
+  Json out = Json::Object();
+  out.Set("transitions", Json::Uint(stats.transitions));
+  out.Set("heartbeats", Json::Uint(stats.heartbeats));
+  out.Set("sent", Json::Uint(stats.messages_sent));
+  out.Set("delivered", Json::Uint(stats.messages_delivered));
+  out.Set("output_facts", Json::Uint(stats.output_facts));
+  out.Set("output_complete_at", Json::Uint(stats.output_complete_at));
+  return out;
+}
+
 std::string RunStatsToString(const RunStats& stats) {
-  return "transitions=" + std::to_string(stats.transitions) +
-         " heartbeats=" + std::to_string(stats.heartbeats) +
-         " sent=" + std::to_string(stats.messages_sent) +
-         " delivered=" + std::to_string(stats.messages_delivered) +
-         " output_facts=" + std::to_string(stats.output_facts) +
-         " output_complete_at=" + std::to_string(stats.output_complete_at);
+  // Rendered from the JSON form so the two reports share one field list.
+  std::string out;
+  const Json json = RunStatsToJson(stats);
+  for (const auto& [key, value] : json.members()) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + std::to_string(value.uint_value());
+  }
+  return out;
 }
 
 }  // namespace calm::net

@@ -8,6 +8,7 @@
 
 #include "base/fact.h"
 #include "base/instance.h"
+#include "base/json.h"
 
 namespace calm::net {
 
@@ -64,8 +65,15 @@ struct RunStats {
   size_t output_complete_at = 0;
 };
 
-// "transitions=12 heartbeats=3 sent=8 delivered=8 output_facts=4" — used by
-// error messages (RunOptions::fail_on_budget) and the bench reports.
+// The canonical serialization: {"transitions": 12, "heartbeats": 3, ...}.
+// Every other rendering of RunStats (the k=v string below, bench --json
+// sections) is derived from this object, so the human-readable and the
+// machine-readable reports can never drift apart.
+Json RunStatsToJson(const RunStats& stats);
+
+// "transitions=12 heartbeats=3 sent=8 delivered=8 output_facts=4 ..." — used
+// by error messages (RunOptions::fail_on_budget) and the bench reports.
+// Derived from RunStatsToJson by walking its members in order.
 std::string RunStatsToString(const RunStats& stats);
 
 }  // namespace calm::net

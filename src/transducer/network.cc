@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace calm::transducer {
 
 TransducerNetwork::TransducerNetwork(Network nodes,
@@ -122,6 +125,9 @@ Status TransducerNetwork::StepNode(Value node,
   if (index >= nodes_.size()) return InvalidArgumentError("unknown node");
 
   ++tick_;
+  TraceSpan span("net.step");
+  span.Arg("node", static_cast<int64_t>(index));
+  span.Arg("tick", static_cast<int64_t>(tick_));
   // Fault channel first: crash-restarts and messages due for (re)delivery
   // land before the step observes its buffer. Redeliveries only append, so
   // delivery indices chosen by the scheduler before this call stay valid.
@@ -243,6 +249,28 @@ Status TransducerNetwork::StepNode(Value node,
   if (out_size > stats_.output_facts) {
     stats_.output_facts = out_size;
     stats_.output_complete_at = stats_.transitions;
+  }
+
+  if (span.active()) {
+    span.Arg("delivered", static_cast<int64_t>(delivery_indices.size()));
+    span.Arg("sent", static_cast<int64_t>(fanout));
+    span.Arg("changed", last_step_changed_ ? 1 : 0);
+  }
+  if (MetricsEnabled()) {
+    MetricRegistry& registry = MetricRegistry::Global();
+    static Counter& transitions = registry.GetCounter("calm.net.transitions");
+    static Counter& delivered_count =
+        registry.GetCounter("calm.net.messages_delivered");
+    static Counter& sent_count = registry.GetCounter("calm.net.messages_sent");
+    static Counter& heartbeats = registry.GetCounter("calm.net.heartbeats");
+    transitions.Increment();
+    delivered_count.Increment(delivery_indices.size());
+    sent_count.Increment(fanout);
+    if (delivery_indices.empty()) heartbeats.Increment();
+    registry
+        .GetCounter("calm.net.node_transitions",
+                    {{"node", std::to_string(index)}})
+        .Increment();
   }
   return Status::Ok();
 }

@@ -1,0 +1,227 @@
+// End-to-end observability: runs the real engine, checker, and transducer
+// network with tracing enabled and checks that the recorded spans
+// reconstruct the structure the engine reports through its stats — stratum
+// counts, tick counts, per-node delivery totals. Also pins the shared
+// JSON/human rendering of EvalStats and RunStats (one field list, one
+// format, no drift between `--json` and console output).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/json.h"
+#include "base/metrics.h"
+#include "base/trace.h"
+#include "datalog/evaluator.h"
+#include "monotonicity/checker.h"
+#include "net/message_buffer.h"
+#include "queries/graph_queries.h"
+#include "queries/paper_programs.h"
+#include "transducer/network.h"
+#include "transducer/policy.h"
+#include "transducer/runner.h"
+#include "transducer/strategies.h"
+#include "workload/graph_gen.h"
+
+namespace calm {
+namespace {
+
+using monotonicity::Counterexample;
+using monotonicity::ExhaustiveOptions;
+using monotonicity::FindViolation;
+using monotonicity::MonotonicityClass;
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::SetEnabled(false);
+    SetMetricsEnabled(false);
+    Trace::Reset();
+  }
+  void TearDown() override {
+    Trace::SetEnabled(false);
+    SetMetricsEnabled(false);
+    Trace::Reset();
+  }
+};
+
+// Evaluating the complement-TC program (2 strata: TC, then its complement)
+// records one datalog.eval span whose args match EvalStats, and one
+// datalog.stratum span per stratum.
+TEST_F(ObservabilityTest, EvalSpansReconstructStratumStructure) {
+  if (!TracingCompiledIn()) GTEST_SKIP() << "built with CALM_TRACING=OFF";
+  Trace::SetEnabled(true);
+
+  datalog::DatalogQuery engine = queries::ComplementTcProgram();
+  Instance input = workload::RandomGraph(6, 0.3, /*seed=*/3);
+  datalog::EvalStats stats;
+  Result<Instance> out =
+      datalog::Evaluate(engine.program(), input, {}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  EXPECT_EQ(Trace::SpanCount("datalog.eval"), 1u);
+  EXPECT_EQ(Trace::SpanCount("datalog.stratum"), 2u);
+
+  Json exported = Trace::ExportJson();
+  bool saw_eval = false;
+  std::map<int64_t, bool> strata_seen;
+  for (const Json& e : exported.Find("traceEvents")->items()) {
+    const std::string name = e.GetString("name").value();
+    const Json* args = e.Find("args");
+    if (name == "datalog.eval") {
+      saw_eval = true;
+      EXPECT_EQ(args->GetInt("strata").value(), 2);
+      EXPECT_EQ(args->GetUint("rounds").value(), stats.fixpoint_rounds);
+      EXPECT_EQ(args->GetUint("derived").value(), stats.derived_facts);
+    } else if (name == "datalog.stratum") {
+      strata_seen[args->GetInt("stratum").value()] = true;
+    }
+  }
+  EXPECT_TRUE(saw_eval);
+  EXPECT_EQ(strata_seen.size(), 2u);  // stratum indices 0 and 1
+  EXPECT_TRUE(strata_seen[0]);
+  EXPECT_TRUE(strata_seen[1]);
+}
+
+// FindViolation on Q_TC records one checker.find_violation span carrying
+// the search-space size it actually walked.
+TEST_F(ObservabilityTest, CheckerSpanRecordsSearchProgress) {
+  if (!TracingCompiledIn()) GTEST_SKIP() << "built with CALM_TRACING=OFF";
+  Trace::SetEnabled(true);
+
+  auto qtc = queries::MakeComplementTransitiveClosure();
+  ExhaustiveOptions o;
+  o.domain_size = 2;
+  o.max_facts_i = 2;
+  o.fresh_values = 1;
+  o.max_facts_j = 2;
+  Result<std::optional<Counterexample>> r =
+      FindViolation(*qtc, MonotonicityClass::kDomainDistinct, o);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->has_value());  // Q_TC violates Mdistinct
+
+  EXPECT_EQ(Trace::SpanCount("checker.find_violation"), 1u);
+  Json exported = Trace::ExportJson();
+  bool saw = false;
+  for (const Json& e : exported.Find("traceEvents")->items()) {
+    if (e.GetString("name").value() != "checker.find_violation") continue;
+    saw = true;
+    const Json* args = e.Find("args");
+    EXPECT_EQ(args->GetInt("class").value(),
+              static_cast<int64_t>(MonotonicityClass::kDomainDistinct));
+    EXPECT_GT(args->GetInt("instances").value(), 0);
+    EXPECT_GT(args->GetInt("pairs").value(), 0);
+  }
+  EXPECT_TRUE(saw);
+}
+
+// A win-move run on a 3-node network: net.step spans reconstruct the tick
+// count, the heartbeat count, and the per-node delivery totals that the
+// network reports in RunStats.
+TEST_F(ObservabilityTest, NetworkSpansMatchRunStats) {
+  if (!TracingCompiledIn()) GTEST_SKIP() << "built with CALM_TRACING=OFF";
+  Trace::SetEnabled(true);
+
+  auto query = queries::MakeWinMove();
+  auto machine = transducer::MakeDomainRequestTransducer(query.get());
+  Instance graph = workload::RandomGraph(5, 0.35, /*seed=*/1);
+  Instance input;
+  for (const Tuple& t : graph.TuplesOf(InternName("E"))) {
+    input.Insert(Fact("Move", t));
+  }
+  transducer::Network nodes{V(900), V(901), V(902)};
+  transducer::HashDomainGuidedPolicy policy(nodes, /*salt=*/5);
+  transducer::TransducerNetwork network(
+      nodes, machine.get(), &policy, transducer::ModelOptions::PolicyAware());
+  ASSERT_TRUE(network.Initialize(input).ok());
+
+  transducer::RunOptions ro;
+  ro.scheduler = transducer::RunOptions::SchedulerKind::kRandom;
+  ro.seed = 11;
+  Result<transducer::RunResult> run = transducer::RunToQuiescence(network, ro);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_TRUE(run->quiesced);
+  const net::RunStats& stats = run->stats;
+
+  // One span per transition, ticks numbered 1..transitions.
+  EXPECT_EQ(Trace::SpanCount("net.step"), stats.transitions);
+
+  Json exported = Trace::ExportJson();
+  uint64_t max_tick = 0;
+  uint64_t delivered_total = 0;
+  uint64_t sent_total = 0;
+  uint64_t heartbeat_spans = 0;
+  std::map<int64_t, uint64_t> delivered_by_node;
+  for (const Json& e : exported.Find("traceEvents")->items()) {
+    if (e.GetString("name").value() != "net.step") continue;
+    const Json* args = e.Find("args");
+    max_tick = std::max(max_tick, args->GetUint("tick").value());
+    uint64_t delivered = args->GetUint("delivered").value();
+    delivered_total += delivered;
+    sent_total += args->GetUint("sent").value();
+    if (delivered == 0) ++heartbeat_spans;
+    delivered_by_node[args->GetInt("node").value()] += delivered;
+  }
+  EXPECT_EQ(max_tick, stats.transitions);
+  EXPECT_EQ(delivered_total, stats.messages_delivered);
+  EXPECT_EQ(sent_total, stats.messages_sent);
+  EXPECT_EQ(heartbeat_spans, stats.heartbeats);
+  EXPECT_GT(stats.messages_delivered, 0u);
+  // Every delivery is attributed to one of the 3 nodes.
+  uint64_t across_nodes = 0;
+  for (const auto& [node, count] : delivered_by_node) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 3);
+    across_nodes += count;
+  }
+  EXPECT_EQ(across_nodes, stats.messages_delivered);
+}
+
+// The drift pin: console stats lines are rendered from the same Json object
+// bench --json emits, field for field. A new field shows up in both or
+// neither; the exact canonical forms are pinned here.
+TEST_F(ObservabilityTest, EvalStatsStringIsDerivedFromItsJsonForm) {
+  datalog::EvalStats s;
+  s.derived_facts = 7;
+  s.fixpoint_rounds = 3;
+  s.rule_applications = 11;
+  EXPECT_EQ(datalog::EvalStatsToString(s),
+            "derived_facts=7 fixpoint_rounds=3 rule_applications=11");
+
+  const Json json = datalog::EvalStatsToJson(s);
+  std::string text = datalog::EvalStatsToString(s);
+  for (const auto& [key, value] : json.members()) {
+    EXPECT_NE(text.find(key + "=" + std::to_string(value.uint_value())),
+              std::string::npos)
+        << key;
+  }
+}
+
+TEST_F(ObservabilityTest, RunStatsStringIsDerivedFromItsJsonForm) {
+  net::RunStats s;
+  s.transitions = 9;
+  s.heartbeats = 2;
+  s.messages_sent = 5;
+  s.messages_delivered = 4;
+  s.output_facts = 3;
+  s.output_complete_at = 8;
+  EXPECT_EQ(net::RunStatsToString(s),
+            "transitions=9 heartbeats=2 sent=5 delivered=4 output_facts=3 "
+            "output_complete_at=8");
+
+  const Json json = net::RunStatsToJson(s);
+  std::string text = net::RunStatsToString(s);
+  for (const auto& [key, value] : json.members()) {
+    EXPECT_NE(text.find(key + "=" + std::to_string(value.uint_value())),
+              std::string::npos)
+        << key;
+  }
+}
+
+}  // namespace
+}  // namespace calm

@@ -35,7 +35,7 @@ def load_cpu_times(path):
     return times
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("current", help="freshly produced JSON")
@@ -45,7 +45,7 @@ def main():
         default=2.0,
         help="fail when current cpu_time > threshold * baseline (default 2.0)",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     baseline = load_cpu_times(args.baseline)
     current = load_cpu_times(args.current)

@@ -1,0 +1,122 @@
+"""Tests for compare_bench.py: exit codes, one-sided skips, tolerances.
+
+unittest-style so it runs under `python3 -m unittest` or `python3 -m pytest`
+(CI uses pytest); stdlib only, like the tool itself.
+"""
+
+import io
+import json
+import os
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+import compare_bench
+
+
+def bench_json(times):
+    """A minimal google-benchmark JSON document: {name: cpu_time_ns}."""
+    return {
+        "benchmarks": [
+            {"name": name, "cpu_time": t, "time_unit": "ns"}
+            for name, t in times.items()
+        ]
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, filename, doc):
+        path = os.path.join(self.dir.name, filename)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_main(self, baseline, current, *extra):
+        base = self.write("base.json", bench_json(baseline))
+        cur = self.write("cur.json", bench_json(current))
+        out = io.StringIO()
+        with redirect_stdout(out):
+            rc = compare_bench.main([base, cur, *extra])
+        return rc, out.getvalue()
+
+    def test_identical_runs_pass(self):
+        rc, out = self.run_main({"BM_A": 100.0}, {"BM_A": 100.0})
+        self.assertEqual(rc, 0)
+        self.assertIn("all 1 compared", out)
+
+    def test_real_regression_fails(self):
+        rc, out = self.run_main({"BM_A": 100.0}, {"BM_A": 250.0})
+        self.assertEqual(rc, 1)
+        self.assertIn("FAIL", out)
+        self.assertIn("2.50x", out)
+
+    def test_exactly_at_threshold_passes(self):
+        # The contract is strictly-greater-than: 2.00x is not a regression.
+        rc, _ = self.run_main({"BM_A": 100.0}, {"BM_A": 200.0})
+        self.assertEqual(rc, 0)
+
+    def test_just_over_threshold_fails(self):
+        rc, _ = self.run_main({"BM_A": 100.0}, {"BM_A": 201.0})
+        self.assertEqual(rc, 1)
+
+    def test_custom_threshold(self):
+        rc, _ = self.run_main({"BM_A": 100.0}, {"BM_A": 140.0},
+                              "--threshold", "1.5")
+        self.assertEqual(rc, 0)
+        rc, _ = self.run_main({"BM_A": 100.0}, {"BM_A": 160.0},
+                              "--threshold", "1.5")
+        self.assertEqual(rc, 1)
+
+    def test_baseline_only_name_warns_and_skips(self):
+        rc, out = self.run_main({"BM_A": 100.0, "BM_GONE": 1.0},
+                                {"BM_A": 100.0})
+        self.assertEqual(rc, 0)
+        self.assertIn("warn BM_GONE", out)
+        self.assertIn("skipped", out)
+
+    def test_current_only_name_reported_not_failed(self):
+        rc, out = self.run_main({"BM_A": 100.0},
+                                {"BM_A": 100.0, "BM_NEW": 9e9})
+        self.assertEqual(rc, 0)
+        self.assertIn("new  BM_NEW", out)
+
+    def test_no_names_in_common_passes_with_warning(self):
+        rc, out = self.run_main({"BM_A": 100.0}, {"BM_B": 100.0})
+        self.assertEqual(rc, 0)
+        self.assertIn("nothing compared", out)
+
+    def test_empty_baseline_is_an_error(self):
+        rc, out = self.run_main({}, {"BM_A": 100.0})
+        self.assertEqual(rc, 2)
+        self.assertIn("no benchmarks in baseline", out)
+
+    def test_improvement_passes(self):
+        rc, out = self.run_main({"BM_A": 100.0}, {"BM_A": 10.0})
+        self.assertEqual(rc, 0)
+        self.assertIn("0.10x", out)
+
+    def test_aggregate_entries_ignored(self):
+        base = self.write("base.json", bench_json({"BM_A": 100.0}))
+        doc = bench_json({"BM_A": 100.0})
+        doc["benchmarks"].append({
+            "name": "BM_A_mean", "cpu_time": 9e9,
+            "time_unit": "ns", "run_type": "aggregate",
+        })
+        cur = self.write("cur.json", doc)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            rc = compare_bench.main([base, cur])
+        self.assertEqual(rc, 0)
+        self.assertNotIn("BM_A_mean", out.getvalue())
+
+    def test_zero_baseline_time_is_a_regression_when_current_nonzero(self):
+        rc, _ = self.run_main({"BM_A": 0.0}, {"BM_A": 5.0})
+        self.assertEqual(rc, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

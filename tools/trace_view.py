@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace_event file produced with --trace_out.
+
+Usage:
+    trace_view.py TRACE.json [--by name|tid] [--top N]
+
+Rolls the trace up per span name (or per thread with --by tid): event count,
+total/mean/max duration, and for instants just the count. The full file loads
+into chrome://tracing or https://ui.perfetto.dev for the visual timeline;
+this gives the numbers at the terminal. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, dict):
+        return data.get("traceEvents", [])
+    # Chrome also accepts a bare array of events.
+    return data
+
+
+def summarize(events, key):
+    """Returns {group: {"spans", "instants", "total_us", "max_us"}}."""
+    groups = defaultdict(lambda: {"spans": 0, "instants": 0,
+                                  "total_us": 0.0, "max_us": 0.0})
+    for e in events:
+        group = str(e.get("name", "?")) if key == "name" else str(e.get("tid", 0))
+        g = groups[group]
+        if e.get("ph") == "X":
+            dur = float(e.get("dur", 0.0))
+            g["spans"] += 1
+            g["total_us"] += dur
+            g["max_us"] = max(g["max_us"], dur)
+        elif e.get("ph") == "i":
+            g["instants"] += 1
+    return dict(groups)
+
+
+def format_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--by", choices=["name", "tid"], default="name",
+                        help="group rows by span name (default) or thread id")
+    parser.add_argument("--top", type=int, default=0,
+                        help="show only the N rows with the most total time")
+    args = parser.parse_args(argv)
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"error: no trace events in {args.trace}")
+        return 2
+
+    groups = summarize(events, args.by)
+    rows = sorted(groups.items(), key=lambda kv: -kv[1]["total_us"])
+    if args.top > 0:
+        rows = rows[: args.top]
+
+    width = max(len(k) for k, _ in rows)
+    header = f"{'group':<{width}}  {'spans':>8} {'instants':>8} " \
+             f"{'total':>10} {'mean':>10} {'max':>10}"
+    print(header)
+    print("-" * len(header))
+    total_spans = total_instants = 0
+    for group, g in rows:
+        mean = g["total_us"] / g["spans"] if g["spans"] else 0.0
+        total_spans += g["spans"]
+        total_instants += g["instants"]
+        print(f"{group:<{width}}  {g['spans']:>8} {g['instants']:>8} "
+              f"{format_us(g['total_us']):>10} {format_us(mean):>10} "
+              f"{format_us(g['max_us']):>10}")
+    print(f"\n{len(events)} events: {total_spans} spans, "
+          f"{total_instants} instants, {len(groups)} groups")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
