@@ -63,8 +63,8 @@ int main(int argc, char** argv) {
           datalog::EvaluateWellFounded(win, game);
       Result<Instance> nat = native->Eval(game);
       if (!wf.ok() || !nat.ok()) continue;
-      std::set<Tuple> w = wf->definitely.TuplesOf(InternName("Win"));
-      std::set<Tuple> n = nat->TuplesOf(InternName("O"));
+      const TupleSet& w = wf->definitely.TuplesOf(InternName("Win"));
+      const TupleSet& n = nat->TuplesOf(InternName("O"));
       if (w == n) ++agreements;
     }
     report.Check("alternating fixpoint == retrograde analysis on 12 random games",

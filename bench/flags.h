@@ -9,6 +9,7 @@
 #include "base/metrics.h"
 #include "base/thread_pool.h"
 #include "base/trace.h"
+#include "datalog/evaluator.h"
 
 namespace calm::bench {
 
@@ -24,12 +25,16 @@ namespace calm::bench {
 //   --trace_out P     enable span tracing for the run and write a Chrome
 //                     trace_event file to P on exit (load in chrome://tracing
 //                     or ui.perfetto.dev; tools/trace_view.py summarizes it)
+//   --engine NAME     rule evaluator: "bytecode" (default) or "tree" (the
+//                     differential oracle); also settable via CALM_ENGINE,
+//                     the flag wins (SetDefaultEvalEngine)
 struct Flags {
   size_t threads = 0;     // 0 = CALM_THREADS / hardware default
   std::string json_path;  // empty = no JSON output
   size_t domain_bump = 0;
   std::string metrics_out;  // empty = metrics registry stays disabled
   std::string trace_out;    // empty = tracing stays disabled
+  std::string engine;       // empty = CALM_ENGINE / bytecode default
 };
 
 // Parses and strips the flags above from argv (leaving unrecognized
@@ -47,7 +52,14 @@ inline Flags ParseFlags(int* argc, char** argv) {
     bool is_bump = false;
     bool is_metrics = false;
     bool is_trace = false;
-    if (std::strncmp(arg, "--threads=", 10) == 0) {
+    bool is_engine = false;
+    if (std::strncmp(arg, "--engine=", 9) == 0) {
+      is_engine = true;
+      value = arg + 9;
+    } else if (std::strcmp(arg, "--engine") == 0 && in + 1 < *argc) {
+      is_engine = true;
+      value = argv[++in];
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       is_threads = true;
       value = arg + 10;
     } else if (std::strcmp(arg, "--threads") == 0 && in + 1 < *argc) {
@@ -98,11 +110,22 @@ inline Flags ParseFlags(int* argc, char** argv) {
       flags.metrics_out = value;
     } else if (is_trace) {
       flags.trace_out = value;
+    } else if (is_engine) {
+      flags.engine = value;
     } else {
       argv[out++] = argv[in];
     }
   }
   *argc = out;
+  if (!flags.engine.empty()) {
+    Result<datalog::EvalEngine> engine = datalog::ParseEvalEngine(flags.engine);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "--engine expects tree or bytecode, got %s\n",
+                   flags.engine.c_str());
+      std::exit(2);
+    }
+    datalog::SetDefaultEvalEngine(*engine);
+  }
   if (flags.threads != 0) SetDefaultThreads(flags.threads);
   if (!flags.metrics_out.empty()) SetMetricsEnabled(true);
   if (!flags.trace_out.empty()) {

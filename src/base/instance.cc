@@ -5,86 +5,161 @@
 namespace calm {
 
 namespace {
-const std::set<Tuple>& EmptyTupleSet() {
-  static const std::set<Tuple>* kEmpty = new std::set<Tuple>();
+const TupleSet& EmptyTuples() {
+  static const TupleSet* kEmpty = new TupleSet();
   return *kEmpty;
 }
 }  // namespace
+
+TupleSet::const_iterator TupleSet::lower_bound(const Tuple& t) const {
+  return std::lower_bound(tuples_.begin(), tuples_.end(), t);
+}
+
+TupleSet::const_iterator TupleSet::find(const Tuple& t) const {
+  const_iterator it = lower_bound(t);
+  if (it != tuples_.end() && *it == t) return it;
+  return tuples_.end();
+}
+
+bool TupleSet::InsertUnique(const Tuple& t) {
+  if (tuples_.empty() || tuples_.back() < t) {
+    tuples_.push_back(t);
+    return true;
+  }
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return false;
+  tuples_.insert(it, t);
+  return true;
+}
+
+bool TupleSet::InsertUnique(Tuple&& t) {
+  if (tuples_.empty() || tuples_.back() < t) {
+    tuples_.push_back(std::move(t));
+    return true;
+  }
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return false;
+  tuples_.insert(it, std::move(t));
+  return true;
+}
+
+bool TupleSet::EraseOne(const Tuple& t) {
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it == tuples_.end() || !(*it == t)) return false;
+  tuples_.erase(it);
+  return true;
+}
+
+TupleSet& Instance::SetOf(uint32_t name) {
+  auto it = std::lower_bound(
+      relations_.begin(), relations_.end(), name,
+      [](const auto& entry, uint32_t n) { return entry.first < n; });
+  if (it != relations_.end() && it->first == name) return it->second;
+  it = relations_.insert(it, {name, TupleSet()});
+  return it->second;
+}
+
+const TupleSet* Instance::FindSet(uint32_t name) const {
+  auto it = std::lower_bound(
+      relations_.begin(), relations_.end(), name,
+      [](const auto& entry, uint32_t n) { return entry.first < n; });
+  if (it != relations_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
 
 Instance::Instance(std::initializer_list<Fact> facts) {
   for (const Fact& f : facts) Insert(f);
 }
 
 bool Instance::Insert(const Fact& fact) {
-  auto [it, inserted] = relations_[fact.relation].insert(fact.args);
+  TupleSet& tuples = SetOf(fact.relation);
+  bool inserted = tuples.InsertUnique(fact.args);
   if (inserted) ++size_;
   return inserted;
 }
 
 bool Instance::Insert(Fact&& fact) {
-  auto [it, inserted] =
-      relations_[fact.relation].insert(std::move(fact.args));
+  TupleSet& tuples = SetOf(fact.relation);
+  bool inserted = tuples.InsertUnique(std::move(fact.args));
   if (inserted) ++size_;
   return inserted;
 }
 
 size_t Instance::InsertSorted(uint32_t rel, const std::vector<Tuple>& sorted) {
   if (sorted.empty()) return 0;  // never leave an empty relation entry behind
-  std::set<Tuple>& tuples = relations_[rel];
-  size_t before = tuples.size();
-  for (const Tuple& t : sorted) tuples.emplace_hint(tuples.end(), t);
-  size_t added = tuples.size() - before;
+  TupleSet& tuples = SetOf(rel);
+  std::vector<Tuple>& vec = tuples.tuples_;
+  size_t before = vec.size();
+  if (vec.empty() || vec.back() < sorted.front()) {
+    // Pure append: the common bulk-build case (fresh relation, or a sorted
+    // run extending past the current maximum). Skip adjacent duplicates.
+    vec.reserve(before + sorted.size());
+    for (const Tuple& t : sorted) {
+      if (!vec.empty() && !(vec.back() < t)) continue;
+      vec.push_back(t);
+    }
+  } else {
+    for (const Tuple& t : sorted) tuples.InsertUnique(t);
+  }
+  size_t added = vec.size() - before;
   size_ += added;
   return added;
+}
+
+size_t Instance::InsertSorted(uint32_t rel, std::vector<Tuple>&& sorted) {
+  if (sorted.empty()) return 0;  // never leave an empty relation entry behind
+  TupleSet& tuples = SetOf(rel);
+  if (!tuples.tuples_.empty()) return InsertSorted(rel, sorted);
+  tuples.tuples_ = std::move(sorted);
+  std::vector<Tuple>& vec = tuples.tuples_;
+  vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+  size_ += vec.size();
+  return vec.size();
 }
 
 size_t Instance::InsertSortedFacts(const std::vector<Fact>& sorted) {
   size_t added = 0;
   size_t i = 0;
+  std::vector<Tuple> run;
   while (i < sorted.size()) {
     uint32_t rel = sorted[i].relation;
-    std::set<Tuple>& tuples = relations_[rel];
-    size_t before = tuples.size();
+    run.clear();
     while (i < sorted.size() && sorted[i].relation == rel) {
-      tuples.emplace_hint(tuples.end(), sorted[i].args);
+      run.push_back(sorted[i].args);
       ++i;
     }
-    added += tuples.size() - before;
+    added += InsertSorted(rel, run);
   }
-  size_ += added;
   return added;
 }
 
 size_t Instance::InsertAll(const Instance& other) {
   size_t added = 0;
   for (const auto& [name, tuples] : other.relations_) {
-    std::set<Tuple>& mine = relations_[name];
-    for (const Tuple& t : tuples) {
-      if (mine.insert(t).second) ++added;
-    }
+    added += InsertSorted(name, tuples.tuples_);
   }
-  size_ += added;
   return added;
 }
 
 bool Instance::Erase(const Fact& fact) {
-  auto it = relations_.find(fact.relation);
-  if (it == relations_.end()) return false;
-  if (it->second.erase(fact.args) == 0) return false;
+  auto it = std::lower_bound(
+      relations_.begin(), relations_.end(), fact.relation,
+      [](const auto& entry, uint32_t n) { return entry.first < n; });
+  if (it == relations_.end() || it->first != fact.relation) return false;
+  if (!it->second.EraseOne(fact.args)) return false;
   --size_;
   if (it->second.empty()) relations_.erase(it);
   return true;
 }
 
 bool Instance::Contains(const Fact& fact) const {
-  auto it = relations_.find(fact.relation);
-  return it != relations_.end() && it->second.count(fact.args) > 0;
+  const TupleSet* tuples = FindSet(fact.relation);
+  return tuples != nullptr && tuples->contains(fact.args);
 }
 
-const std::set<Tuple>& Instance::TuplesOf(uint32_t name) const {
-  auto it = relations_.find(name);
-  if (it == relations_.end()) return EmptyTupleSet();
-  return it->second;
+const TupleSet& Instance::TuplesOf(uint32_t name) const {
+  const TupleSet* tuples = FindSet(name);
+  return tuples != nullptr ? *tuples : EmptyTuples();
 }
 
 std::vector<uint32_t> Instance::RelationNames() const {
@@ -152,9 +227,9 @@ Instance Instance::Difference(const Instance& a, const Instance& b) {
 bool Instance::IsSubsetOf(const Instance& other) const {
   if (size_ > other.size_) return false;
   for (const auto& [name, tuples] : relations_) {
-    const std::set<Tuple>& theirs = other.TuplesOf(name);
+    const TupleSet& theirs = other.TuplesOf(name);
     for (const Tuple& t : tuples) {
-      if (theirs.count(t) == 0) return false;
+      if (!theirs.contains(t)) return false;
     }
   }
   return true;

@@ -14,9 +14,53 @@
 
 namespace calm {
 
+// The tuples of one relation: a sorted, duplicate-free flat vector with the
+// read-side API of std::set<Tuple>. Instances in this codebase are built in
+// bulk and read far more than they are mutated, so flat storage wins on both
+// sides: bulk builds are appends instead of one tree node allocation per
+// fact, and iteration/equality are linear scans over contiguous memory.
+// Mutation goes through Instance (insert/erase shift the tail, O(n) worst
+// case — fine for the small instances the checkers enumerate).
+class TupleSet {
+ public:
+  using value_type = Tuple;
+  using const_iterator = std::vector<Tuple>::const_iterator;
+  using iterator = const_iterator;
+
+  const_iterator begin() const { return tuples_.begin(); }
+  const_iterator end() const { return tuples_.end(); }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const_iterator lower_bound(const Tuple& t) const;
+  const_iterator find(const Tuple& t) const;
+  size_t count(const Tuple& t) const { return find(t) != end() ? 1 : 0; }
+  bool contains(const Tuple& t) const { return find(t) != end(); }
+
+  friend bool operator==(const TupleSet& a, const TupleSet& b) {
+    return a.tuples_ == b.tuples_;
+  }
+  friend bool operator!=(const TupleSet& a, const TupleSet& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const TupleSet& a, const TupleSet& b) {
+    return a.tuples_ < b.tuples_;
+  }
+
+ private:
+  friend class Instance;
+
+  // Returns true if `t` was new. General form: binary search + shift.
+  bool InsertUnique(const Tuple& t);
+  bool InsertUnique(Tuple&& t);
+  bool EraseOne(const Tuple& t);
+
+  std::vector<Tuple> tuples_;  // ascending, unique
+};
+
 // A database instance: a finite set of facts. Facts are grouped per relation
-// in sorted containers, so iteration is deterministic. An Instance is not
-// bound to a Schema; use Restrict / Admits for schema discipline.
+// in sorted flat containers, so iteration is deterministic. An Instance is
+// not bound to a Schema; use Restrict / Admits for schema discipline.
 class Instance {
  public:
   Instance() = default;
@@ -29,16 +73,19 @@ class Instance {
   size_t InsertAll(const Instance& other);
 
   // Bulk-inserts tuples into relation `rel`; `sorted` must be ascending
-  // (duplicates allowed). Amortized O(1) per tuple via end-position hints —
-  // for queries that produce their output in sorted order anyway (the native
-  // graph queries on the checker hot path), this halves the build cost.
+  // (duplicates allowed). O(1) per tuple when the relation is empty or the
+  // run extends past its current maximum — for queries that produce their
+  // output in sorted order anyway (the evaluation engines and the native
+  // graph queries on the checker hot path), the build is a plain append.
   // Returns the number of new facts.
   size_t InsertSorted(uint32_t rel, const std::vector<Tuple>& sorted);
+  // Move form: when relation `rel` is empty the buffer is adopted wholesale
+  // (no per-tuple copies) — the engines' materialization path.
+  size_t InsertSorted(uint32_t rel, std::vector<Tuple>&& sorted);
 
   // Bulk-inserts facts; `sorted` must be ascending in Fact order (relation
   // id, then tuple — duplicates allowed), so each relation's run inserts
-  // with end-position hints like InsertSorted. Returns the number of new
-  // facts.
+  // like InsertSorted. Returns the number of new facts.
   size_t InsertSortedFacts(const std::vector<Fact>& sorted);
 
   // Removes a fact; returns true if it was present.
@@ -56,7 +103,7 @@ class Instance {
   }
 
   // The tuples of relation `name` (empty set if absent).
-  const std::set<Tuple>& TuplesOf(uint32_t name) const;
+  const TupleSet& TuplesOf(uint32_t name) const;
 
   // Relation names with at least one tuple, in deterministic order.
   std::vector<uint32_t> RelationNames() const;
@@ -102,7 +149,13 @@ class Instance {
   }
 
  private:
-  std::map<uint32_t, std::set<Tuple>> relations_;
+  // The entry for `name`, created (empty) if absent. Invariant: entries are
+  // sorted by name and never left empty after a public call returns, so
+  // equality/ordering can compare the vectors directly.
+  TupleSet& SetOf(uint32_t name);
+  const TupleSet* FindSet(uint32_t name) const;
+
+  std::vector<std::pair<uint32_t, TupleSet>> relations_;  // sorted by name
   size_t size_ = 0;
 };
 

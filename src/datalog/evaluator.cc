@@ -1,5 +1,8 @@
 #include "datalog/evaluator.h"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "datalog/prepared.h"
 
 // One-shot entry points: prepare, run once, discard. Callers that evaluate a
@@ -8,6 +11,40 @@
 // stratification, and rule compilation are paid once instead of per call.
 
 namespace calm::datalog {
+
+namespace {
+
+EvalEngine EnvEngine() {
+  const char* env = std::getenv("CALM_ENGINE");
+  if (env != nullptr && std::string_view(env) == "tree") {
+    return EvalEngine::kTree;
+  }
+  return EvalEngine::kBytecode;
+}
+
+std::atomic<EvalEngine>& GlobalEngine() {
+  static std::atomic<EvalEngine> engine{EnvEngine()};
+  return engine;
+}
+
+}  // namespace
+
+EvalEngine DefaultEvalEngine() {
+  return GlobalEngine().load(std::memory_order_relaxed);
+}
+
+void SetDefaultEvalEngine(EvalEngine engine) {
+  GlobalEngine().store(
+      engine == EvalEngine::kDefault ? EnvEngine() : engine,
+      std::memory_order_relaxed);
+}
+
+Result<EvalEngine> ParseEvalEngine(std::string_view name) {
+  if (name == "tree") return EvalEngine::kTree;
+  if (name == "bytecode") return EvalEngine::kBytecode;
+  return InvalidArgumentError("unknown engine (want tree|bytecode): " +
+                              std::string(name));
+}
 
 Json EvalStatsToJson(const EvalStats& stats) {
   Json out = Json::Object();

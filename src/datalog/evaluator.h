@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "base/instance.h"
 #include "base/json.h"
@@ -12,6 +13,26 @@
 #include "datalog/stratifier.h"
 
 namespace calm::datalog {
+
+// Which rule evaluator a prepared program runs on. The flat bytecode engine
+// (datalog/bytecode.h) over columnar stores is the default; the recursive
+// tree-walking matcher is kept as the in-tree differential oracle
+// (--engine=tree). Verdicts, counterexamples, and EvalStats are
+// byte-identical between the two (pinned by tests/engine_diff_test.cc).
+enum class EvalEngine {
+  kDefault = 0,  // resolve through DefaultEvalEngine()
+  kTree,
+  kBytecode,
+};
+
+// The process-wide engine that EvalEngine::kDefault resolves to. Starts as
+// kBytecode unless the CALM_ENGINE environment variable says "tree".
+EvalEngine DefaultEvalEngine();
+// Overrides the process-wide default (bench/test plumbing for --engine).
+// Passing kDefault restores the environment-derived initial value.
+void SetDefaultEvalEngine(EvalEngine engine);
+// Parses "tree" / "bytecode" (the --engine flag and CALM_ENGINE values).
+Result<EvalEngine> ParseEvalEngine(std::string_view name);
 
 struct EvalOptions {
   // Use semi-naive (delta) iteration; naive re-derivation otherwise. Both
@@ -28,6 +49,10 @@ struct EvalOptions {
   bool populate_adom = true;
   // Abort with ResourceExhausted when more facts than this are stored.
   size_t max_total_facts = 10'000'000;
+  // Rule evaluator selection, resolved against DefaultEvalEngine() at
+  // Prepare time. Results are engine-independent (differential-tested);
+  // only the execution strategy differs.
+  EvalEngine engine = EvalEngine::kDefault;
 };
 
 struct EvalStats {

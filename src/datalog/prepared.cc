@@ -34,22 +34,9 @@ inline bool SchemaAdmits(const Schema& schema, uint32_t name, const Tuple& t) {
   return arity != 0 && t.size() == arity;
 }
 
-// Hash-conses Skolem terms f_R(a1..ak) to invented values, one table per
-// evaluation so identical derivations reuse the same value (Section 5.2).
-class InventionContext {
- public:
-  Value GetOrCreate(uint32_t relation, const Tuple& args) {
-    auto [it, inserted] =
-        table_.emplace(std::make_pair(relation, args), Value());
-    if (inserted) it->second = Value::Invented(next_id_++);
-    return it->second;
-  }
-  size_t size() const { return table_.size(); }
-
- private:
-  std::map<std::pair<uint32_t, Tuple>, Value> table_;
-  uint64_t next_id_ = 0;
-};
+// Skolem hash-consing (Section 5.2) lives in datalog/bytecode.h
+// (InventionTable) so both engines share one implementation; one table per
+// evaluation, so identical derivations reuse the same value.
 
 // Per-round delta stores. Entries persist across Reset (clear keeps the
 // store allocations warm); emptiness is tracked by the total tuple count.
@@ -100,6 +87,8 @@ struct EvalScratch {
   DeltaSet delta;
   DeltaSet next_delta;
   std::vector<std::pair<uint32_t, Tuple>> derived;
+  BytecodeScratch bytecode;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;  // row-range deltas
 };
 
 EvalScratch& LocalScratch() {
@@ -113,7 +102,7 @@ class RuleMatcher {
   // db under stratified semantics; a fixed reference under the Gamma
   // operator of the well-founded semantics).
   RuleMatcher(Database* db, const Database* negation_db, EvalStats* stats,
-              InventionContext* invention, FixpointCounters* counters)
+              InventionTable* invention, FixpointCounters* counters)
       : db_(db), negation_db_(negation_db), stats_(stats),
         invention_(invention), counters_(counters) {}
 
@@ -128,6 +117,7 @@ class RuleMatcher {
     out_ = out;
     binding_.assign(rule.slot_count, Value());
     bound_.assign(rule.slot_count, false);
+    if (nb_stack_.size() < rule.pos.size()) nb_stack_.resize(rule.pos.size());
     Match(0);
   }
 
@@ -157,18 +147,22 @@ class RuleMatcher {
       }
     }
 
-    auto try_tuple = [&](const Tuple& t) {
+    // Per-depth scratch for the slots each candidate row newly binds
+    // (member storage: no per-row allocation).
+    std::vector<int>& newly_bound = nb_stack_[atom_index];
+    auto try_row = [&](uint32_t row) {
       // Bind free positions; repeated variables within the atom must agree.
-      std::vector<int> newly_bound;
+      newly_bound.clear();
       bool ok = true;
       for (size_t i = 0; i < atom.slots.size() && ok; ++i) {
+        Value v = source->At(row, static_cast<uint32_t>(i));
         int s = atom.slots[i];
         if (s < 0) {
-          if (t[i] != atom.constants[i]) ok = false;
+          if (v != atom.constants[i]) ok = false;
         } else if (bound_[s]) {
-          if (binding_[s] != t[i]) ok = false;
+          if (binding_[s] != v) ok = false;
         } else {
-          binding_[s] = t[i];
+          binding_[s] = v;
           bound_[s] = true;
           newly_bound.push_back(s);
         }
@@ -179,17 +173,14 @@ class RuleMatcher {
     };
 
     if (mask == 0) {
-      // Full scan. Iterate by index: derivations are only applied between
-      // rounds, but iterate defensively anyway.
-      const std::vector<Tuple>& tuples = source->tuples();
-      size_t n = tuples.size();
-      for (size_t i = 0; i < n; ++i) try_tuple(tuples[i]);
+      // Full scan over rows in insertion order.
+      size_t n = source->size();
+      for (uint32_t i = 0; i < n; ++i) try_row(i);
     } else {
       const std::vector<uint32_t>& hits = source->Probe(mask, key);
       ++counters_->probes;
       counters_->probe_hits += hits.size();
-      const std::vector<Tuple>& tuples = source->tuples();
-      for (uint32_t i : hits) try_tuple(tuples[i]);
+      for (uint32_t i : hits) try_row(i);
     }
   }
 
@@ -234,7 +225,7 @@ class RuleMatcher {
   Database* db_;
   const Database* negation_db_;
   EvalStats* stats_;
-  InventionContext* invention_;
+  InventionTable* invention_;
   FixpointCounters* counters_;
 
   const CompiledRule* rule_ = nullptr;
@@ -243,6 +234,7 @@ class RuleMatcher {
   std::vector<std::pair<uint32_t, Tuple>>* out_ = nullptr;
   Tuple binding_;
   std::vector<bool> bound_;
+  std::vector<std::vector<int>> nb_stack_;  // per-depth newly-bound slots
 };
 
 size_t CountDerived(const Database& db, size_t input_size) {
@@ -291,7 +283,7 @@ Status RunFixpoint(const std::vector<CompiledRule>& compiled,
                    const std::vector<std::pair<uint32_t, uint32_t>>& delta_sites,
                    size_t stratum_index, Database* db,
                    const Database* negation_db, const EvalOptions& options,
-                   EvalStats* stats, InventionContext* invention) {
+                   EvalStats* stats, InventionTable* invention) {
   TraceSpan span("datalog.stratum");
   span.Arg("stratum", static_cast<int64_t>(stratum_index));
   FixpointCounters counters;
@@ -404,6 +396,148 @@ Status RunFixpoint(const std::vector<CompiledRule>& compiled,
   return finish(Status::Ok());
 }
 
+// The bytecode twin of RunFixpoint: identical round structure, identical
+// counter accounting, identical insert order — only the per-rule evaluation
+// (flat batch execution) and the delta representation differ. Instead of
+// copying each round's new tuples into side stores, the delta of a growing
+// relation is the contiguous row range its main store gained last round
+// (rows are append-only). Derivations insert into the database as they are
+// emitted; rounds stay isolated because the executor bounds every scan and
+// probe of a growing relation to its row count at the start of the round
+// (the visibility horizon, ranges[g].second).
+Status RunFixpointBytecode(
+    const std::vector<CompiledRule>& compiled,
+    const BytecodeProgram& bytecode, const std::vector<uint32_t>& rules,
+    const std::vector<std::pair<uint32_t, uint32_t>>& delta_sites,
+    const std::vector<uint32_t>& growing, size_t stratum_index, Database* db,
+    const Database* negation_db, const EvalOptions& options, EvalStats* stats,
+    InventionTable* invention) {
+  TraceSpan span("datalog.stratum");
+  span.Arg("stratum", static_cast<int64_t>(stratum_index));
+  FixpointCounters counters;
+  ExecCounters exec;
+  const bool metrics_on = MetricsEnabled();
+  std::vector<uint64_t> rule_derived;
+  if (metrics_on) rule_derived.assign(compiled.size(), 0);
+  size_t rounds = 0;
+
+  // The executor holds RelStore pointers across inserts; pre-creating the
+  // head-relation stores pins the relation table's layout.
+  db->EnsureStores(growing);
+
+  EvalScratch& scratch = LocalScratch();
+  // Delta row ranges and visibility horizons, parallel to `growing`:
+  // [first, second) is the previous round's growth, and second — the row
+  // count when the current round started — bounds what this round may see.
+  std::vector<std::pair<uint32_t, uint32_t>>& ranges = scratch.ranges;
+  BytecodeExecutor executor(bytecode, db, negation_db, &growing, &ranges,
+                            stats, invention, &exec, &scratch.bytecode);
+  const Database* cdb = db;
+  auto size_of = [&](uint32_t rel) {
+    const RelStore* s = cdb->Store(rel);
+    return s == nullptr ? 0u : s->row_count();
+  };
+  ranges.resize(growing.size());
+  for (size_t g = 0; g < growing.size(); ++g) {
+    ranges[g] = {0, size_of(growing[g])};
+  }
+  // Ends the round: last round's end becomes the new delta start, the
+  // current row count the new end (and next round's horizon).
+  auto advance = [&] {
+    bool any = false;
+    for (size_t g = 0; g < growing.size(); ++g) {
+      uint32_t lo = ranges[g].second;
+      uint32_t hi = size_of(growing[g]);
+      any |= hi > lo;
+      ranges[g] = {lo, hi};
+    }
+    return any;
+  };
+  // Per-rule derivation tally = this Eval's insert attempts (new + dup),
+  // matching the tree matcher's emitted-tuple count.
+  auto attempts = [&] { return exec.inserted + exec.rejected; };
+
+  // Round 0: evaluate every rule against the full database.
+  for (uint32_t r : rules) {
+    uint64_t before = attempts();
+    executor.Eval(bytecode.rules[r], BytecodeExecutor::kNoDelta, 0, 0);
+    if (metrics_on) rule_derived[r] += attempts() - before;
+  }
+  bool any = advance();
+  if (stats != nullptr) ++stats->fixpoint_rounds;
+  ++rounds;
+
+  auto finish = [&](Status status) {
+    counters.probes = exec.probes;
+    counters.probe_hits = exec.probe_hits;
+    counters.inserts = exec.inserted;
+    counters.dedup_rejected = exec.rejected;
+    if (stats != nullptr) stats->rule_applications += exec.applications;
+    if (span.active()) {
+      span.Arg("rounds", static_cast<int64_t>(rounds));
+      span.Arg("inserts", static_cast<int64_t>(counters.inserts));
+      span.Arg("probes", static_cast<int64_t>(counters.probes));
+      span.Arg("probe_hits", static_cast<int64_t>(counters.probe_hits));
+      span.Arg("dedup_rejected",
+               static_cast<int64_t>(counters.dedup_rejected));
+    }
+    if (metrics_on) {
+      FlushFixpointMetrics(compiled, counters, rounds, rule_derived);
+    }
+    return status;
+  };
+
+  if (!options.semi_naive) {
+    // Naive: re-run all rules on the full database until no change.
+    bool changed = any;
+    while (changed) {
+      if (db->size() > options.max_total_facts) {
+        return finish(
+            ResourceExhaustedError("fixpoint exceeded max_total_facts"));
+      }
+      uint64_t inserted_before = exec.inserted;
+      for (uint32_t r : rules) {
+        uint64_t before = attempts();
+        executor.Eval(bytecode.rules[r], BytecodeExecutor::kNoDelta, 0, 0);
+        if (metrics_on) rule_derived[r] += attempts() - before;
+      }
+      advance();
+      changed = exec.inserted > inserted_before;
+      if (stats != nullptr) ++stats->fixpoint_rounds;
+      ++rounds;
+    }
+    return finish(Status::Ok());
+  }
+
+  // Semi-naive: per (rule, growing-atom) site, run with that atom
+  // restricted to its relation's last-round row range.
+  while (any) {
+    if (db->size() > options.max_total_facts) {
+      return finish(
+          ResourceExhaustedError("fixpoint exceeded max_total_facts"));
+    }
+    for (const auto& [r, atom_index] : delta_sites) {
+      uint32_t rel = compiled[r].pos[atom_index].relation;
+      uint32_t lo = 0, hi = 0;
+      for (size_t g = 0; g < growing.size(); ++g) {
+        if (growing[g] == rel) {
+          lo = ranges[g].first;
+          hi = ranges[g].second;
+          break;
+        }
+      }
+      if (lo >= hi) continue;
+      uint64_t before = attempts();
+      executor.Eval(bytecode.rules[r], atom_index, lo, hi);
+      if (metrics_on) rule_derived[r] += attempts() - before;
+    }
+    any = advance();
+    if (stats != nullptr) ++stats->fixpoint_rounds;
+    ++rounds;
+  }
+  return finish(Status::Ok());
+}
+
 }  // namespace
 
 void PreparedProgram::CompileRules(const Program& program) {
@@ -435,6 +569,7 @@ PreparedProgram::Stratum PreparedProgram::MakeStratum(
       }
     }
   }
+  st.growing.assign(growing.begin(), growing.end());
   return st;
 }
 
@@ -445,7 +580,12 @@ Result<PreparedProgram> PreparedProgram::Prepare(const Program& program,
   CALM_ASSIGN_OR_RETURN(p.info_, Analyze(program, allow_invention));
   CALM_ASSIGN_OR_RETURN(Stratification strat, Stratify(program, p.info_));
   p.options_ = options;
+  p.engine_ = options.engine == EvalEngine::kDefault ? DefaultEvalEngine()
+                                                     : options.engine;
   p.CompileRules(program);
+  if (p.engine_ == EvalEngine::kBytecode) {
+    p.bytecode_ = CompileBytecode(p.compiled_);
+  }
   for (uint32_t s = 0; s < strat.stratum_count; ++s) {
     if (strat.rules_per_stratum[s].empty()) continue;
     p.strata_.push_back(p.MakeStratum(program, strat.rules_per_stratum[s]));
@@ -458,8 +598,13 @@ Result<PreparedProgram> PreparedProgram::PrepareFixedNegation(
   PreparedProgram p;
   CALM_ASSIGN_OR_RETURN(p.info_, Analyze(program));
   p.options_ = options;
+  p.engine_ = options.engine == EvalEngine::kDefault ? DefaultEvalEngine()
+                                                     : options.engine;
   p.fixed_negation_ = true;
   p.CompileRules(program);
+  if (p.engine_ == EvalEngine::kBytecode) {
+    p.bytecode_ = CompileBytecode(p.compiled_);
+  }
   std::vector<size_t> all;
   all.reserve(program.rules.size());
   for (size_t i = 0; i < program.rules.size(); ++i) all.push_back(i);
@@ -526,11 +671,17 @@ Result<Instance> PreparedProgram::RunInPlace(Database* db, EvalStats* stats,
   EvalStats local_stats;
   EvalStats* sink = stats;
   if (sink == nullptr && span.active()) sink = &local_stats;
-  InventionContext invention;
+  InventionTable invention;
   for (size_t i = 0; i < strata_.size(); ++i) {
     const Stratum& s = strata_[i];
-    CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, s.rules, s.delta_sites, i, db,
-                                     db, options_, sink, &invention));
+    if (engine_ == EvalEngine::kBytecode) {
+      CALM_RETURN_IF_ERROR(RunFixpointBytecode(
+          compiled_, bytecode_, s.rules, s.delta_sites, s.growing, i, db, db,
+          options_, sink, &invention));
+    } else {
+      CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, s.rules, s.delta_sites, i,
+                                       db, db, options_, sink, &invention));
+    }
   }
   if (sink != nullptr) sink->derived_facts = CountDerived(*db, input_size);
   if (invented_count != nullptr) *invented_count = invention.size();
@@ -571,9 +722,17 @@ Result<Instance> PreparedProgram::RunFixedNegation(Database db,
   const size_t input_size = db.size();
   TraceSpan span("datalog.eval_fixed_negation");
   if (!strata_.empty()) {
-    CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, strata_[0].rules,
-                                     strata_[0].delta_sites, 0, &db, &neg_db,
-                                     options_, stats, nullptr));
+    const Stratum& s = strata_[0];
+    if (engine_ == EvalEngine::kBytecode) {
+      CALM_RETURN_IF_ERROR(RunFixpointBytecode(compiled_, bytecode_, s.rules,
+                                               s.delta_sites, s.growing, 0,
+                                               &db, &neg_db, options_, stats,
+                                               nullptr));
+    } else {
+      CALM_RETURN_IF_ERROR(RunFixpoint(compiled_, s.rules, s.delta_sites, 0,
+                                       &db, &neg_db, options_, stats,
+                                       nullptr));
+    }
   }
   if (stats != nullptr) stats->derived_facts = CountDerived(db, input_size);
   return db.ToInstance();

@@ -10,6 +10,7 @@
 #include "base/status.h"
 #include "datalog/analysis.h"
 #include "datalog/ast.h"
+#include "datalog/bytecode.h"
 #include "datalog/compiled.h"
 #include "datalog/evaluator.h"
 #include "datalog/relstore.h"
@@ -43,6 +44,9 @@ class PreparedProgram {
 
   const ProgramInfo& info() const { return info_; }
   const EvalOptions& options() const { return options_; }
+  // The engine this program was compiled for (options().engine resolved
+  // against DefaultEvalEngine() at Prepare time).
+  EvalEngine engine() const { return engine_; }
 
   // Stratified (or ILOG) evaluation; equals Evaluate()/EvaluateIlog() on
   // this program. Only valid on Prepare()-built instances.
@@ -92,6 +96,9 @@ class PreparedProgram {
     // index) for every atom over a relation that grows in this stratum, in
     // rule-major order — the same evaluation order as the one-shot path.
     std::vector<std::pair<uint32_t, uint32_t>> delta_sites;
+    // Head relations of this stratum (sorted, unique): the bytecode
+    // driver's row-range deltas snapshot these stores' sizes per round.
+    std::vector<uint32_t> growing;
   };
 
   PreparedProgram() = default;
@@ -107,8 +114,10 @@ class PreparedProgram {
 
   ProgramInfo info_;
   EvalOptions options_;
+  EvalEngine engine_ = EvalEngine::kBytecode;
   bool fixed_negation_ = false;
   std::vector<CompiledRule> compiled_;
+  BytecodeProgram bytecode_;  // compiled iff engine_ == kBytecode
   std::vector<Stratum> strata_;
   Schema adom_source_;  // edb(P) minus Adom: where seeded Adom values come from
 };

@@ -1,73 +1,314 @@
 #include "datalog/relstore.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace calm::datalog {
+
+using detail::HashCodes;
+using detail::Mix64;
+using detail::OverLoad;
 
 namespace {
 
 constexpr size_t kInitialTableSize = 16;  // power of two
 
-// True when `used` entries exceed ~0.7 load of `table_size`.
-inline bool OverLoad(size_t used, size_t table_size) {
-  return used * 10 > table_size * 7;
+}  // namespace
+
+// --- ValueDict -------------------------------------------------------------
+
+uint32_t ValueDict::Intern(Value v) {
+  if (table_.empty()) table_.assign(kInitialTableSize, 0);
+  size_t mask = table_.size() - 1;
+  size_t h = Mix64(v.raw()) & mask;
+  while (table_[h] != 0) {
+    if (values_[table_[h] - 1] == v) return table_[h] - 1;
+    h = (h + 1) & mask;
+  }
+  if (OverLoad(values_.size() + 1, table_.size())) {
+    std::vector<uint32_t> bigger(table_.size() * 2, 0);
+    size_t bmask = bigger.size() - 1;
+    for (uint32_t code = 0; code < values_.size(); ++code) {
+      size_t i = Mix64(values_[code].raw()) & bmask;
+      while (bigger[i] != 0) i = (i + 1) & bmask;
+      bigger[i] = code + 1;
+    }
+    table_.swap(bigger);
+    mask = bmask;
+    h = Mix64(v.raw()) & mask;
+    while (table_[h] != 0) h = (h + 1) & mask;
+  }
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.push_back(v);
+  table_[h] = code + 1;
+  return code;
 }
 
-}  // namespace
+uint32_t ValueDict::Find(Value v) const {
+  if (table_.empty()) return kNoCode;
+  size_t mask = table_.size() - 1;
+  size_t h = Mix64(v.raw()) & mask;
+  while (table_[h] != 0) {
+    if (values_[table_[h] - 1] == v) return table_[h] - 1;
+    h = (h + 1) & mask;
+  }
+  return kNoCode;
+}
+
+const std::vector<uint32_t>& ValueDict::Ranks() const {
+  if (ranks_upto_ != values_.size()) {
+    std::vector<uint32_t> order(values_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return values_[a] < values_[b];
+    });
+    ranks_.resize(values_.size());
+    for (uint32_t i = 0; i < order.size(); ++i) ranks_[order[i]] = i;
+    ranks_upto_ = values_.size();
+  }
+  return ranks_;
+}
+
+// --- RelStore --------------------------------------------------------------
+
+RelStore::RelStore(const RelStore& o)
+    : dict_(o.dict_),
+      arity_(o.arity_),
+      rows_(o.rows_),
+      has_empty_row_(o.has_empty_row_),
+      cols_(o.cols_),
+      dedup64_(o.dedup64_),
+      dedup_(o.dedup_),
+      indexes_(o.indexes_),
+      overflow_(o.overflow_) {
+  // A standalone store keeps its own dictionary; a Database-owned store is
+  // re-pointed by Database's copy constructor after this runs.
+  if (o.owned_ != nullptr) {
+    owned_ = std::make_unique<ValueDict>(*o.owned_);
+    dict_ = owned_.get();
+  }
+}
+
+RelStore& RelStore::operator=(const RelStore& o) {
+  if (this == &o) return *this;
+  dict_ = o.dict_;
+  owned_.reset();
+  if (o.owned_ != nullptr) {
+    owned_ = std::make_unique<ValueDict>(*o.owned_);
+    dict_ = owned_.get();
+  }
+  arity_ = o.arity_;
+  rows_ = o.rows_;
+  has_empty_row_ = o.has_empty_row_;
+  cols_ = o.cols_;
+  dedup64_ = o.dedup64_;
+  dedup_ = o.dedup_;
+  indexes_ = o.indexes_;
+  overflow_ = o.overflow_;
+  return *this;
+}
 
 const std::vector<uint32_t>& RelStore::NoMatches() {
   static const std::vector<uint32_t>* kEmpty = new std::vector<uint32_t>();
   return *kEmpty;
 }
 
+ValueDict& RelStore::dict() {
+  if (dict_ == nullptr) {
+    owned_ = std::make_unique<ValueDict>();
+    dict_ = owned_.get();
+  }
+  return *dict_;
+}
+
+void RelStore::InitColumns(size_t arity) {
+  arity_ = static_cast<int>(arity);
+  cols_.assign(arity, Column());
+  code_scratch_.assign(arity, 0);
+  // Probe indexes name column positions of the old arity; drop them. Only
+  // reachable with zero rows, so nothing needs re-indexing.
+  indexes_.clear();
+  rows_ = 0;
+  has_empty_row_ = false;
+}
+
+size_t RelStore::RowHash(const uint32_t* codes) const {
+  return HashCodes(codes, static_cast<size_t>(arity_));
+}
+
 void RelStore::GrowDedupTable() {
   size_t new_size = dedup_.empty() ? kInitialTableSize : dedup_.size() * 2;
-  dedup_.assign(new_size, 0);
+  std::vector<uint32_t> bigger(new_size, 0);
   size_t mask = new_size - 1;
-  for (uint32_t i = 0; i < tuples_.size(); ++i) {
-    size_t h = TupleHash{}(tuples_[i]) & mask;
-    while (dedup_[h] != 0) h = (h + 1) & mask;
-    dedup_[h] = i + 1;
+  std::vector<uint32_t> codes(arity_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (int c = 0; c < arity_; ++c) codes[c] = cols_[c].codes[r];
+    size_t h = RowHash(codes.data()) & mask;
+    while (bigger[h] != 0) h = (h + 1) & mask;
+    bigger[h] = r + 1;
   }
+  dedup_.swap(bigger);
+}
+
+void RelStore::Grow64Table() {
+  size_t new_size =
+      dedup64_.empty() ? kInitialTableSize : dedup64_.size() * 2;
+  std::vector<uint64_t> bigger(new_size, 0);
+  size_t mask = new_size - 1;
+  for (uint64_t key : dedup64_) {
+    if (key == 0) continue;
+    size_t h = Mix64(key) & mask;
+    while (bigger[h] != 0) h = (h + 1) & mask;
+    bigger[h] = key;
+  }
+  dedup64_.swap(bigger);
+}
+
+bool RelStore::InsertCodeRow(const uint32_t* codes) {
+  if (arity_ == 0) {
+    if (has_empty_row_) return false;
+    has_empty_row_ = true;
+    rows_ = 1;
+    return true;
+  }
+  if (arity_ <= 2) {
+    if (dedup64_.empty()) dedup64_.assign(kInitialTableSize, 0);
+    uint64_t key = PackKey(codes, static_cast<uint32_t>(arity_));
+    size_t mask = dedup64_.size() - 1;
+    size_t h = Mix64(key) & mask;
+    while (dedup64_[h] != 0) {
+      if (dedup64_[h] == key) return false;
+      h = (h + 1) & mask;
+    }
+    if (OverLoad(rows_ + 1, dedup64_.size())) {
+      Grow64Table();
+      mask = dedup64_.size() - 1;
+      h = Mix64(key) & mask;
+      while (dedup64_[h] != 0) h = (h + 1) & mask;
+    }
+    for (int c = 0; c < arity_; ++c) cols_[c].codes.push_back(codes[c]);
+    dedup64_[h] = key;
+    ++rows_;
+    return true;
+  }
+  if (dedup_.empty()) dedup_.assign(kInitialTableSize, 0);
+  size_t mask = dedup_.size() - 1;
+  size_t h = RowHash(codes) & mask;
+  while (dedup_[h] != 0) {
+    if (RowEquals(dedup_[h] - 1, codes)) return false;
+    h = (h + 1) & mask;
+  }
+  if (OverLoad(rows_ + 1, dedup_.size())) {
+    GrowDedupTable();
+    mask = dedup_.size() - 1;
+    h = RowHash(codes) & mask;
+    while (dedup_[h] != 0) h = (h + 1) & mask;
+  }
+  for (int c = 0; c < arity_; ++c) cols_[c].codes.push_back(codes[c]);
+  dedup_[h] = rows_ + 1;
+  ++rows_;
+  return true;
 }
 
 bool RelStore::Insert(const Tuple& t) {
-  if (OverLoad(tuples_.size() + 1, dedup_.size())) GrowDedupTable();
-  size_t mask = dedup_.size() - 1;
-  size_t h = TupleHash{}(t) & mask;
-  while (true) {
-    uint32_t e = dedup_[h];
-    if (e == 0) {
-      dedup_[h] = static_cast<uint32_t>(tuples_.size()) + 1;
-      tuples_.push_back(t);
+  if (arity_ < 0) {
+    InitColumns(t.size());
+  } else if (static_cast<int>(t.size()) != arity_) {
+    if (size() == 0) {
+      // A scratch store reused by a program that declares this relation at
+      // a different arity: re-key the columns.
+      InitColumns(t.size());
+    } else {
+      // Arity-mismatched straggler (schema-free Instance round-trip only).
+      if (std::find(overflow_.begin(), overflow_.end(), t) != overflow_.end())
+        return false;
+      overflow_.push_back(t);
       return true;
     }
-    if (tuples_[e - 1] == t) return false;
-    h = (h + 1) & mask;
   }
+  ValueDict& d = dict();
+  code_scratch_.resize(t.size());
+  for (size_t i = 0; i < t.size(); ++i) code_scratch_[i] = d.Intern(t[i]);
+  return InsertCodeRow(code_scratch_.data());
+}
+
+bool RelStore::InsertCodesSlow(const uint32_t* codes, uint32_t arity) {
+  if (arity_ < 0) {
+    InitColumns(arity);
+  } else if (static_cast<int>(arity) != arity_) {
+    if (size() == 0) {
+      InitColumns(arity);
+    } else {
+      // Never reached from the evaluator (rule heads have fixed arity);
+      // decode and take the general path for completeness.
+      Tuple t;
+      t.reserve(arity);
+      for (uint32_t i = 0; i < arity; ++i) {
+        t.push_back(dict_->ValueOf(codes[i]));
+      }
+      return Insert(t);
+    }
+  }
+  return InsertCodeRow(codes);
 }
 
 bool RelStore::Contains(const Tuple& t) const {
+  if (arity_ < 0) return false;
+  if (static_cast<int>(t.size()) != arity_) {
+    return std::find(overflow_.begin(), overflow_.end(), t) !=
+           overflow_.end();
+  }
+  if (arity_ == 0) return has_empty_row_;
+  if (rows_ == 0) return false;
+  // Stack buffer: evaluator relations are small-arity.
+  uint32_t codes[16];
+  std::vector<uint32_t> big;
+  uint32_t* key = codes;
+  if (arity_ > 16) {
+    big.resize(arity_);
+    key = big.data();
+  }
+  for (int c = 0; c < arity_; ++c) {
+    uint32_t code = dict_->Find(t[c]);
+    if (code == kNoCode) return false;
+    key[c] = code;
+  }
+  if (arity_ <= 2) {
+    if (dedup64_.empty()) return false;
+    uint64_t packed = PackKey(key, static_cast<uint32_t>(arity_));
+    size_t mask = dedup64_.size() - 1;
+    size_t h = Mix64(packed) & mask;
+    while (dedup64_[h] != 0) {
+      if (dedup64_[h] == packed) return true;
+      h = (h + 1) & mask;
+    }
+    return false;
+  }
   if (dedup_.empty()) return false;
   size_t mask = dedup_.size() - 1;
-  size_t h = TupleHash{}(t) & mask;
-  while (true) {
-    uint32_t e = dedup_[h];
-    if (e == 0) return false;
-    if (tuples_[e - 1] == t) return true;
+  size_t h = RowHash(key) & mask;
+  while (dedup_[h] != 0) {
+    if (RowEquals(dedup_[h] - 1, key)) return true;
     h = (h + 1) & mask;
   }
+  return false;
 }
 
 void RelStore::clear() {
-  tuples_.clear();
+  rows_ = 0;
+  has_empty_row_ = false;
+  overflow_.clear();
+  // The dictionary persists across clear (scratch reuse re-interns
+  // nothing); only the row codes go.
+  for (Column& col : cols_) col.codes.clear();
+  std::fill(dedup64_.begin(), dedup64_.end(), 0);
   std::fill(dedup_.begin(), dedup_.end(), 0);
-  // Keep the per-mask index shells (and their table allocations); they
-  // rebuild incrementally from row 0 on the next Probe.
   for (MaskIndex& mi : indexes_) {
     mi.upto = 0;
+    for (std::vector<uint32_t>& rows : mi.direct) rows.clear();
     std::fill(mi.table.begin(), mi.table.end(), 0);
-    mi.buckets.clear();
+    mi.key_arena.clear();
+    mi.bucket_rows.clear();
   }
 }
 
@@ -79,71 +320,129 @@ Tuple RelStore::KeyOf(const Tuple& t, uint32_t mask) {
   return key;
 }
 
-RelStore::Bucket* RelStore::FindOrAddBucket(MaskIndex& index,
-                                            const Tuple& key) {
-  if (OverLoad(index.buckets.size() + 1, index.table.size())) {
-    size_t new_size =
-        index.table.empty() ? kInitialTableSize : index.table.size() * 2;
-    index.table.assign(new_size, 0);
-    size_t mask = new_size - 1;
-    for (uint32_t b = 0; b < index.buckets.size(); ++b) {
-      size_t h = TupleHash{}(index.buckets[b].key) & mask;
-      while (index.table[h] != 0) h = (h + 1) & mask;
-      index.table[h] = b + 1;
-    }
-  }
-  size_t mask = index.table.size() - 1;
-  size_t h = TupleHash{}(key) & mask;
-  while (true) {
-    uint32_t e = index.table[h];
-    if (e == 0) {
-      index.table[h] = static_cast<uint32_t>(index.buckets.size()) + 1;
-      index.buckets.push_back(Bucket{key, {}});
-      return &index.buckets.back();
-    }
-    if (index.buckets[e - 1].key == key) return &index.buckets[e - 1];
-    h = (h + 1) & mask;
+void RelStore::MaterializeRow(uint32_t row, Tuple* out) const {
+  out->clear();
+  out->reserve(cols_.size());
+  for (const Column& col : cols_) {
+    out->push_back(dict_->ValueOf(col.codes[row]));
   }
 }
 
-const RelStore::Bucket* RelStore::FindBucket(const MaskIndex& index,
-                                             const Tuple& key) const {
-  if (index.table.empty()) return nullptr;
-  size_t mask = index.table.size() - 1;
-  size_t h = TupleHash{}(key) & mask;
-  while (true) {
-    uint32_t e = index.table[h];
-    if (e == 0) return nullptr;
-    if (index.buckets[e - 1].key == key) return &index.buckets[e - 1];
-    h = (h + 1) & mask;
+RelStore::MaskIndex& RelStore::IndexFor(uint32_t mask) {
+  for (MaskIndex& mi : indexes_) {
+    if (mi.mask == mask) return mi;
   }
+  indexes_.push_back(MaskIndex{});
+  MaskIndex& index = indexes_.back();
+  index.mask = mask;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(arity_); ++i) {
+    if (mask & (1u << i)) index.cols.push_back(i);
+  }
+  return index;
+}
+
+void RelStore::ExtendIndex(MaskIndex& index) {
+  if (index.cols.size() == 1) {
+    // Single-column probe: a direct array indexed by code — no hashing on
+    // the hottest join paths.
+    const std::vector<uint32_t>& codes = cols_[index.cols[0]].codes;
+    if (index.direct.size() < dict_->size()) {
+      index.direct.resize(dict_->size());
+    }
+    for (uint32_t r = index.upto; r < rows_; ++r) {
+      index.direct[codes[r]].push_back(r);
+    }
+    index.upto = rows_;
+    return;
+  }
+  const size_t k = index.cols.size();
+  uint32_t key[16];
+  for (uint32_t r = index.upto; r < rows_; ++r) {
+    // Pack the key codes of row r and find-or-add its bucket.
+    for (size_t i = 0; i < k; ++i) key[i] = cols_[index.cols[i]].codes[r];
+    if (OverLoad(index.bucket_rows.size() + 1, index.table.size())) {
+      size_t new_size =
+          index.table.empty() ? kInitialTableSize : index.table.size() * 2;
+      index.table.assign(new_size, 0);
+      size_t tmask = new_size - 1;
+      for (uint32_t b = 0; b < index.bucket_rows.size(); ++b) {
+        size_t h = HashCodes(&index.key_arena[b * k], k) & tmask;
+        while (index.table[h] != 0) h = (h + 1) & tmask;
+        index.table[h] = b + 1;
+      }
+    }
+    size_t tmask = index.table.size() - 1;
+    size_t h = HashCodes(key, k) & tmask;
+    uint32_t bucket = 0;
+    while (true) {
+      uint32_t e = index.table[h];
+      if (e == 0) {
+        bucket = static_cast<uint32_t>(index.bucket_rows.size());
+        index.table[h] = bucket + 1;
+        index.key_arena.insert(index.key_arena.end(), key, key + k);
+        index.bucket_rows.emplace_back();
+        break;
+      }
+      const uint32_t* bkey = &index.key_arena[(e - 1) * k];
+      if (std::equal(bkey, bkey + k, key)) {
+        bucket = e - 1;
+        break;
+      }
+      h = (h + 1) & tmask;
+    }
+    index.bucket_rows[bucket].push_back(r);
+  }
+  index.upto = rows_;
 }
 
 const std::vector<uint32_t>& RelStore::Probe(uint32_t mask, const Tuple& key) {
-  MaskIndex* index = nullptr;
-  for (MaskIndex& mi : indexes_) {
-    if (mi.mask == mask) {
-      index = &mi;
-      break;
-    }
+  if (arity_ <= 0 || rows_ == 0) return NoMatches();
+  code_scratch_.resize(key.size());
+  for (size_t i = 0; i < key.size(); ++i) {
+    uint32_t code = dict_->Find(key[i]);
+    if (code == kNoCode) return NoMatches();
+    code_scratch_[i] = code;
   }
-  if (index == nullptr) {
-    indexes_.push_back(MaskIndex{});
-    index = &indexes_.back();
-    index->mask = mask;
-  }
-  // Extend the index over tuples added since the last probe of this mask.
-  for (uint32_t i = index->upto; i < tuples_.size(); ++i) {
-    FindOrAddBucket(*index, KeyOf(tuples_[i], mask))->rows.push_back(i);
-  }
-  index->upto = static_cast<uint32_t>(tuples_.size());
-  const Bucket* bucket = FindBucket(*index, key);
-  return bucket == nullptr ? NoMatches() : bucket->rows;
+  return ProbeCodes(mask, code_scratch_.data());
 }
 
-Database::Database(const Instance& instance) {
+const std::vector<uint32_t>& RelStore::ProbeCodes(uint32_t mask,
+                                                  const uint32_t* codes) {
+  if (arity_ <= 0 || rows_ == 0) return NoMatches();
+  MaskIndex& index = IndexFor(mask);
+  if (index.upto < rows_) ExtendIndex(index);
+  return ProbePrepared(index, codes);
+}
+
+const RelStore::MaskIndex& RelStore::PrepareProbe(uint32_t mask) {
+  MaskIndex& index = IndexFor(mask);
+  if (index.upto < rows_) ExtendIndex(index);
+  return index;
+}
+
+// --- Database --------------------------------------------------------------
+
+Database::Database() : dict_(std::make_unique<ValueDict>()) {}
+
+Database::Database(const Instance& instance) : Database() {
   instance.ForEachFact(
       [&](uint32_t name, const Tuple& t) { Insert(name, t); });
+}
+
+Database::Database(const Database& o)
+    : dict_(std::make_unique<ValueDict>(*o.dict_)),
+      rels_(o.rels_),
+      last_(o.last_) {
+  for (auto& [name, store] : rels_) store.BindDict(dict_.get());
+}
+
+Database& Database::operator=(const Database& o) {
+  if (this == &o) return *this;
+  dict_ = std::make_unique<ValueDict>(*o.dict_);
+  rels_ = o.rels_;
+  last_ = o.last_;
+  for (auto& [name, store] : rels_) store.BindDict(dict_.get());
+  return *this;
 }
 
 RelStore* Database::Find(uint32_t rel) const {
@@ -159,18 +458,33 @@ RelStore* Database::Find(uint32_t rel) const {
   return nullptr;
 }
 
-bool Database::Insert(uint32_t rel, const Tuple& t) {
+RelStore* Database::FindOrCreate(uint32_t rel) {
   RelStore* store = Find(rel);
-  if (store == nullptr) {
-    rels_.emplace_back(rel, RelStore());
-    last_ = rels_.size() - 1;
-    store = &rels_.back().second;
-  }
-  if (store->Insert(t)) {
-    ++size_;
-    return true;
-  }
-  return false;
+  if (store != nullptr) return store;
+  rels_.emplace_back(rel, RelStore());
+  last_ = rels_.size() - 1;
+  store = &rels_.back().second;
+  store->BindDict(dict_.get());
+  return store;
+}
+
+bool Database::Insert(uint32_t rel, const Tuple& t) {
+  return FindOrCreate(rel)->Insert(t);
+}
+
+bool Database::InsertCodes(uint32_t rel, const uint32_t* codes,
+                           uint32_t arity) {
+  return FindOrCreate(rel)->InsertCodes(codes, arity);
+}
+
+size_t Database::size() const {
+  size_t n = 0;
+  for (const auto& [name, store] : rels_) n += store.size();
+  return n;
+}
+
+void Database::EnsureStores(const std::vector<uint32_t>& rels) {
+  for (uint32_t rel : rels) (void)FindOrCreate(rel);
 }
 
 bool Database::Contains(uint32_t rel, const Tuple& t) const {
@@ -182,19 +496,98 @@ RelStore* Database::Store(uint32_t rel) { return Find(rel); }
 
 void Database::Reset() {
   for (auto& [name, store] : rels_) store.clear();
-  size_ = 0;
 }
 
 Instance Database::ToInstance(const Schema* restrict_to) const {
   Instance out;
+  std::vector<Tuple> rows;
+  std::vector<std::pair<uint64_t, uint32_t>> keyed;
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> slots;
   for (const auto& [name, store] : rels_) {
-    uint32_t arity =
-        restrict_to != nullptr ? restrict_to->ArityOf(name) : 0;
-    if (restrict_to != nullptr && arity == 0) continue;
-    for (const Tuple& t : store.tuples()) {
-      // Same per-fact rule as Instance::Restrict.
-      if (restrict_to != nullptr && t.size() != arity) continue;
-      out.Insert(Fact(name, t));
+    if (store.size() == 0) continue;
+    uint32_t want = 0;
+    if (restrict_to != nullptr) {
+      want = restrict_to->ArityOf(name);
+      if (want == 0) continue;  // relation not in the schema
+    }
+    const bool cols_admitted =
+        restrict_to == nullptr || static_cast<int>(want) == store.arity();
+    rows.clear();
+    if (store.overflow_count() == 0) {
+      if (!cols_admitted) continue;
+      const uint32_t n = store.row_count();
+      const int a = store.arity();
+      rows.reserve(n);
+      if (a == 0) {
+        rows.emplace_back();
+      } else if (a <= 2) {
+        // Rows sort by a packed u64 of dictionary ranks: rank order equals
+        // Value order per position, so the integer sort yields exactly the
+        // lexicographic Tuple order — no Tuple comparisons, no Value loads.
+        // Ranks are dense (< dict size) and rows are deduplicated, so when
+        // the packed rank space is small the "sort" is direct placement
+        // into a rank-indexed table (each key occupied at most once), and
+        // emission is a walk of the occupied slots in key order.
+        const std::vector<uint32_t>& rank = dict_->Ranks();
+        const uint64_t nd = dict_->size();
+        const uint64_t buckets = a == 1 ? nd : nd * nd;
+        if (buckets <= 65536) {
+          constexpr uint32_t kEmpty = UINT32_MAX;
+          slots.assign(buckets, kEmpty);
+          for (uint32_t r = 0; r < n; ++r) {
+            uint64_t key = a == 1 ? rank[store.CodeAt(r, 0)]
+                                  : rank[store.CodeAt(r, 0)] * nd +
+                                        rank[store.CodeAt(r, 1)];
+            slots[key] = r;
+          }
+          for (uint64_t key = 0; key < buckets; ++key) {
+            uint32_t r = slots[key];
+            if (r == kEmpty) continue;
+            rows.emplace_back();
+            store.MaterializeRow(r, &rows.back());
+          }
+        } else {
+          keyed.clear();
+          keyed.reserve(n);
+          for (uint32_t r = 0; r < n; ++r) {
+            uint64_t key = a == 1 ? rank[store.CodeAt(r, 0)]
+                                  : (uint64_t{rank[store.CodeAt(r, 0)]} << 32) |
+                                        rank[store.CodeAt(r, 1)];
+            keyed.emplace_back(key, r);
+          }
+          std::sort(keyed.begin(), keyed.end());
+          for (const auto& [key, r] : keyed) {
+            rows.emplace_back();
+            store.MaterializeRow(r, &rows.back());
+          }
+        }
+      } else {
+        const std::vector<uint32_t>& rank = dict_->Ranks();
+        order.resize(n);
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+          for (int c = 0; c < a; ++c) {
+            uint32_t rx = rank[store.CodeAt(x, c)];
+            uint32_t ry = rank[store.CodeAt(y, c)];
+            if (rx != ry) return rx < ry;
+          }
+          return false;
+        });
+        for (uint32_t r : order) {
+          rows.emplace_back();
+          store.MaterializeRow(r, &rows.back());
+        }
+      }
+      out.InsertSorted(name, std::move(rows));
+    } else {
+      // Mixed arities (schema-free round-trips only): materialize, filter,
+      // and sort by Tuple — same per-fact rule as Instance::Restrict.
+      store.ForEachTuple([&](const Tuple& t) {
+        if (restrict_to == nullptr || t.size() == want) rows.push_back(t);
+      });
+      std::sort(rows.begin(), rows.end());
+      out.InsertSorted(name, rows);
     }
   }
   return out;

@@ -1,7 +1,9 @@
 #ifndef CALM_DATALOG_RELSTORE_H_
 #define CALM_DATALOG_RELSTORE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/fact.h"
@@ -9,95 +11,352 @@
 
 namespace calm::datalog {
 
-// Evaluation-time storage for one relation: a tuple vector (insertion order,
-// which the fixpoint drivers rely on for deterministic matching) with a flat
-// open-addressing dedup table and lazily built, incrementally extended hash
-// indexes keyed on bound-position masks. Everything is index-based — no
-// per-tuple or per-node heap allocation on the hot path (the old
-// unordered_set/std::map representation allocated a node per insert).
+namespace detail {
+
+// True when `used` entries exceed ~0.7 load of `table_size`.
+inline bool OverLoad(size_t used, size_t table_size) {
+  return used * 10 > table_size * 7;
+}
+
+// splitmix64 finalizer: raw Values and dense codes are near-sequential, so
+// identity hashing would cluster badly under linear probing.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashCodes(const uint32_t* codes, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ n;
+  for (size_t i = 0; i < n; ++i) h = Mix64(h ^ codes[i]);
+  return h;
+}
+
+}  // namespace detail
+
+// Database-wide value dictionary: every value that enters any store of one
+// Database is interned here exactly once, to a dense u32 code. Sharing one
+// code space across all columns is what lets the bytecode engine run joins
+// entirely in code space — a frame slot's code can key any column's probe
+// index and compare against any other slot without touching a Value.
+//
+// The dictionary only ever grows (codes are stable for the lifetime of the
+// Database; Reset keeps it), so scratch databases reused across millions of
+// checker evaluations re-intern nothing they have seen before.
+class ValueDict {
+ public:
+  static constexpr uint32_t kNoCode = UINT32_MAX;
+
+  // The code of `v`, interning it if new.
+  uint32_t Intern(Value v);
+  // The code of `v`, or kNoCode when it was never interned.
+  uint32_t Find(Value v) const;
+
+  Value ValueOf(uint32_t code) const { return values_[code]; }
+  size_t size() const { return values_.size(); }
+
+  // rank[code] positions each code in Value-sorted order: rank[a] < rank[b]
+  // iff ValueOf(a) < ValueOf(b). Cached; rebuilt only after the dictionary
+  // grew. This is what lets ToInstance sort rows by integer rank keys
+  // instead of comparing Tuples.
+  const std::vector<uint32_t>& Ranks() const;
+
+ private:
+  std::vector<Value> values_;   // code -> value
+  // Open-addressing table: entries are code+1, 0 = empty. Power-of-two
+  // size, linear probing, grown at ~0.7 load.
+  std::vector<uint32_t> table_;
+  mutable std::vector<uint32_t> ranks_;
+  mutable size_t ranks_upto_ = 0;  // values_.size() the cache was built at
+};
+
+// Evaluation-time storage for one relation, column-major (SoA): one
+// dictionary-interned code column per attribute, all columns sharing the
+// owning Database's ValueDict. Each column is a flat vector of codes in
+// insertion order, which the fixpoint drivers rely on for deterministic
+// matching. Row identity (the probe currency of both engines) is the
+// insertion index.
+//
+// Deduplication runs over code rows in a flat open-addressing table, and
+// probe indexes are keyed on bound-position masks — a single-column mask
+// resolves through a direct array indexed by code (no hashing at all on the
+// hottest join probes), while multi-column masks hash the packed code key.
+// The dictionary and index shells survive clear(), so scratch reuse across
+// fixpoint rounds and evaluations re-interns nothing.
+//
+// A store's arity is fixed by its first insert. Tuples of a different arity
+// (possible only through schema-free Instance round-trips, never through the
+// evaluator, which seeds through SchemaAdmits) are kept in a small row-major
+// overflow side table: they participate in Contains/size/ForEachTuple but
+// are not probe-indexed.
+//
+// A store inside a Database shares the Database's dictionary (BindDict); a
+// standalone store (unit tests) lazily owns a private one.
 class RelStore {
  public:
+  static constexpr uint32_t kNoCode = ValueDict::kNoCode;
+
   RelStore() = default;
+  RelStore(const RelStore& o);
+  RelStore& operator=(const RelStore& o);
+  RelStore(RelStore&&) = default;
+  RelStore& operator=(RelStore&&) = default;
+
+  // Points this store at a shared dictionary. Only valid while the store is
+  // empty (Database binds at store creation) or when `dict` holds the exact
+  // code assignments the rows were built with (Database's copy constructor
+  // re-points stores at the copied dictionary).
+  void BindDict(ValueDict* dict) { dict_ = dict; }
 
   // Inserts `t` if new; returns whether it was inserted.
   bool Insert(const Tuple& t);
 
+  // Inserts a row given directly as dictionary codes (the bytecode engine's
+  // emission path — no Value is touched). `codes` length is `arity`. The
+  // fast paths — matching arity, live dedup table, no growth needed — are
+  // inline; everything else (first insert, arity mismatch, table growth)
+  // takes the out-of-line slow path. Arity 1 and 2 dedup against a packed
+  // u64 key set (one cache access per attempt, no row compare); wider rows
+  // hash into a row-indexed table compared column-wise.
+  bool InsertCodes(const uint32_t* codes, uint32_t arity) {
+    if (static_cast<int>(arity) == arity_) {
+      if (arity - 1 <= 1 && !dedup64_.empty()) {  // arity 1 or 2
+        uint64_t key = PackKey(codes, arity);
+        size_t mask = dedup64_.size() - 1;
+        size_t h = detail::Mix64(key) & mask;
+        while (dedup64_[h] != 0) {
+          if (dedup64_[h] == key) return false;
+          h = (h + 1) & mask;
+        }
+        if (!detail::OverLoad(rows_ + 1, dedup64_.size())) {
+          cols_[0].codes.push_back(codes[0]);
+          if (arity == 2) cols_[1].codes.push_back(codes[1]);
+          dedup64_[h] = key;
+          ++rows_;
+          return true;
+        }
+      } else if (arity > 2 && !dedup_.empty()) {
+        size_t mask = dedup_.size() - 1;
+        size_t h = detail::HashCodes(codes, arity) & mask;
+        while (dedup_[h] != 0) {
+          if (RowEquals(dedup_[h] - 1, codes)) return false;
+          h = (h + 1) & mask;
+        }
+        if (!detail::OverLoad(rows_ + 1, dedup_.size())) {
+          for (uint32_t c = 0; c < arity; ++c) {
+            cols_[c].codes.push_back(codes[c]);
+          }
+          dedup_[h] = rows_ + 1;
+          ++rows_;
+          return true;
+        }
+      }
+    }
+    return InsertCodesSlow(codes, arity);
+  }
+
   bool Contains(const Tuple& t) const;
 
-  // Tuples in insertion order.
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  size_t size() const { return tuples_.size(); }
+  // Number of distinct tuples (main columns + overflow).
+  size_t size() const { return rows_ + overflow_.size(); }
+  // Columnar rows only (excludes overflow).
+  uint32_t row_count() const { return rows_; }
+  size_t overflow_count() const { return overflow_.size(); }
 
-  // Drops all tuples but keeps the allocated capacity (delta reuse across
-  // fixpoint rounds).
+  // Arity of the columnar rows; -1 until the first insert.
+  int arity() const { return arity_; }
+
+  // Distinct values interned in the dictionary this store writes through
+  // (the Database-wide dictionary when bound).
+  size_t DictSize() const { return dict_ == nullptr ? 0 : dict_->size(); }
+
+  // Drops all rows but keeps the dictionary, the dedup table, and the probe
+  // index shells allocated (delta/scratch reuse across fixpoint rounds and
+  // evaluations).
   void clear();
 
-  // Returns indices of tuples whose positions in `mask` equal `key` (the
+  // Returns indices of rows whose positions in `mask` equal `key` (the
   // values of the masked positions in ascending position order). The index
-  // for `mask` is built on first probe and extended incrementally over
-  // tuples inserted since.
+  // for `mask` is built on first probe and extended incrementally over rows
+  // inserted since. Row indices come back in ascending (insertion) order.
   const std::vector<uint32_t>& Probe(uint32_t mask, const Tuple& key);
+
+  // As Probe, with the key already as dictionary codes (ascending
+  // masked-column order). The bytecode executor's form.
+  const std::vector<uint32_t>& ProbeCodes(uint32_t mask,
+                                          const uint32_t* codes);
+
+  // One probe index, exposed as an opaque handle for the prepared-probe
+  // path. Single-column masks use `direct` (code -> rows); multi-column
+  // masks use the packed-key hash table.
+  struct MaskIndex {
+    uint32_t mask = 0;
+    uint32_t upto = 0;  // rows [0, upto) are indexed
+    std::vector<uint32_t> cols;
+    std::vector<std::vector<uint32_t>> direct;
+    std::vector<uint32_t> table;  // bucket-index+1, 0 = empty
+    std::vector<uint32_t> key_arena;  // cols.size() codes per bucket
+    std::vector<std::vector<uint32_t>> bucket_rows;
+  };
+
+  // Splits ProbeCodes for per-op amortization: PrepareProbe resolves and
+  // extends the index once, ProbePrepared then runs one lookup per frame.
+  // The handle stays valid until the next insert-triggered reallocation of
+  // `indexes_` is impossible — callers must not hold it across PrepareProbe
+  // calls for a different mask on the same store.
+  const MaskIndex& PrepareProbe(uint32_t mask);
+  const std::vector<uint32_t>& ProbePrepared(const MaskIndex& index,
+                                             const uint32_t* codes) const {
+    const size_t k = index.cols.size();
+    if (k == 1) {
+      if (codes[0] >= index.direct.size()) return NoMatches();
+      return index.direct[codes[0]];
+    }
+    if (index.table.empty()) return NoMatches();
+    size_t tmask = index.table.size() - 1;
+    size_t h = detail::HashCodes(codes, k) & tmask;
+    while (true) {
+      uint32_t e = index.table[h];
+      if (e == 0) return NoMatches();
+      const uint32_t* bkey = &index.key_arena[(e - 1) * k];
+      if (std::equal(bkey, bkey + k, codes)) return index.bucket_rows[e - 1];
+      h = (h + 1) & tmask;
+    }
+  }
 
   static Tuple KeyOf(const Tuple& t, uint32_t mask);
 
+  // --- columnar row access (the engines' inner loops) ---
+
+  // Value at (row, col); row must be < row_count().
+  Value At(uint32_t row, uint32_t col) const {
+    return dict_->ValueOf(cols_[col].codes[row]);
+  }
+  uint32_t CodeAt(uint32_t row, uint32_t col) const {
+    return cols_[col].codes[row];
+  }
+
+  // Materializes columnar row `row` into `out` (cleared first).
+  void MaterializeRow(uint32_t row, Tuple* out) const;
+
+  // Invokes fn(const Tuple&) for every stored tuple: columnar rows in
+  // insertion order, then overflow rows.
+  template <typename Fn>
+  void ForEachTuple(Fn&& fn) const {
+    Tuple scratch;
+    for (uint32_t r = 0; r < rows_; ++r) {
+      MaterializeRow(r, &scratch);
+      fn(scratch);
+    }
+    for (const Tuple& t : overflow_) fn(t);
+  }
+
  private:
-  struct Bucket {
-    Tuple key;
-    std::vector<uint32_t> rows;
-  };
-  // One probe index: open-addressing table of bucket-index+1 entries over
-  // the distinct keys for this mask.
-  struct MaskIndex {
-    uint32_t mask = 0;
-    uint32_t upto = 0;  // tuples_[0, upto) are indexed
-    std::vector<uint32_t> table;
-    std::vector<Bucket> buckets;
+  struct Column {
+    std::vector<uint32_t> codes;  // row -> code (shared dictionary)
   };
 
   static const std::vector<uint32_t>& NoMatches();
 
-  void GrowDedupTable();
-  Bucket* FindOrAddBucket(MaskIndex& index, const Tuple& key);
-  const Bucket* FindBucket(const MaskIndex& index, const Tuple& key) const;
+  // Arity-1/2 dedup key. +1 keeps 0 free as the empty-slot sentinel; codes
+  // are dense dictionary indexes, so UINT32_MAX (kNoCode) is never stored
+  // and the increment cannot wrap.
+  static uint64_t PackKey(const uint32_t* codes, uint32_t arity) {
+    uint64_t k = arity == 2
+                     ? (static_cast<uint64_t>(codes[1]) << 32) | codes[0]
+                     : codes[0];
+    return k + 1;
+  }
 
-  std::vector<Tuple> tuples_;
-  // Open-addressing dedup table: entries are tuple-index+1, 0 = empty.
-  // Power-of-two size, linear probing, grown at ~0.7 load.
+  ValueDict& dict();
+  void InitColumns(size_t arity);
+  void GrowDedupTable();
+  void Grow64Table();
+  size_t RowHash(const uint32_t* codes) const;
+  bool RowEquals(uint32_t row, const uint32_t* codes) const {
+    for (int c = 0; c < arity_; ++c) {
+      if (cols_[c].codes[row] != codes[c]) return false;
+    }
+    return true;
+  }
+  bool InsertCodeRow(const uint32_t* codes);
+  bool InsertCodesSlow(const uint32_t* codes, uint32_t arity);
+  MaskIndex& IndexFor(uint32_t mask);
+  void ExtendIndex(MaskIndex& index);
+
+  ValueDict* dict_ = nullptr;          // shared (Database) or owned_.get()
+  std::unique_ptr<ValueDict> owned_;   // standalone stores only
+  int arity_ = -1;
+  uint32_t rows_ = 0;
+  bool has_empty_row_ = false;  // arity-0 stores hold at most one row
+  std::vector<Column> cols_;
+  // Open-addressing dedup tables, power-of-two size, linear probing, grown
+  // at ~0.7 load. Arity 1/2 rows dedup against packed keys (dedup64_,
+  // entries are PackKey values, 0 = empty); wider rows against row indexes
+  // (dedup_, entries are row+1, 0 = empty) compared column-wise.
+  std::vector<uint64_t> dedup64_;
   std::vector<uint32_t> dedup_;
   std::vector<MaskIndex> indexes_;  // few masks per store; linear scan
+  std::vector<uint32_t> code_scratch_;
+  std::vector<Tuple> overflow_;  // arity-mismatched stragglers
 };
 
-// The per-relation stores of one evaluation. Relations are kept in a small
-// flat vector (programs have a handful of relations); lookups linear-scan
-// with a most-recently-used cache. Copyable, so a prepared seed database can
-// be reused across the well-founded alternation's Gamma calls.
+// The per-relation stores of one evaluation, all interning through one
+// shared ValueDict. Relations are kept in a small flat vector (programs
+// have a handful of relations); lookups linear-scan with a
+// most-recently-used cache. Copyable, so a prepared seed database can be
+// reused across the well-founded alternation's Gamma calls (the copy owns a
+// deep copy of the dictionary with identical code assignments).
 class Database {
  public:
-  Database() = default;
+  Database();
   explicit Database(const Instance& instance);
+  Database(const Database& o);
+  Database& operator=(const Database& o);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
 
   bool Insert(uint32_t rel, const Tuple& t);
+  // Code-row insert (bytecode emission path).
+  bool InsertCodes(uint32_t rel, const uint32_t* codes, uint32_t arity);
   bool Contains(uint32_t rel, const Tuple& t) const;
+
+  // Pre-creates empty stores for `rels`. The direct-insert evaluator holds
+  // RelStore pointers across inserts into the round's head relations; with
+  // those stores pre-created, no mid-evaluation insert can reallocate the
+  // relation table under them.
+  void EnsureStores(const std::vector<uint32_t>& rels);
 
   // The store for `rel`, or nullptr when no fact of `rel` was inserted.
   RelStore* Store(uint32_t rel);
+  const RelStore* Store(uint32_t rel) const { return Find(rel); }
 
-  size_t size() const { return size_; }
+  ValueDict& dict() { return *dict_; }
+  const ValueDict& dict() const { return *dict_; }
 
-  // Empties every store but keeps the relation entries and their allocated
-  // tables — the scratch-reuse hook for repeated evaluations.
+  // Total tuple count, summed over the stores (relations are few; callers
+  // check this per fixpoint round, not per insert — inserts that bypass the
+  // Database wrapper and go straight to a store stay accounted for).
+  size_t size() const;
+
+  // Empties every store but keeps the relation entries, the dictionary, and
+  // allocated tables — the scratch-reuse hook for repeated evaluations.
   void Reset();
 
   // Materializes the database as an Instance; with `restrict_to`, only facts
   // admitted by that schema (the Instance::Restrict rule) are emitted, so
   // callers that restrict anyway skip the intermediate full instance.
+  // Per-relation rows are sorted by dictionary rank (integer keys, no Tuple
+  // comparisons) and moved into the Instance in bulk.
   Instance ToInstance(const Schema* restrict_to = nullptr) const;
 
  private:
   RelStore* Find(uint32_t rel) const;
+  RelStore* FindOrCreate(uint32_t rel);
 
+  std::unique_ptr<ValueDict> dict_;  // heap: address stable across moves
   std::vector<std::pair<uint32_t, RelStore>> rels_;
-  size_t size_ = 0;
   mutable size_t last_ = 0;  // MRU index into rels_
 };
 

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/canonical.h"
@@ -170,6 +175,101 @@ std::vector<std::map<Value, Value>> StabilizerValueMaps(
   return out;
 }
 
+// --- Reduced-sweep plan cache -------------------------------------------
+//
+// Everything the reduced sweep enumerates — the canonical I representatives,
+// each I's J-candidate facts, the stabilizer index permutations, and the
+// canonical J-subset stream — depends only on (schema, bounds, class), never
+// on the query. Ladder runs and repeated checks re-derive all of it, and the
+// derivation (orbit canonicalization, automorphism search, subset DFS) costs
+// more than the checks themselves at paper-scale bounds. So the whole
+// enumeration is materialized once per key into a plan: per representative
+// I, the J stream in enumeration order plus the precomputed I ∪ J inputs
+// (sparing the per-pair overlay insert/erase churn). Checking then walks the
+// plan in the exact order the streaming sweep would have visited, so
+// verdicts, counterexamples, and stop points are byte-identical.
+//
+// The cache sits behind the same genericity gate as the reduction itself
+// (plans are only built when `reduce` holds) and is capped by pair count —
+// oversized spaces fall back to the streaming enumeration, which is always
+// sound.
+struct SweepPlanEntry {
+  Instance i;
+  std::vector<Instance> js;      // J subsets, enumeration order
+  std::vector<Instance> unions;  // unions[k] = i ∪ js[k]
+};
+
+struct SweepPlan {
+  std::vector<SweepPlanEntry> entries;
+};
+
+// Σ_{k<=max_facts} C(n, k), saturating at `cap` — an upper bound on the
+// J-subset stream length (the canonical stream only drops members).
+uint64_t SubsetCountBound(uint64_t n, uint64_t max_facts, uint64_t cap) {
+  uint64_t total = 1;  // the empty subset
+  uint64_t choose = 1;
+  for (uint64_t k = 1; k <= max_facts && k <= n; ++k) {
+    choose = choose * (n - k + 1) / k;
+    total += choose;
+    if (total >= cap) return cap;
+  }
+  return total;
+}
+
+std::shared_ptr<const SweepPlan> GetSweepPlan(const Schema& schema,
+                                              MonotonicityClass cls,
+                                              const ExhaustiveOptions& options,
+                                              const std::vector<Value>& domain,
+                                              const std::vector<Value>& fresh) {
+  constexpr uint64_t kMaxPlanPairs = 1u << 17;
+  std::string key = schema.ToString();
+  for (size_t v : {options.domain_size, options.fresh_values,
+                   options.max_facts_i, options.max_facts_j,
+                   static_cast<size_t>(cls)}) {
+    key += '|';
+    key += std::to_string(v);
+  }
+
+  static std::mutex mu;
+  static auto* cache =
+      new std::unordered_map<std::string, std::shared_ptr<const SweepPlan>>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+
+  // Build outside the lock: concurrent misses may build duplicate plans, but
+  // the plans are identical and the first insert wins.
+  auto plan = std::make_shared<SweepPlan>();
+  uint64_t pairs = 0;
+  for (Instance& i : AllCanonicalInstances(schema, domain,
+                                           options.max_facts_i)) {
+    SweepPlanEntry entry;
+    entry.i = std::move(i);
+    std::vector<Fact> candidates =
+        CandidateJFacts(schema, entry.i, fresh, cls);
+    pairs += SubsetCountBound(candidates.size(), options.max_facts_j,
+                              kMaxPlanPairs);
+    if (pairs >= kMaxPlanPairs) return nullptr;  // too big to materialize
+    ForEachCanonicalFactSubset(
+        candidates, options.max_facts_j,
+        FactIndexPermutations(candidates, StabilizerValueMaps(entry.i, fresh)),
+        [&](const Instance& j) {
+          Instance u = entry.i;
+          j.ForEachFact(
+              [&](uint32_t name, const Tuple& t) { u.Insert(Fact(name, t)); });
+          entry.js.push_back(j);
+          entry.unions.push_back(std::move(u));
+          return true;
+        });
+    plan->entries.push_back(std::move(entry));
+  }
+
+  std::lock_guard<std::mutex> lock(mu);
+  return cache->emplace(key, std::move(plan)).first->second;
+}
+
 }  // namespace
 
 Result<std::optional<Counterexample>> FindViolation(
@@ -197,15 +297,19 @@ Result<std::optional<Counterexample>> FindViolation(
   bool reduce = ResolveSymmetry(query, options.symmetry, options.domain_size,
                                 options.max_facts_i);
   QueryResultCache* cache = reduce ? options.cache : nullptr;
+  std::shared_ptr<const SweepPlan> plan =
+      reduce ? GetSweepPlan(schema, cls, options, domain, fresh) : nullptr;
   std::vector<Instance> is =
-      reduce ? AllCanonicalInstances(schema, domain, options.max_facts_i)
-             : AllInstances(schema, domain, options.max_facts_i);
-  std::vector<InstanceOutcome> slots(is.size());
-  std::atomic<size_t> first_stop{is.size()};
+      plan != nullptr ? std::vector<Instance>()
+      : reduce ? AllCanonicalInstances(schema, domain, options.max_facts_i)
+               : AllInstances(schema, domain, options.max_facts_i);
+  const size_t space = plan != nullptr ? plan->entries.size() : is.size();
+  std::vector<InstanceOutcome> slots(space);
+  std::atomic<size_t> first_stop{space};
 
   TraceSpan span("checker.find_violation");
   span.Arg("class", static_cast<int64_t>(cls));
-  span.Arg("instances", static_cast<int64_t>(is.size()));
+  span.Arg("instances", static_cast<int64_t>(space));
   span.Arg("reduced", reduce ? 1 : 0);
   const bool metrics_on = MetricsEnabled();
   const QueryResultCache::Stats cache_before =
@@ -226,36 +330,81 @@ Result<std::optional<Counterexample>> FindViolation(
                                       {{"class", MonotonicityClassName(cls)}});
   }
 
-  ParallelFor(is.size(), options.threads, [&](size_t idx) {
+  ParallelFor(space, options.threads, [&](size_t idx) {
     if (first_stop.load(std::memory_order_relaxed) < idx) return;
-    const Instance& i = is[idx];
     InstanceOutcome& slot = slots[idx];
-    std::vector<Fact> candidates = CandidateJFacts(schema, i, fresh, cls);
-    // One checker per outer I: Q(i) is computed once and reused across the
-    // whole J enumeration below.
-    PairChecker checker(query, i, cache);
     uint64_t pairs_here = 0;
-    auto visit = [&](const Instance& j) {
-      if (first_stop.load(std::memory_order_relaxed) < idx) return false;
-      ++pairs_here;
-      Result<std::optional<Counterexample>> r = checker.Check(j);
-      if (!r.ok()) {
-        slot.error = r.status();
-        return false;
+    if (plan != nullptr) {
+      // Plan path: walk the precomputed J stream. Base evaluation stays as
+      // lazy as PairChecker's (an I with no pairs is never evaluated), and
+      // the union inputs are the materialized I ∪ J instances — the checks,
+      // their order, and the stop points match the streaming path exactly.
+      const SweepPlanEntry& entry = plan->entries[idx];
+      bool base_ready = false;
+      Status base_status;
+      std::vector<Fact> base, out;
+      for (size_t k = 0; k < entry.js.size(); ++k) {
+        if (first_stop.load(std::memory_order_relaxed) < idx) break;
+        ++pairs_here;
+        if (!base_ready) {
+          base_ready = true;
+          base_status = cache != nullptr ? cache->EvalFacts(entry.i, &base)
+                                         : query.EvalFacts(entry.i, &base);
+        }
+        if (!base_status.ok()) {
+          slot.error = base_status;
+          break;
+        }
+        out.clear();
+        Status s = query.EvalFacts(entry.unions[k], &out);
+        if (!s.ok()) {
+          slot.error = s;
+          break;
+        }
+        // Same sorted merge as PairChecker::Check: the first Q(I) fact
+        // missing from Q(I ∪ J) is the counterexample witness.
+        auto it = out.begin();
+        const Fact* missing = nullptr;
+        for (const Fact& f : base) {
+          while (it != out.end() && *it < f) ++it;
+          if (it == out.end() || !(*it == f)) {
+            missing = &f;
+            break;
+          }
+        }
+        if (missing != nullptr) {
+          slot.cex = Counterexample{entry.i, entry.js[k], *missing};
+          break;
+        }
       }
-      if (r->has_value()) {
-        slot.cex = std::move(r.value());
-        return false;
-      }
-      return true;
-    };
-    if (reduce) {
-      ForEachCanonicalFactSubset(candidates, options.max_facts_j,
-                                 FactIndexPermutations(
-                                     candidates, StabilizerValueMaps(i, fresh)),
-                                 visit);
     } else {
-      ForEachFactSubset(candidates, options.max_facts_j, visit);
+      const Instance& i = is[idx];
+      std::vector<Fact> candidates = CandidateJFacts(schema, i, fresh, cls);
+      // One checker per outer I: Q(i) is computed once and reused across the
+      // whole J enumeration below.
+      PairChecker checker(query, i, cache);
+      auto visit = [&](const Instance& j) {
+        if (first_stop.load(std::memory_order_relaxed) < idx) return false;
+        ++pairs_here;
+        Result<std::optional<Counterexample>> r = checker.Check(j);
+        if (!r.ok()) {
+          slot.error = r.status();
+          return false;
+        }
+        if (r->has_value()) {
+          slot.cex = std::move(r.value());
+          return false;
+        }
+        return true;
+      };
+      if (reduce) {
+        ForEachCanonicalFactSubset(
+            candidates, options.max_facts_j,
+            FactIndexPermutations(candidates, StabilizerValueMaps(i, fresh)),
+            visit);
+      } else {
+        ForEachFactSubset(candidates, options.max_facts_j, visit);
+      }
     }
     if (observing) {
       pairs_total.fetch_add(pairs_here, std::memory_order_relaxed);
@@ -287,7 +436,7 @@ Result<std::optional<Counterexample>> FindViolation(
   }
 
   size_t winner = first_stop.load(std::memory_order_relaxed);
-  if (winner < is.size()) {
+  if (winner < space) {
     InstanceOutcome& slot = slots[winner];
     if (!slot.error.ok()) return slot.error;
     return std::move(slot.cex);

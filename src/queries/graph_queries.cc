@@ -61,9 +61,15 @@ struct Closure {
   std::vector<std::pair<Value, Value>> reach;
 };
 
-Closure ReachableClosure(const Instance& in) {
-  Closure c;
-  const std::set<Tuple>& edges = in.TuplesOf(RelE());
+// Returns a thread-local scratch Closure: the checker sweeps call this once
+// per (I, J) pair, and the two output vectors were the only allocations on
+// that path. Callers consume the result before the next call.
+const Closure& ReachableClosure(const Instance& in) {
+  static thread_local Closure scratch;
+  Closure& c = scratch;
+  c.verts.clear();
+  c.reach.clear();
+  const TupleSet& edges = in.TuplesOf(RelE());
   std::vector<Value>& verts = c.verts;
   verts.reserve(edges.size() * 2);
   for (const Tuple& t : edges) {
@@ -214,14 +220,19 @@ std::unique_ptr<Query> MakeComplementTransitiveClosure() {
       "Q_TC", GraphSchema(), Schema({{"O", 2}}),
       NativeQuery::FactsFn(
           [](const Instance& in, std::vector<Fact>* out) -> Status {
-            Closure c = ReachableClosure(in);
-            // The adom x adom scan emits in sorted order.
+            const Closure& c = ReachableClosure(in);
+            // The adom x adom scan visits pairs in sorted order and `reach`
+            // is sorted, so one merge pointer replaces a binary search per
+            // pair; emission stays sorted.
+            auto it = c.reach.begin();
+            const auto end = c.reach.end();
             for (Value a : c.verts) {
               for (Value b : c.verts) {
-                if (!std::binary_search(c.reach.begin(), c.reach.end(),
-                                        std::make_pair(a, b))) {
-                  out->emplace_back(RelO(), Tuple{a, b});
+                if (it != end && it->first == a && it->second == b) {
+                  ++it;
+                  continue;
                 }
+                out->emplace_back(RelO(), Tuple{a, b});
               }
             }
             return Status::Ok();
@@ -258,9 +269,10 @@ std::unique_ptr<Query> MakeDuplicateQuery(size_t j) {
       "Q_duplicate_" + std::to_string(j), input, Schema({{"O", 2}}),
       [j](const Instance& in) -> Result<Instance> {
         // Intersection of all R1..Rj.
-        std::set<Tuple> inter = in.TuplesOf(InternName("R1"));
+        const TupleSet& r1 = in.TuplesOf(InternName("R1"));
+        std::set<Tuple> inter(r1.begin(), r1.end());
         for (size_t r = 2; r <= j && !inter.empty(); ++r) {
-          const std::set<Tuple>& next =
+          const TupleSet& next =
               in.TuplesOf(InternName("R" + std::to_string(r)));
           std::set<Tuple> kept;
           for (const Tuple& t : inter) {

@@ -48,7 +48,7 @@ void DecodeInto(const Instance& store, const RelMap& map, Instance* out) {
 
 // The node's own id from the system relation Id.
 Value SelfId(const Instance& system) {
-  const std::set<Tuple>& ids = system.TuplesOf(InternName("Id"));
+  const TupleSet& ids = system.TuplesOf(InternName("Id"));
   return ids.empty() ? Value() : (*ids.begin())[0];
 }
 
@@ -464,7 +464,7 @@ class RacyElectionTransducer : public Transducer {
     // Commit to the minimum value among the casts in the first delivery
     // that contains any. Deterministic per step — the nondeterminism is in
     // *which* casts share that first delivery, i.e. the schedule.
-    const std::set<Tuple>& casts = in.messages.TuplesOf(InternName("cast"));
+    const TupleSet& casts = in.messages.TuplesOf(InternName("cast"));
     if (!casts.empty() && in.state.TuplesOf(InternName("won")).empty()) {
       const Tuple& winner = *casts.begin();  // sorted: the minimum value
       out.output.Insert(Fact(InternName("First"), winner));

@@ -193,7 +193,7 @@ TEST(EvaluatorTest, StratifiedNegationComplementOfTC) {
       "O(x, y) :- Adom(x), Adom(y), !T(x, y). .output O");
   // Path 0->1: pairs without a path: (0,0),(1,0),(1,1).
   Instance out = EvalOrDie(p, workload::Path(2));
-  const std::set<Tuple>& o = out.TuplesOf(InternName("O"));
+  const TupleSet& o = out.TuplesOf(InternName("O"));
   EXPECT_EQ(o.size(), 3u);
   EXPECT_TRUE(o.count({V(1), V(0)}) > 0);
   EXPECT_FALSE(o.count({V(0), V(1)}) > 0);

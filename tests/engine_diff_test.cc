@@ -1,0 +1,290 @@
+// Randomized differential harness: the tree-walking matcher vs the flat
+// bytecode engine (DESIGN.md "Two engines, one semantics"). Programs and
+// instances are generated from fixed seeds, so every run checks the same
+// corpus; any divergence in outputs, error outcomes, EvalStats, ILOG
+// invention, or checker verdicts is a bug in one of the engines. The CI
+// engine-diff leg runs this under ASan/UBSan on top of the full suite.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "monotonicity/checker.h"
+
+namespace calm::datalog {
+namespace {
+
+Value V(uint64_t i) { return Value::FromInt(i); }
+
+// The fixed vocabulary: stratum 0 is edb, higher strata are idb. Negated
+// body atoms only reference strictly lower strata (except in the
+// fixed-negation variant), so generated programs are always stratifiable.
+struct RelSpec {
+  const char* name;
+  uint32_t arity;
+  size_t stratum;
+};
+
+constexpr RelSpec kRels[] = {
+    {"E", 2, 0}, {"F", 1, 0}, {"G", 3, 0},  // edb
+    {"P", 2, 1}, {"Q", 1, 1},               // idb, stratum 1
+    {"R", 2, 2}, {"S", 1, 2},               // idb, stratum 2
+};
+constexpr size_t kNumRels = sizeof(kRels) / sizeof(kRels[0]);
+constexpr const char* kVars[] = {"x", "y", "z", "w", "v"};
+
+size_t Rand(std::mt19937& rng, size_t bound) {
+  return std::uniform_int_distribution<size_t>(0, bound - 1)(rng);
+}
+
+bool Chance(std::mt19937& rng, double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+// One random safe rule for head relation `head`. Head, negation, and
+// inequality arguments only use variables bound by a positive body atom.
+// `max_neg_stratum` bounds the strata negated atoms may reference
+// (kRels[head].stratum for the fixed-negation corpus, one below otherwise).
+std::string RandomRule(std::mt19937& rng, size_t head, size_t max_neg_stratum,
+                       bool invent) {
+  const size_t stratum = kRels[head].stratum;
+  std::vector<std::string> bound;
+  std::string body;
+  const size_t natoms = 1 + Rand(rng, 3);
+  for (size_t a = 0; a < natoms; ++a) {
+    size_t rel = Rand(rng, kNumRels);
+    while (kRels[rel].stratum > stratum) rel = Rand(rng, kNumRels);
+    if (!body.empty()) body += ", ";
+    body += kRels[rel].name;
+    body += '(';
+    for (uint32_t i = 0; i < kRels[rel].arity; ++i) {
+      if (i > 0) body += ", ";
+      if (Chance(rng, 0.15)) {
+        body += std::to_string(Rand(rng, 5));
+      } else {
+        const char* var = kVars[Rand(rng, 5)];
+        body += var;
+        bound.push_back(var);
+      }
+    }
+    body += ')';
+  }
+  auto bound_or_const = [&]() -> std::string {
+    if (!bound.empty() && !Chance(rng, 0.1)) {
+      return bound[Rand(rng, bound.size())];
+    }
+    return std::to_string(Rand(rng, 5));
+  };
+  if (Chance(rng, 0.4)) {
+    size_t rel = Rand(rng, kNumRels);
+    while (kRels[rel].stratum > max_neg_stratum) rel = Rand(rng, kNumRels);
+    body += ", !";
+    body += kRels[rel].name;
+    body += '(';
+    for (uint32_t i = 0; i < kRels[rel].arity; ++i) {
+      if (i > 0) body += ", ";
+      body += bound_or_const();
+    }
+    body += ')';
+  }
+  if (bound.size() >= 2 && Chance(rng, 0.3)) {
+    body += ", " + bound[Rand(rng, bound.size())] + " != " +
+            bound[Rand(rng, bound.size())];
+  }
+  std::string rule = kRels[head].name;
+  rule += '(';
+  for (uint32_t i = 0; i < kRels[head].arity; ++i) {
+    if (i > 0) rule += ", ";
+    if (invent && i == 0) {
+      rule += '*';
+    } else {
+      rule += bound_or_const();
+    }
+  }
+  rule += ") :- " + body + ".";
+  return rule;
+}
+
+// `max_neg_stratum_delta` = 1 keeps negation strictly below the head's
+// stratum (stratifiable); 0 allows same-stratum negation (only valid for
+// the fixed-negation evaluator). `invention` marks the top-stratum binary
+// relation's rules as inventing their first position (ILOG).
+std::string RandomProgram(std::mt19937& rng, size_t max_neg_stratum_delta,
+                          bool invention) {
+  std::string text;
+  for (size_t rel = 0; rel < kNumRels; ++rel) {
+    if (kRels[rel].stratum == 0) continue;
+    const size_t nrules = 1 + Rand(rng, 3);
+    const size_t neg_bound =
+        kRels[rel].stratum >= max_neg_stratum_delta
+            ? kRels[rel].stratum - max_neg_stratum_delta
+            : 0;
+    for (size_t r = 0; r < nrules; ++r) {
+      const bool invent =
+          invention && kRels[rel].stratum == 2 && kRels[rel].arity == 2;
+      text += RandomRule(rng, rel, neg_bound, invent);
+      text += '\n';
+    }
+  }
+  return text;
+}
+
+Instance RandomInstance(std::mt19937& rng) {
+  Instance in;
+  const size_t nfacts = Rand(rng, 12);
+  for (size_t i = 0; i < nfacts; ++i) {
+    switch (Rand(rng, 3)) {
+      case 0:
+        in.Insert(Fact("E", {V(Rand(rng, 5)), V(Rand(rng, 5))}));
+        break;
+      case 1:
+        in.Insert(Fact("F", {V(Rand(rng, 5))}));
+        break;
+      default:
+        in.Insert(
+            Fact("G", {V(Rand(rng, 5)), V(Rand(rng, 5)), V(Rand(rng, 5))}));
+        break;
+    }
+  }
+  return in;
+}
+
+enum class Mode { kStratified, kIlog, kFixedNegation };
+
+// Evaluates one (program, instance) under both engines and both iteration
+// modes and requires byte-identical outcomes: output instance (or error
+// message), all EvalStats fields, and the ILOG invention count.
+void ExpectEnginesAgree(const std::string& text, const Instance& input,
+                        Mode mode, const std::string& label) {
+  Result<Program> program = Parse(text);
+  ASSERT_TRUE(program.ok()) << label << "\ngenerator bug:\n" << text;
+  for (bool semi_naive : {true, false}) {
+    EvalOptions tree, bytecode;
+    tree.engine = EvalEngine::kTree;
+    bytecode.engine = EvalEngine::kBytecode;
+    tree.semi_naive = bytecode.semi_naive = semi_naive;
+    EvalStats tree_stats, bytecode_stats;
+    size_t tree_invented = 0, bytecode_invented = 0;
+    auto run = [&](const EvalOptions& opts, EvalStats* stats,
+                   size_t* invented) -> Result<Instance> {
+      switch (mode) {
+        case Mode::kIlog:
+          return EvaluateIlog(*program, input, opts, stats, invented);
+        case Mode::kFixedNegation:
+          return EvaluateWithFixedNegation(*program, input, input, opts,
+                                           stats);
+        case Mode::kStratified:
+          break;
+      }
+      return Evaluate(*program, input, opts, stats);
+    };
+    Result<Instance> a = run(tree, &tree_stats, &tree_invented);
+    Result<Instance> b = run(bytecode, &bytecode_stats, &bytecode_invented);
+    const std::string ctx = label + (semi_naive ? " semi-naive" : " naive") +
+                            "\nprogram:\n" + text + "input: " +
+                            input.ToString();
+    ASSERT_EQ(a.ok(), b.ok())
+        << ctx << "\ntree: " << (a.ok() ? "ok" : a.status().message())
+        << "\nbytecode: " << (b.ok() ? "ok" : b.status().message());
+    if (a.ok()) {
+      EXPECT_EQ(a->ToString(), b->ToString()) << ctx;
+    } else {
+      EXPECT_EQ(a.status().message(), b.status().message()) << ctx;
+    }
+    EXPECT_EQ(EvalStatsToString(tree_stats), EvalStatsToString(bytecode_stats))
+        << ctx;
+    EXPECT_EQ(tree_invented, bytecode_invented) << ctx;
+  }
+}
+
+TEST(EngineDiffTest, StratifiedRandomPrograms) {
+  for (unsigned seed = 0; seed < 60; ++seed) {
+    std::mt19937 rng(1000 + seed);
+    std::string text = RandomProgram(rng, /*max_neg_stratum_delta=*/1,
+                                     /*invention=*/false);
+    for (unsigned i = 0; i < 2; ++i) {
+      Instance input = RandomInstance(rng);
+      ExpectEnginesAgree(text, input, Mode::kStratified,
+                         "stratified seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(EngineDiffTest, IlogInventionPrograms) {
+  for (unsigned seed = 0; seed < 30; ++seed) {
+    std::mt19937 rng(2000 + seed);
+    std::string text = RandomProgram(rng, /*max_neg_stratum_delta=*/1,
+                                     /*invention=*/true);
+    for (unsigned i = 0; i < 2; ++i) {
+      Instance input = RandomInstance(rng);
+      ExpectEnginesAgree(text, input, Mode::kIlog,
+                         "ilog seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(EngineDiffTest, FixedNegationPrograms) {
+  // Same-stratum negation allowed: exercises the Gamma-operator evaluator
+  // (the well-founded alternation's inner loop) on unstratifiable shapes.
+  for (unsigned seed = 0; seed < 30; ++seed) {
+    std::mt19937 rng(3000 + seed);
+    std::string text = RandomProgram(rng, /*max_neg_stratum_delta=*/0,
+                                     /*invention=*/false);
+    for (unsigned i = 0; i < 2; ++i) {
+      Instance input = RandomInstance(rng);
+      ExpectEnginesAgree(text, input, Mode::kFixedNegation,
+                         "fixed-negation seed " + std::to_string(seed));
+    }
+  }
+}
+
+// Checker verdicts: FindViolation drives full query evaluations through the
+// prepared pipeline, so identical counterexamples (the whole verdict, not
+// just existence) pin the engines' derivation order end to end.
+TEST(EngineDiffTest, CheckerVerdictsMatch) {
+  const struct {
+    const char* name;
+    const char* text;
+  } kQueries[] = {
+      {"tc", "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). .output T"},
+      {"qtc",
+       "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z).\n"
+       "O(x, y) :- Adom(x), Adom(y), !T(x, y). .output O"},
+      {"guarded",
+       "O(x) :- F(x), !Q(x). Q(x) :- E(x, y), E(y, x). .output O"},
+  };
+  monotonicity::ExhaustiveOptions options;
+  options.domain_size = 2;
+  options.max_facts_i = 2;
+  options.fresh_values = 1;
+  options.max_facts_j = 2;
+  for (const auto& q : kQueries) {
+    for (auto cls : {monotonicity::MonotonicityClass::kMonotone,
+                     monotonicity::MonotonicityClass::kDomainDisjoint}) {
+      EvalOptions tree, bytecode;
+      tree.engine = EvalEngine::kTree;
+      bytecode.engine = EvalEngine::kBytecode;
+      DatalogQuery tq = DatalogQuery::FromTextOrDie(
+          q.text, q.name, DatalogQuery::Semantics::kStratified, tree);
+      DatalogQuery bq = DatalogQuery::FromTextOrDie(
+          q.text, q.name, DatalogQuery::Semantics::kStratified, bytecode);
+      auto a = monotonicity::FindViolation(tq, cls, options);
+      auto b = monotonicity::FindViolation(bq, cls, options);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->has_value(), b->has_value()) << q.name;
+      if (a->has_value()) {
+        EXPECT_EQ((*a)->ToString(), (*b)->ToString()) << q.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calm::datalog

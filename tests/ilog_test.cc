@@ -99,7 +99,7 @@ TEST(EvaluateIlogTest, InventedValuesJoinCorrectly) {
               Fact("E", {V(4), V(5)})};
   Result<Instance> out = EvaluateIlog(p, in);
   ASSERT_TRUE(out.ok()) << out.status();
-  const std::set<Tuple>& o = out->TuplesOf(InternName("O"));
+  const TupleSet& o = out->TuplesOf(InternName("O"));
   EXPECT_EQ(o.size(), 2u);  // (2,3) and (3,2); nothing for source 4
   EXPECT_TRUE(o.count({V(2), V(3)}) > 0);
 }

@@ -140,8 +140,8 @@ TEST(CrossValidationTest, WinMoveNativeVsWellFoundedDatalog) {
     Instance native_out = EvalOrDie(*native, in);
     Instance engine_out = EvalOrDie(engine, in);
     // The Datalog program outputs Win(x); native outputs O(x). Compare sets.
-    std::set<Tuple> n = native_out.TuplesOf(InternName("O"));
-    std::set<Tuple> e = engine_out.TuplesOf(InternName("Win"));
+    const TupleSet& n = native_out.TuplesOf(InternName("O"));
+    const TupleSet& e = engine_out.TuplesOf(InternName("Win"));
     EXPECT_EQ(n, e) << "seed " << seed;
   }
 }

@@ -148,5 +148,160 @@ TEST(DatabaseTest, ToInstanceRestrictsLikeInstanceRestrict) {
   EXPECT_EQ(db.ToInstance(&schema), full.Restrict(schema));
 }
 
+// --- Columnar edge cases --------------------------------------------------
+
+TEST(RelStoreTest, ZeroArityRelationHoldsAtMostOneRow) {
+  RelStore store;
+  EXPECT_TRUE(store.Insert(Tuple{}));
+  EXPECT_FALSE(store.Insert(Tuple{}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.arity(), 0);
+  EXPECT_TRUE(store.Contains(Tuple{}));
+
+  size_t seen = 0;
+  store.ForEachTuple([&](const Tuple& t) {
+    ++seen;
+    EXPECT_TRUE(t.empty());
+  });
+  EXPECT_EQ(seen, 1u);
+
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.Contains(Tuple{}));
+  EXPECT_TRUE(store.Insert(Tuple{}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RelStoreTest, DictionarySurvivesClearAndKeepsCodesStable) {
+  RelStore store;
+  store.Insert({V(1), V(2)});
+  store.Insert({V(3), V(4)});
+  const size_t dict_after_first_fill = store.DictSize();
+  EXPECT_EQ(dict_after_first_fill, 4u);
+
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  // The dictionary keeps its interned values across clear() (scratch reuse
+  // re-interns nothing)...
+  EXPECT_EQ(store.DictSize(), dict_after_first_fill);
+
+  // ...and re-inserting known values grows nothing, while new values extend
+  // the same dictionary.
+  store.Insert({V(1), V(2)});
+  EXPECT_EQ(store.DictSize(), dict_after_first_fill);
+  store.Insert({V(5), V(1)});
+  EXPECT_EQ(store.DictSize(), dict_after_first_fill + 1);
+
+  // Row numbering restarted: dedup and probes see only post-clear rows.
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.Contains({V(3), V(4)}));
+  const std::vector<uint32_t>& rows = store.Probe(0b01, Tuple{V(1)});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+}
+
+TEST(RelStoreTest, PreparedProbeIndexExtendsAcrossDeltaMerges) {
+  // Semi-naive shape: an index prepared at round start must not see rows a
+  // later merge appended (the executor's visibility horizon relies on a
+  // frozen `upto`), and the next PrepareProbe must fold the delta in.
+  RelStore store;
+  store.Insert({V(1), V(10)});
+  store.Insert({V(2), V(20)});
+  store.Insert({V(1), V(30)});
+
+  const RelStore::MaskIndex& index = store.PrepareProbe(0b01);
+  uint32_t key[] = {0};  // codes are dense: V(1) interned first -> code 0
+  ASSERT_EQ(store.CodeAt(0, 0), key[0]);
+  {
+    const std::vector<uint32_t>& hits = store.ProbePrepared(index, key);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0], 0u);
+    EXPECT_EQ(hits[1], 2u);
+  }
+
+  // Delta merge: new matching rows appended after the prepare are invisible
+  // through the already-prepared handle...
+  store.Insert({V(1), V(40)});
+  {
+    const std::vector<uint32_t>& hits = store.ProbePrepared(index, key);
+    EXPECT_EQ(hits.size(), 2u);
+  }
+
+  // ...and visible, in ascending row order, after the next PrepareProbe.
+  const RelStore::MaskIndex& extended = store.PrepareProbe(0b01);
+  {
+    const std::vector<uint32_t>& hits = store.ProbePrepared(extended, key);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[2], 3u);
+  }
+
+  // A second mask on the same store indexes independently and folds in all
+  // rows present at its first prepare.
+  const RelStore::MaskIndex& by_second = store.PrepareProbe(0b10);
+  uint32_t key40[] = {store.CodeAt(3, 1)};
+  const std::vector<uint32_t>& hits = store.ProbePrepared(by_second, key40);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 3u);
+}
+
+TEST(RelStoreTest, WideTuplesRoundTripThroughColumns) {
+  // Arity 6 exceeds Tuple's inline capacity, so these rows exercise the
+  // spilled (heap-backed) Tuple representation on both insert and
+  // materialize.
+  RelStore store;
+  Tuple wide1{V(1), V(2), V(3), V(4), V(5), V(6)};
+  Tuple wide2{V(1), V(2), V(3), V(4), V(5), V(7)};
+  EXPECT_TRUE(store.Insert(wide1));
+  EXPECT_TRUE(store.Insert(wide2));
+  EXPECT_FALSE(store.Insert(wide1));
+  EXPECT_EQ(store.arity(), 6);
+  EXPECT_TRUE(store.Contains(wide1));
+  EXPECT_FALSE(store.Contains({V(9), V(2), V(3), V(4), V(5), V(6)}));
+
+  Tuple out;
+  store.MaterializeRow(0, &out);
+  EXPECT_EQ(out, wide1);
+  store.MaterializeRow(1, &out);
+  EXPECT_EQ(out, wide2);
+
+  // Multi-column probes hash the packed key across spilled-width rows.
+  const std::vector<uint32_t>& rows =
+      store.Probe(0b011111, Tuple{V(1), V(2), V(3), V(4), V(5)});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 1u);
+
+  const std::vector<uint32_t>& last =
+      store.Probe(0b100000, Tuple{V(7)});
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0], 1u);
+}
+
+TEST(DatabaseTest, WideAndInlineTuplesRoundTripToInstance) {
+  Instance in{Fact("W", {V(1), V(2), V(3), V(4), V(5), V(6)}),
+              Fact("W", {V(0), V(2), V(3), V(4), V(5), V(6)}),
+              Fact("E", {V(1), V(2)})};
+  Database db(in);
+  EXPECT_EQ(db.ToInstance(), in);
+}
+
+TEST(RelStoreTest, MixedArityOverflowKeepsContainsAndSize) {
+  // Schema-free round-trips can feed one relation tuples of two arities;
+  // the columnar rows keep the first arity and stragglers overflow.
+  RelStore store;
+  EXPECT_TRUE(store.Insert({V(1), V(2)}));
+  EXPECT_TRUE(store.Insert({V(1), V(2), V(3)}));
+  EXPECT_FALSE(store.Insert({V(1), V(2), V(3)}));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.overflow_count(), 1u);
+  EXPECT_TRUE(store.Contains({V(1), V(2)}));
+  EXPECT_TRUE(store.Contains({V(1), V(2), V(3)}));
+
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.overflow_count(), 0u);
+  EXPECT_FALSE(store.Contains({V(1), V(2), V(3)}));
+}
+
 }  // namespace
 }  // namespace calm::datalog

@@ -2,13 +2,17 @@
 """Compare a google-benchmark JSON run against a committed baseline.
 
 Usage:
-    compare_bench.py BASELINE.json CURRENT.json [--threshold 2.0]
+    compare_bench.py BASELINE.json CURRENT.json [--threshold 2.0] [--strict]
 
 Exits nonzero only on real regressions: a benchmark present in both files
 whose cpu_time grew by more than the threshold factor. Names present in only
 one of the two files are warned about and skipped — a baseline refreshed with
 new entries must not fail CI runs filtered to an older benchmark set, and
 vice versa (add/remove names from the baseline when the set stabilizes).
+With --strict, a baseline name missing from the current run fails instead of
+warning: the ratchet legs run the full suite, where a silently vanished
+benchmark (renamed, or its registration dropped) would otherwise disable its
+regression gate without anyone noticing.
 Absolute times
 differ across machines; the wide default threshold is meant to catch
 order-of-magnitude regressions (e.g. losing the prepared-program fast path),
@@ -45,6 +49,11 @@ def main(argv=None):
         default=2.0,
         help="fail when current cpu_time > threshold * baseline (default 2.0)",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail when a baseline benchmark is missing from the current run",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_cpu_times(args.baseline)
@@ -58,7 +67,14 @@ def main(argv=None):
     for name in sorted(baseline):
         base_t, unit = baseline[name]
         if name not in current:
-            print(f"warn {name}: in baseline but missing from current run; skipped")
+            if args.strict:
+                print(f"FAIL {name}: in baseline but missing from current run")
+                failures.append(f"{name}: missing from current run (--strict)")
+            else:
+                print(
+                    f"warn {name}: in baseline but missing from current run; "
+                    "skipped"
+                )
             continue
         compared += 1
         cur_t, _ = current[name]
@@ -76,7 +92,7 @@ def main(argv=None):
         print(f"new  {name}: {cur_t:.2f} {unit} (not in baseline; skipped)")
 
     if failures:
-        print(f"\n{len(failures)} regression(s) beyond {args.threshold}x:")
+        print(f"\n{len(failures)} failure(s) against {args.baseline}:")
         for f in failures:
             print(f"  {f}")
         return 1

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Collapse a repeated google-benchmark JSON run to one median entry per name.
+
+Usage:
+    median_bench.py RAW.json OUT.json
+
+With --benchmark_repetitions=N, google-benchmark emits N "iteration" entries
+under the same name plus _mean/_median/_stddev aggregates. The baseline format
+(and compare_bench.py) wants exactly one entry per name, so this picks, for
+each name, the iteration entry whose cpu_time is the median of its
+repetitions. Aggregates are dropped; the context block and every other field
+of the chosen entry are preserved verbatim. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def median_entries(benchmarks):
+    """Returns one representative entry per name: the median-cpu_time run."""
+    by_name = {}
+    for bench in benchmarks:
+        if bench.get("run_type") == "aggregate":
+            continue
+        by_name.setdefault(bench["name"], []).append(bench)
+    out = []
+    for name in sorted(by_name):
+        runs = sorted(by_name[name], key=lambda b: float(b["cpu_time"]))
+        # Lower median for even counts: the conservative (faster) pick, so a
+        # refreshed baseline never starts looser than the machine can do.
+        out.append(runs[(len(runs) - 1) // 2])
+    return out
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[0]) as f:
+        data = json.load(f)
+    data["benchmarks"] = median_entries(data.get("benchmarks", []))
+    with open(argv[1], "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(data['benchmarks'])} median entries to {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

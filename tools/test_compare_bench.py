@@ -78,6 +78,34 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("warn BM_GONE", out)
         self.assertIn("skipped", out)
 
+    def test_strict_fails_on_baseline_only_name(self):
+        rc, out = self.run_main({"BM_A": 100.0, "BM_GONE": 1.0},
+                                {"BM_A": 100.0}, "--strict")
+        self.assertEqual(rc, 1)
+        self.assertIn("FAIL BM_GONE", out)
+        self.assertIn("missing from current run (--strict)", out)
+
+    def test_strict_passes_when_all_baseline_names_present(self):
+        rc, out = self.run_main({"BM_A": 100.0}, {"BM_A": 100.0}, "--strict")
+        self.assertEqual(rc, 0)
+        self.assertIn("all 1 compared", out)
+
+    def test_strict_still_allows_current_only_names(self):
+        # --strict gates the baseline set only; a fresh benchmark that is not
+        # yet in the committed baseline must not fail the ratchet.
+        rc, out = self.run_main({"BM_A": 100.0},
+                                {"BM_A": 100.0, "BM_NEW": 9e9}, "--strict")
+        self.assertEqual(rc, 0)
+        self.assertIn("new  BM_NEW", out)
+
+    def test_strict_reports_regressions_and_missing_together(self):
+        rc, out = self.run_main({"BM_A": 100.0, "BM_GONE": 1.0},
+                                {"BM_A": 300.0}, "--strict")
+        self.assertEqual(rc, 1)
+        self.assertIn("FAIL BM_A", out)
+        self.assertIn("FAIL BM_GONE", out)
+        self.assertIn("2 failure(s)", out)
+
     def test_current_only_name_reported_not_failed(self):
         rc, out = self.run_main({"BM_A": 100.0},
                                 {"BM_A": 100.0, "BM_NEW": 9e9})
