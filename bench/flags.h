@@ -28,6 +28,11 @@ namespace calm::bench {
 //   --engine NAME     rule evaluator: "bytecode" (default) or "tree" (the
 //                     differential oracle); also settable via CALM_ENGINE,
 //                     the flag wins (SetDefaultEvalEngine)
+//   --incremental M   union evaluation in the checkers: "on" (default — reuse
+//                     the materialized Q(I) fixpoint, run each J as an
+//                     insertion delta) or "off" (from-scratch ablation); also
+//                     settable via CALM_INCREMENTAL, the flag wins
+//                     (SetDefaultIncrementalMode)
 struct Flags {
   size_t threads = 0;     // 0 = CALM_THREADS / hardware default
   std::string json_path;  // empty = no JSON output
@@ -35,6 +40,7 @@ struct Flags {
   std::string metrics_out;  // empty = metrics registry stays disabled
   std::string trace_out;    // empty = tracing stays disabled
   std::string engine;       // empty = CALM_ENGINE / bytecode default
+  std::string incremental;  // empty = CALM_INCREMENTAL / on default
 };
 
 // Parses and strips the flags above from argv (leaving unrecognized
@@ -53,11 +59,18 @@ inline Flags ParseFlags(int* argc, char** argv) {
     bool is_metrics = false;
     bool is_trace = false;
     bool is_engine = false;
+    bool is_incremental = false;
     if (std::strncmp(arg, "--engine=", 9) == 0) {
       is_engine = true;
       value = arg + 9;
     } else if (std::strcmp(arg, "--engine") == 0 && in + 1 < *argc) {
       is_engine = true;
+      value = argv[++in];
+    } else if (std::strncmp(arg, "--incremental=", 14) == 0) {
+      is_incremental = true;
+      value = arg + 14;
+    } else if (std::strcmp(arg, "--incremental") == 0 && in + 1 < *argc) {
+      is_incremental = true;
       value = argv[++in];
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       is_threads = true;
@@ -112,6 +125,8 @@ inline Flags ParseFlags(int* argc, char** argv) {
       flags.trace_out = value;
     } else if (is_engine) {
       flags.engine = value;
+    } else if (is_incremental) {
+      flags.incremental = value;
     } else {
       argv[out++] = argv[in];
     }
@@ -125,6 +140,16 @@ inline Flags ParseFlags(int* argc, char** argv) {
       std::exit(2);
     }
     datalog::SetDefaultEvalEngine(*engine);
+  }
+  if (!flags.incremental.empty()) {
+    Result<datalog::IncrementalMode> mode =
+        datalog::ParseIncrementalMode(flags.incremental);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "--incremental expects on or off, got %s\n",
+                   flags.incremental.c_str());
+      std::exit(2);
+    }
+    datalog::SetDefaultIncrementalMode(*mode);
   }
   if (flags.threads != 0) SetDefaultThreads(flags.threads);
   if (!flags.metrics_out.empty()) SetMetricsEnabled(true);

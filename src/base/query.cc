@@ -8,6 +8,60 @@
 
 namespace calm {
 
+namespace {
+
+// The default union evaluator: i ∪ j is maintained as an overlay on a
+// persistent copy of i — j's facts are inserted before the evaluation and
+// erased after, so no per-pair Instance::Union copy is ever made. The union
+// evaluation deliberately bypasses any result cache: canonicalizing every
+// (i, j) pair costs more than a direct evaluation at the tiny bounds the
+// sweeps run at, and unions rarely repeat within one search anyway.
+class OverlayUnionEvaluator : public UnionEvaluator {
+ public:
+  OverlayUnionEvaluator(const Query& query, const Instance& i)
+      : query_(query), union_(i) {}
+
+  Result<std::optional<Fact>> FirstRetracted(
+      const Instance& j, const std::vector<Fact>& base_facts) override {
+    overlay_.clear();
+    j.ForEachFact([&](uint32_t name, const Tuple& t) {
+      Fact f(name, t);
+      if (union_.Insert(f)) overlay_.push_back(std::move(f));
+    });
+    out_.clear();
+    Status s = query_.EvalFacts(union_, &out_);
+    for (const Fact& f : overlay_) union_.Erase(f);
+    if (!s.ok()) return s;
+
+    // Both fact streams are ascending, so a single merge pass finds the
+    // first base fact missing from Q(i ∪ j).
+    auto it = out_.begin();
+    for (const Fact& f : base_facts) {
+      while (it != out_.end() && *it < f) ++it;
+      if (it == out_.end() || !(*it == f)) return std::optional<Fact>(f);
+    }
+    return std::optional<Fact>();
+  }
+
+ private:
+  const Query& query_;
+  Instance union_;             // == i between calls
+  std::vector<Fact> overlay_;  // j's facts newly added to union_
+  std::vector<Fact> out_;      // Q(i ∪ j), reused across calls
+};
+
+}  // namespace
+
+std::unique_ptr<UnionEvaluator> MakeOverlayUnionEvaluator(const Query& query,
+                                                          const Instance& i) {
+  return std::make_unique<OverlayUnionEvaluator>(query, i);
+}
+
+std::unique_ptr<UnionEvaluator> Query::MakeUnionEvaluator(
+    const Instance& i) const {
+  return MakeOverlayUnionEvaluator(*this, i);
+}
+
 Status CheckGenericity(const Query& query, const Instance& input,
                        const std::map<Value, Value>& pi) {
   Result<Instance> direct = query.Eval(input);

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,24 @@
 #include "base/status.h"
 
 namespace calm {
+
+// Repeated Q(i) ⊆ Q(i ∪ j) checks against one fixed i — the monotonicity
+// checkers' inner loop, which enumerates many small j per outer i. An
+// evaluator may keep arbitrary state about i across calls (a materialized
+// fixpoint, a precomputed closure); the query and `i` it was built over
+// must outlive it. Obtained from Query::MakeUnionEvaluator; not thread-safe.
+class UnionEvaluator {
+ public:
+  virtual ~UnionEvaluator() = default;
+
+  // Returns the first fact of `base_facts` missing from Q(i ∪ j), or
+  // nullopt when every one is present. `base_facts` must be Q(i) in
+  // ascending fact order (Query::EvalFacts' order) for the i this evaluator
+  // was built over — the returned fact is then identical to the one a
+  // from-scratch evaluation and sorted merge would report.
+  virtual Result<std::optional<Fact>> FirstRetracted(
+      const Instance& j, const std::vector<Fact>& base_facts) = 0;
+};
 
 // A query: a generic mapping from instances over an input schema to
 // instances over an output schema (Section 2). Implementations must be
@@ -53,9 +72,28 @@ class Query {
     return Status::Ok();
   }
 
+  // Creates an evaluator for repeated Q(i) ⊆ Q(i ∪ j) checks against one
+  // fixed i (see UnionEvaluator). The default maintains i ∪ j as an overlay
+  // on a persistent copy of i — j's facts inserted before an EvalFacts, a
+  // sorted merge against base_facts, the overlay erased after — so no
+  // per-pair Instance::Union copy is made. Engines that can do better
+  // override this: DatalogQuery reuses a materialized fixpoint and runs j
+  // as an insertion delta; the native closure queries merge j into a
+  // precomputed reachability matrix. Every implementation returns the
+  // byte-identical first-retracted fact; only the work per check differs.
+  // `i` (and this query) must outlive the returned evaluator.
+  virtual std::unique_ptr<UnionEvaluator> MakeUnionEvaluator(
+      const Instance& i) const;
+
   // A short human-readable identifier used in reports.
   virtual std::string name() const = 0;
 };
+
+// The overlay-based evaluator behind Query::MakeUnionEvaluator's default,
+// exposed so engine-specific evaluators have a fallback route for inputs
+// they cannot serve (e.g. the closure evaluator past its vertex budget).
+std::unique_ptr<UnionEvaluator> MakeOverlayUnionEvaluator(const Query& query,
+                                                          const Instance& i);
 
 // Wraps a C++ function as a Query. The function receives the input restricted
 // to the input schema.
@@ -106,12 +144,32 @@ class NativeQuery : public Query {
     return facts_fn_(input.Restrict(input_), out);
   }
 
+  // Builds a query-specific UnionEvaluator for `i`, or returns nullptr to
+  // decline (the default overlay evaluator is used then). Lets native
+  // queries ship incremental union evaluation (graph_queries.cc wires a
+  // closure-matrix evaluator onto TC and Q_TC) without subclassing.
+  using UnionEvalFactory = std::function<std::unique_ptr<UnionEvaluator>(
+      const Query&, const Instance&)>;
+  void set_union_eval_factory(UnionEvalFactory factory) {
+    union_eval_factory_ = std::move(factory);
+  }
+
+  std::unique_ptr<UnionEvaluator> MakeUnionEvaluator(
+      const Instance& i) const override {
+    if (union_eval_factory_) {
+      std::unique_ptr<UnionEvaluator> ev = union_eval_factory_(*this, i);
+      if (ev != nullptr) return ev;
+    }
+    return MakeOverlayUnionEvaluator(*this, i);
+  }
+
  private:
   std::string name_;
   Schema input_;
   Schema output_;
   EvalFn fn_;        // exactly one of fn_ / facts_fn_ is set
   FactsFn facts_fn_;
+  UnionEvalFactory union_eval_factory_;
 };
 
 // Checks Q(pi(I)) == pi(Q(I)) for the given permutation `pi` of adom(I)

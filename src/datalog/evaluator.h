@@ -34,6 +34,26 @@ void SetDefaultEvalEngine(EvalEngine engine);
 // Parses "tree" / "bytecode" (the --engine flag and CALM_ENGINE values).
 Result<EvalEngine> ParseEvalEngine(std::string_view name);
 
+// Whether checker paths may reuse a materialized Q(I) fixpoint and evaluate
+// each Q(I ∪ J) as an epoch-scoped insertion delta (prepared.h's
+// IncrementalEval) instead of re-running from scratch. Outputs are
+// byte-identical either way (pinned by tests/incremental_test.cc and the CI
+// engine-diff leg); the mode only changes how much work each union costs.
+enum class IncrementalMode {
+  kDefault = 0,  // resolve through DefaultIncrementalMode()
+  kOn,
+  kOff,
+};
+
+// The process-wide mode that IncrementalMode::kDefault resolves to. Starts
+// as kOn unless the CALM_INCREMENTAL environment variable says "off".
+IncrementalMode DefaultIncrementalMode();
+// Overrides the process-wide default (bench/test plumbing for
+// --incremental). Passing kDefault restores the environment-derived value.
+void SetDefaultIncrementalMode(IncrementalMode mode);
+// Parses "on" / "off" (the --incremental flag and CALM_INCREMENTAL values).
+Result<IncrementalMode> ParseIncrementalMode(std::string_view name);
+
 struct EvalOptions {
   // Use semi-naive (delta) iteration; naive re-derivation otherwise. Both
   // must agree (ablation-tested); semi-naive is the default.
@@ -53,6 +73,10 @@ struct EvalOptions {
   // Prepare time. Results are engine-independent (differential-tested);
   // only the execution strategy differs.
   EvalEngine engine = EvalEngine::kDefault;
+  // Incremental union evaluation, resolved against DefaultIncrementalMode()
+  // at Prepare time. Only consulted by the checker's union path; results
+  // are identical either way (differential-tested).
+  IncrementalMode incremental = IncrementalMode::kDefault;
 };
 
 struct EvalStats {

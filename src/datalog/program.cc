@@ -8,6 +8,41 @@
 
 namespace calm::datalog {
 
+namespace {
+
+// FirstRetracted through the prepared program's incremental evaluator: the
+// Q(i) fixpoint stays materialized across calls and each j runs as an
+// epoch-scoped insertion delta. Overlays that only grow the fixpoint prove
+// Q(i) ⊆ Q(i ∪ j) without materializing any output, so the common monotone
+// check is just the delta propagation plus a rollback.
+class IncrementalUnionEvaluator : public UnionEvaluator {
+ public:
+  IncrementalUnionEvaluator(std::shared_ptr<const PreparedProgram> prepared,
+                            std::unique_ptr<IncrementalEval> inc)
+      : prepared_(std::move(prepared)), inc_(std::move(inc)) {}
+
+  Result<std::optional<Fact>> FirstRetracted(
+      const Instance& j, const std::vector<Fact>& base_facts) override {
+    CALM_ASSIGN_OR_RETURN(
+        IncrementalEval::Overlay overlay,
+        inc_->EvalOverlay(j, &out_, /*materialize=*/false));
+    if (overlay.superset_of_base) return std::optional<Fact>();
+    auto it = out_.begin();
+    for (const Fact& f : base_facts) {
+      while (it != out_.end() && *it < f) ++it;
+      if (it == out_.end() || !(*it == f)) return std::optional<Fact>(f);
+    }
+    return std::optional<Fact>();
+  }
+
+ private:
+  std::shared_ptr<const PreparedProgram> prepared_;  // keeps inc_'s prog alive
+  std::unique_ptr<IncrementalEval> inc_;
+  std::vector<Fact> out_;  // Q(i ∪ j), reused across calls
+};
+
+}  // namespace
+
 Result<DatalogQuery> DatalogQuery::Create(Program program, std::string name,
                                           Semantics semantics,
                                           EvalOptions options) {
@@ -75,6 +110,19 @@ Result<Instance> DatalogQuery::Eval(const Instance& input) const {
 Result<Instance> DatalogQuery::EvalUnion(const Instance& a,
                                          const Instance& b) const {
   return EvalSeeded({&a, &b});
+}
+
+std::unique_ptr<UnionEvaluator> DatalogQuery::MakeUnionEvaluator(
+    const Instance& i) const {
+  // The well-founded alternation has no single materialized fixpoint to
+  // continue from; it keeps the overlay route regardless of mode.
+  if (semantics_ == Semantics::kStratified &&
+      prepared_->incremental() == IncrementalMode::kOn) {
+    return std::make_unique<IncrementalUnionEvaluator>(
+        prepared_,
+        prepared_->BeginIncremental(i, &input_schema_, &output_schema_));
+  }
+  return Query::MakeUnionEvaluator(i);
 }
 
 }  // namespace calm::datalog

@@ -13,6 +13,31 @@ namespace {
 
 constexpr size_t kInitialTableSize = 16;  // power of two
 
+// Backward-shift deletion from a linear-probing open-addressing table:
+// empties `hole` and re-packs the probe cluster after it so every surviving
+// entry stays reachable from its home slot. `home_of(entry)` returns the
+// entry's hash (pre-mask). The epoch-rollback paths use this to erase the
+// tail entries of the dictionary and dedup tables without rebuilding them.
+template <typename Entry, typename HomeFn>
+void EraseTableSlot(std::vector<Entry>& table, size_t hole, HomeFn home_of) {
+  const size_t mask = table.size() - 1;
+  size_t j = hole;
+  while (true) {
+    j = (j + 1) & mask;
+    Entry e = table[j];
+    if (e == 0) break;
+    // e can slide into the hole only when its home slot does not lie
+    // (cyclically) between the hole and j — otherwise the move would put it
+    // before its home and break its probe chain.
+    size_t home = home_of(e) & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      table[hole] = e;
+      hole = j;
+    }
+  }
+  table[hole] = 0;
+}
+
 }  // namespace
 
 // --- ValueDict -------------------------------------------------------------
@@ -53,6 +78,24 @@ uint32_t ValueDict::Find(Value v) const {
     h = (h + 1) & mask;
   }
   return kNoCode;
+}
+
+void ValueDict::TruncateTo(size_t n) {
+  // A ranks cache built above the surviving prefix is poison: if the dict
+  // later regrows to that exact size with different values, the size check
+  // in Ranks() would wrongly accept it. Caches built at or below n still
+  // either match exactly (same surviving values) or fail the size check.
+  if (ranks_upto_ > n) ranks_upto_ = SIZE_MAX;
+  while (values_.size() > n) {
+    const uint32_t code = static_cast<uint32_t>(values_.size()) - 1;
+    const size_t mask = table_.size() - 1;
+    size_t h = Mix64(values_[code].raw()) & mask;
+    while (table_[h] != code + 1) h = (h + 1) & mask;
+    EraseTableSlot(table_, h, [this](uint32_t e) {
+      return Mix64(values_[e - 1].raw());
+    });
+    values_.pop_back();
+  }
 }
 
 const std::vector<uint32_t>& ValueDict::Ranks() const {
@@ -312,6 +355,90 @@ void RelStore::clear() {
   }
 }
 
+void RelStore::TruncateRows(uint32_t target) {
+  if (arity_ <= 0) {
+    if (target == 0) {
+      rows_ = 0;
+      has_empty_row_ = false;
+    }
+    return;
+  }
+  if (target >= rows_) return;
+  uint32_t key[16];
+  std::vector<uint32_t> wide(arity_ > 2 ? arity_ : 0);
+  // Descending order keeps two invariants the per-row unwind relies on:
+  // the row being removed is the tail of every index bucket that saw it,
+  // and the dedup home-slot recomputation only reads rows that still exist.
+  for (uint32_t r = rows_; r-- > target;) {
+    for (MaskIndex& mi : indexes_) {
+      if (mi.upto <= r) continue;
+      if (mi.cols.size() == 1) {
+        mi.direct[cols_[mi.cols[0]].codes[r]].pop_back();
+      } else {
+        const size_t k = mi.cols.size();
+        for (size_t i = 0; i < k; ++i) key[i] = cols_[mi.cols[i]].codes[r];
+        const size_t tmask = mi.table.size() - 1;
+        size_t h = HashCodes(key, k) & tmask;
+        while (true) {
+          const uint32_t e = mi.table[h];
+          const uint32_t* bkey = &mi.key_arena[(e - 1) * k];
+          if (std::equal(bkey, bkey + k, key)) {
+            mi.bucket_rows[e - 1].pop_back();  // empty buckets may linger
+            break;
+          }
+          h = (h + 1) & tmask;
+        }
+      }
+    }
+    if (arity_ <= 2) {
+      const uint32_t row_codes[2] = {cols_[0].codes[r],
+                                     arity_ == 2 ? cols_[1].codes[r] : 0};
+      const uint64_t packed = PackKey(row_codes, static_cast<uint32_t>(arity_));
+      const size_t mask = dedup64_.size() - 1;
+      size_t h = Mix64(packed) & mask;
+      while (dedup64_[h] != packed) h = (h + 1) & mask;
+      EraseTableSlot(dedup64_, h, [](uint64_t e) { return Mix64(e); });
+    } else {
+      const size_t mask = dedup_.size() - 1;
+      for (int c = 0; c < arity_; ++c) wide[c] = cols_[c].codes[r];
+      size_t h = RowHash(wide.data()) & mask;
+      while (dedup_[h] != r + 1) h = (h + 1) & mask;
+      EraseTableSlot(dedup_, h, [this, &wide](uint32_t e) {
+        for (int c = 0; c < arity_; ++c) wide[c] = cols_[c].codes[e - 1];
+        return RowHash(wide.data());
+      });
+    }
+    for (Column& col : cols_) col.codes.pop_back();
+    --rows_;
+  }
+  for (MaskIndex& mi : indexes_) mi.upto = std::min(mi.upto, rows_);
+}
+
+void RelStore::RollbackTo(const Mark& m) {
+  if (arity_ != m.arity) {
+    // The arity changed during the epoch — only possible from an empty
+    // store (first insert or scratch re-keying), so the mark holds no rows
+    // and rollback is a reset to an empty shell at the marked arity.
+    clear();
+    if (m.arity >= 0) {
+      InitColumns(static_cast<size_t>(m.arity));
+    } else {
+      arity_ = -1;
+      cols_.clear();
+      indexes_.clear();
+      code_scratch_.clear();
+    }
+    return;
+  }
+  overflow_.resize(m.overflow);  // overflow is append-only
+  if (arity_ <= 0) {
+    rows_ = m.rows;
+    has_empty_row_ = m.has_empty;
+    return;
+  }
+  TruncateRows(m.rows);
+}
+
 Tuple RelStore::KeyOf(const Tuple& t, uint32_t mask) {
   Tuple key;
   for (size_t i = 0; i < t.size(); ++i) {
@@ -432,6 +559,7 @@ Database::Database(const Instance& instance) : Database() {
 Database::Database(const Database& o)
     : dict_(std::make_unique<ValueDict>(*o.dict_)),
       rels_(o.rels_),
+      epochs_(o.epochs_),
       last_(o.last_) {
   for (auto& [name, store] : rels_) store.BindDict(dict_.get());
 }
@@ -440,6 +568,7 @@ Database& Database::operator=(const Database& o) {
   if (this == &o) return *this;
   dict_ = std::make_unique<ValueDict>(*o.dict_);
   rels_ = o.rels_;
+  epochs_ = o.epochs_;
   last_ = o.last_;
   for (auto& [name, store] : rels_) store.BindDict(dict_.get());
   return *this;
@@ -496,6 +625,27 @@ RelStore* Database::Store(uint32_t rel) { return Find(rel); }
 
 void Database::Reset() {
   for (auto& [name, store] : rels_) store.clear();
+}
+
+void Database::BeginEpoch() {
+  EpochFrame f;
+  f.dict_size = dict_->size();
+  f.rel_count = rels_.size();
+  f.marks.reserve(rels_.size());
+  for (auto& [name, store] : rels_) f.marks.push_back(store.MarkNow());
+  epochs_.push_back(std::move(f));
+}
+
+void Database::RollbackEpoch() {
+  EpochFrame& f = epochs_.back();
+  // Stores created during the epoch are a suffix (FindOrCreate appends).
+  rels_.resize(f.rel_count);
+  for (size_t i = 0; i < f.rel_count; ++i) {
+    rels_[i].second.RollbackTo(f.marks[i]);
+  }
+  dict_->TruncateTo(f.dict_size);
+  last_ = 0;
+  epochs_.pop_back();
 }
 
 Instance Database::ToInstance(const Schema* restrict_to) const {

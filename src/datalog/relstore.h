@@ -62,6 +62,16 @@ class ValueDict {
   // instead of comparing Tuples.
   const std::vector<uint32_t>& Ranks() const;
 
+  // Drops every code >= `n` (epoch rollback): codes are assigned densely in
+  // interning order, so the values interned during an epoch are exactly the
+  // tail of `values_`. Their hash-table slots are erased with backward-shift
+  // deletion, so surviving codes keep their assignments and stay reachable.
+  // Invalidates the ranks cache when it was built above the surviving
+  // prefix — otherwise a later regrowth to the same size with different
+  // values would pass the rebuild check in Ranks() and sort rows by the
+  // previous epoch's value order.
+  void TruncateTo(size_t n);
+
  private:
   std::vector<Value> values_;   // code -> value
   // Open-addressing table: entries are code+1, 0 = empty. Power-of-two
@@ -227,6 +237,38 @@ class RelStore {
 
   static Tuple KeyOf(const Tuple& t, uint32_t mask);
 
+  // --- epoch rollback --------------------------------------------------------
+
+  // A snapshot of the store's logical extent. Rows are append-only, so a
+  // mark is just counters: rolling back means truncating every structure to
+  // the marked sizes (no per-row undo log).
+  struct Mark {
+    int arity = -1;
+    uint32_t rows = 0;
+    uint32_t overflow = 0;
+    bool has_empty = false;
+  };
+
+  Mark MarkNow() const {
+    return Mark{arity_, rows_, static_cast<uint32_t>(overflow_.size()),
+                has_empty_row_};
+  }
+
+  // Restores the store to the state captured by `m`: rows inserted since
+  // are removed from the columns, the dedup tables (backward-shift deletion
+  // keeps the probe chains intact), and every mask index that indexed them.
+  // Requires that rows [0, m.rows) were not mutated since the mark — the
+  // append-only invariant every insert path maintains.
+  void RollbackTo(const Mark& m);
+
+  // Removes rows [target, row_count()) — the row-level primitive RollbackTo
+  // and the incremental evaluator's stratum re-derivation both use. Probe
+  // indexes stay built (their tails are popped row by row), dedup entries
+  // are erased with backward-shift deletion, and the dictionary is
+  // untouched (codes may now be unreferenced; Database-level rollback
+  // truncates the dictionary separately).
+  void TruncateRows(uint32_t target);
+
   // --- columnar row access (the engines' inner loops) ---
 
   // Value at (row, col); row must be < row_count().
@@ -342,7 +384,23 @@ class Database {
 
   // Empties every store but keeps the relation entries, the dictionary, and
   // allocated tables — the scratch-reuse hook for repeated evaluations.
+  // Must not be called while an epoch is open.
   void Reset();
+
+  // --- epochs ----------------------------------------------------------------
+  //
+  // An epoch marks the current extent of every store and of the dictionary;
+  // rolling it back truncates everything inserted since — rows, interned
+  // values, stores created during the epoch — in O(inserted-delta), leaving
+  // the database byte-for-byte equivalent in behavior to the marked state.
+  // Epochs nest (a stack); every path that grows the database is
+  // append-only, which is what makes a mark a handful of counters instead
+  // of an undo log. The incremental checker path pushes each overlay J as
+  // one epoch and pops it after the delta evaluation.
+
+  void BeginEpoch();
+  void RollbackEpoch();
+  size_t EpochDepth() const { return epochs_.size(); }
 
   // Materializes the database as an Instance; with `restrict_to`, only facts
   // admitted by that schema (the Instance::Restrict rule) are emitted, so
@@ -352,11 +410,21 @@ class Database {
   Instance ToInstance(const Schema* restrict_to = nullptr) const;
 
  private:
+  // One open epoch: the sizes everything rolls back to. Stores created
+  // after BeginEpoch are a suffix of `rels_` (FindOrCreate appends), so
+  // `rel_count` alone identifies them.
+  struct EpochFrame {
+    size_t dict_size = 0;
+    size_t rel_count = 0;
+    std::vector<RelStore::Mark> marks;  // parallel to rels_[0, rel_count)
+  };
+
   RelStore* Find(uint32_t rel) const;
   RelStore* FindOrCreate(uint32_t rel);
 
   std::unique_ptr<ValueDict> dict_;  // heap: address stable across moves
   std::vector<std::pair<uint32_t, RelStore>> rels_;
+  std::vector<EpochFrame> epochs_;
   mutable size_t last_ = 0;  // MRU index into rels_
 };
 

@@ -46,34 +46,21 @@ Result<std::optional<Counterexample>> PairChecker::Check(const Instance& j) {
   if (!base_ready_) {
     base_ready_ = true;
     base_status_ = EvalFactsMaybeCached(i_, &base_facts_);
-    union_ = i_;
+    if (base_status_.ok()) union_eval_ = query_.MakeUnionEvaluator(i_);
   }
   if (!base_status_.ok()) return base_status_;
 
-  // Overlay j onto the persistent copy of i, evaluate, then roll back —
-  // set-wise this is exactly Instance::Union(i, j), minus the copy. The
-  // union evaluation deliberately bypasses the cache: canonicalizing every
-  // (I, J) pair costs more than a native evaluation at the tiny bounds the
-  // sweeps run at, and unions rarely repeat within one search anyway.
-  overlay_.clear();
-  j.ForEachFact([&](uint32_t name, const Tuple& t) {
-    Fact f(name, t);
-    if (union_.Insert(f)) overlay_.push_back(std::move(f));
-  });
-  out_scratch_.clear();
-  Status s = query_.EvalFacts(union_, &out_scratch_);
-  for (const Fact& f : overlay_) union_.Erase(f);
-  if (!s.ok()) return s;
-
-  // Both fact streams are ascending, so a single merge pass finds the first
-  // Q(I) fact missing from Q(I ∪ J) — the same fact the old per-fact
-  // Contains scan reported, since both walk Q(I) in sorted order.
-  auto it = out_scratch_.begin();
-  for (const Fact& f : base_facts_) {
-    while (it != out_scratch_.end() && *it < f) ++it;
-    if (it == out_scratch_.end() || !(*it == f)) {
-      return std::optional<Counterexample>(Counterexample{i_, j, f});
-    }
+  // The union evaluator owns all per-pair state about i — a materialized
+  // fixpoint that j continues as an insertion delta (DatalogQuery), a
+  // precomputed reachability matrix (the closure queries), or an overlay on
+  // a persistent copy of i (the generic default). Every route reports the
+  // first base fact missing from Q(i u j) in Q(i)'s iteration order, so the
+  // counterexample is identical to evaluating the pair in isolation.
+  CALM_ASSIGN_OR_RETURN(std::optional<Fact> missing,
+                        union_eval_->FirstRetracted(j, base_facts_));
+  if (missing.has_value()) {
+    return std::optional<Counterexample>(
+        Counterexample{i_, j, *std::move(missing)});
   }
   return std::optional<Counterexample>();
 }
@@ -184,10 +171,10 @@ std::vector<std::map<Value, Value>> StabilizerValueMaps(
 // derivation (orbit canonicalization, automorphism search, subset DFS) costs
 // more than the checks themselves at paper-scale bounds. So the whole
 // enumeration is materialized once per key into a plan: per representative
-// I, the J stream in enumeration order plus the precomputed I ∪ J inputs
-// (sparing the per-pair overlay insert/erase churn). Checking then walks the
-// plan in the exact order the streaming sweep would have visited, so
-// verdicts, counterexamples, and stop points are byte-identical.
+// I, the J stream in enumeration order. Checking walks the plan through a
+// PairChecker in the exact order the streaming sweep would have visited, so
+// verdicts, counterexamples, and stop points are byte-identical — only the
+// enumeration work is amortized, never the checks.
 //
 // The cache sits behind the same genericity gate as the reduction itself
 // (plans are only built when `reduce` holds) and is capped by pair count —
@@ -195,8 +182,7 @@ std::vector<std::map<Value, Value>> StabilizerValueMaps(
 // sound.
 struct SweepPlanEntry {
   Instance i;
-  std::vector<Instance> js;      // J subsets, enumeration order
-  std::vector<Instance> unions;  // unions[k] = i ∪ js[k]
+  std::vector<Instance> js;  // J subsets, enumeration order
 };
 
 struct SweepPlan {
@@ -256,11 +242,7 @@ std::shared_ptr<const SweepPlan> GetSweepPlan(const Schema& schema,
         candidates, options.max_facts_j,
         FactIndexPermutations(candidates, StabilizerValueMaps(entry.i, fresh)),
         [&](const Instance& j) {
-          Instance u = entry.i;
-          j.ForEachFact(
-              [&](uint32_t name, const Tuple& t) { u.Insert(Fact(name, t)); });
           entry.js.push_back(j);
-          entry.unions.push_back(std::move(u));
           return true;
         });
     plan->entries.push_back(std::move(entry));
@@ -335,45 +317,23 @@ Result<std::optional<Counterexample>> FindViolation(
     InstanceOutcome& slot = slots[idx];
     uint64_t pairs_here = 0;
     if (plan != nullptr) {
-      // Plan path: walk the precomputed J stream. Base evaluation stays as
-      // lazy as PairChecker's (an I with no pairs is never evaluated), and
-      // the union inputs are the materialized I ∪ J instances — the checks,
-      // their order, and the stop points match the streaming path exactly.
+      // Plan path: walk the precomputed J stream through one PairChecker —
+      // base evaluation stays lazy (an I with no pairs is never evaluated)
+      // and the union evaluator's per-I state amortizes across the whole
+      // stream; checks, order, and stop points match the streaming path
+      // exactly.
       const SweepPlanEntry& entry = plan->entries[idx];
-      bool base_ready = false;
-      Status base_status;
-      std::vector<Fact> base, out;
-      for (size_t k = 0; k < entry.js.size(); ++k) {
+      PairChecker checker(query, entry.i, cache);
+      for (const Instance& j : entry.js) {
         if (first_stop.load(std::memory_order_relaxed) < idx) break;
         ++pairs_here;
-        if (!base_ready) {
-          base_ready = true;
-          base_status = cache != nullptr ? cache->EvalFacts(entry.i, &base)
-                                         : query.EvalFacts(entry.i, &base);
-        }
-        if (!base_status.ok()) {
-          slot.error = base_status;
+        Result<std::optional<Counterexample>> r = checker.Check(j);
+        if (!r.ok()) {
+          slot.error = r.status();
           break;
         }
-        out.clear();
-        Status s = query.EvalFacts(entry.unions[k], &out);
-        if (!s.ok()) {
-          slot.error = s;
-          break;
-        }
-        // Same sorted merge as PairChecker::Check: the first Q(I) fact
-        // missing from Q(I ∪ J) is the counterexample witness.
-        auto it = out.begin();
-        const Fact* missing = nullptr;
-        for (const Fact& f : base) {
-          while (it != out.end() && *it < f) ++it;
-          if (it == out.end() || !(*it == f)) {
-            missing = &f;
-            break;
-          }
-        }
-        if (missing != nullptr) {
-          slot.cex = Counterexample{entry.i, entry.js[k], *missing};
+        if (r->has_value()) {
+          slot.cex = std::move(r.value());
           break;
         }
       }

@@ -2,6 +2,7 @@
 #define CALM_MONOTONICITY_CHECKER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -93,19 +94,23 @@ Result<std::optional<Counterexample>> FindViolationRandom(
     const Query& query, MonotonicityClass cls, const RandomOptions& options);
 
 // Checks pairs (i, j) sharing a fixed outer i: Q(i) is evaluated once (on
-// the first Check) and reused for every j, and I u J is maintained as an
-// overlay on a persistent copy of i — j's facts are inserted before the
-// evaluation and erased after — so no per-pair Instance::Union copy is ever
-// made. The exhaustive searches create one PairChecker per candidate I;
-// `i` must outlive the checker.
+// the first Check) and reused for every j, and the per-pair Q(i u j)
+// subset tests go through the query's UnionEvaluator (base/query.h) — the
+// engine decides how to reuse its state about i across the J enumeration
+// (a materialized fixpoint continued by insertion deltas for DatalogQuery,
+// a precomputed reachability matrix for the closure queries, an overlay on
+// a persistent copy of i otherwise). Every route reports the byte-identical
+// first-retracted fact. The exhaustive searches create one PairChecker per
+// candidate I; `i` must outlive the checker.
 class PairChecker {
  public:
   // When `cache` is non-null, the base Q(i) evaluation goes through it —
   // isomorphic outer instances anywhere in the sweep (e.g. the 3 * max_i
   // ladder cells re-sweeping the same I space) then share one evaluation.
-  // The per-pair Q(i u j) evaluations always run directly: unions rarely
-  // repeat within a search, so canonicalizing each one costs more than it
-  // saves. Callers must only pass a cache under the genericity gate.
+  // The per-pair Q(i u j) checks always run directly through the union
+  // evaluator: unions rarely repeat within a search, so canonicalizing each
+  // one costs more than it saves. Callers must only pass a cache under the
+  // genericity gate.
   PairChecker(const Query& query, const Instance& i,
               QueryResultCache* cache = nullptr)
       : query_(query), i_(i), cache_(cache) {}
@@ -124,9 +129,8 @@ class PairChecker {
   bool base_ready_ = false;
   Status base_status_;            // Q(i)'s error, replayed on every Check
   std::vector<Fact> base_facts_;  // Q(i) in iteration order
-  Instance union_;                // == i between Check calls
-  std::vector<Fact> overlay_;     // j's facts newly added to union_
-  std::vector<Fact> out_scratch_;  // Q(i u j), reused across Check calls
+  // Engine-chosen Q(i) <= Q(i u j) tester, built lazily with base_facts_.
+  std::unique_ptr<UnionEvaluator> union_eval_;
 };
 
 // Checks one specific pair: returns a counterexample iff Q(i) is not a

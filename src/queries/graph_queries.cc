@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "datalog/evaluator.h"
 
 namespace calm::queries {
 
@@ -201,10 +206,187 @@ Instance EdgesAsOutput(const Instance& in) {
   return out;
 }
 
+// Incremental union evaluation for the closure queries TC and Q_TC: the
+// base reachability bit matrix is decoded once from base_facts — Q(i) is
+// exactly that matrix (or its complement), and the checker hands it to
+// every FirstRetracted call, so re-running the base closure here would be
+// pure waste. Each J then only merges its endpoints into the vertex set,
+// ORs its edges into the adjacency masks, and re-saturates — no Instance
+// materialization, no output-fact emission, no merge. First-retraction
+// scans the base pairs in their output order directly off the two matrices,
+// so the reported fact is byte-identical to the from-scratch sorted merge:
+//   Q_TC: first base pair (a, b) with !base_reach(a, b) that became
+//         reachable in the union (the query is antitone in reach);
+//   TC:   first base pair with base_reach(a, b) missing from the union —
+//         always none, since reach only grows, but computed honestly.
+// Bases or unions past 64 vertices delegate to the overlay evaluator (the
+// checker sweeps run at ≤ ~8 values; the cap is a budget, not a limit).
+class ClosureUnionEvaluator : public UnionEvaluator {
+ public:
+  ClosureUnionEvaluator(const Query& query, const Instance& i, bool complement)
+      : query_(query), base_(i), complement_(complement) {
+    const TupleSet& edges = i.TuplesOf(RelE());
+    for (const Tuple& t : edges) {
+      verts_.push_back(t[0]);
+      verts_.push_back(t[1]);
+    }
+    std::sort(verts_.begin(), verts_.end());
+    verts_.erase(std::unique(verts_.begin(), verts_.end()), verts_.end());
+    if (verts_.size() > 64) return;
+    viable_ = true;
+    auto index_of = [&](Value v) {
+      return std::lower_bound(verts_.begin(), verts_.end(), v) -
+             verts_.begin();
+    };
+    for (const Tuple& t : edges) {
+      edges_.emplace_back(static_cast<uint8_t>(index_of(t[0])),
+                          static_cast<uint8_t>(index_of(t[1])));
+    }
+  }
+
+  // Whether the base fit the bitmask budget; a non-viable evaluator should
+  // not be used (the factories return nullptr instead).
+  bool viable() const { return viable_; }
+
+  Result<std::optional<Fact>> FirstRetracted(
+      const Instance& j, const std::vector<Fact>& base_facts) override {
+    const TupleSet& jedges = j.TuplesOf(RelE());
+    // A J edge incident to no base vertex can never change reachability
+    // between base vertices: base vertices have no edges into the fresh
+    // component, so every walk from one stays on base edges. Retractions
+    // (either query) need a base-pair reach change, so such a J — every J
+    // of the domain-disjoint sweeps — is answered without touching the
+    // matrices. This is a property of the graphs, not of the bit encoding,
+    // so it applies even past the vertex budget.
+    bool touches_base = false;
+    for (const Tuple& t : jedges) {
+      if (std::binary_search(verts_.begin(), verts_.end(), t[0]) ||
+          std::binary_search(verts_.begin(), verts_.end(), t[1])) {
+        touches_base = true;
+        break;
+      }
+    }
+    if (!touches_base) return std::optional<Fact>();
+
+    if (viable_ && reach_.empty() && !verts_.empty()) {
+      // Decode the base matrix from Q(i): for TC each fact IS a reach bit;
+      // for Q_TC the facts are exactly the cleared bits of verts x verts.
+      const uint64_t full =
+          verts_.size() == 64 ? ~uint64_t{0}
+                              : (uint64_t{1} << verts_.size()) - 1;
+      reach_.assign(verts_.size(), complement_ ? full : 0);
+      auto index_of = [&](Value v) {
+        return std::lower_bound(verts_.begin(), verts_.end(), v) -
+               verts_.begin();
+      };
+      for (const Fact& f : base_facts) {
+        const uint64_t bit = uint64_t{1} << index_of(f.args[1]);
+        if (complement_) {
+          reach_[index_of(f.args[0])] &= ~bit;
+        } else {
+          reach_[index_of(f.args[0])] |= bit;
+        }
+      }
+    }
+    uverts_ = verts_;
+    for (const Tuple& t : jedges) {
+      uverts_.push_back(t[0]);
+      uverts_.push_back(t[1]);
+    }
+    std::sort(uverts_.begin(), uverts_.end());
+    uverts_.erase(std::unique(uverts_.begin(), uverts_.end()), uverts_.end());
+    if (!viable_ || uverts_.size() > 64) {
+      if (fallback_ == nullptr) {
+        fallback_ = MakeOverlayUnionEvaluator(query_, base_);
+      }
+      return fallback_->FirstRetracted(j, base_facts);
+    }
+
+    auto union_index = [&](Value v) {
+      return std::lower_bound(uverts_.begin(), uverts_.end(), v) -
+             uverts_.begin();
+    };
+    // Base vertices are a subsequence of the union vertices, in order.
+    map_.resize(verts_.size());
+    for (size_t b = 0; b < verts_.size(); ++b) {
+      map_[b] = static_cast<uint8_t>(union_index(verts_[b]));
+    }
+    uint64_t uadj[64] = {};
+    for (const auto& [a, b] : edges_) {
+      uadj[map_[a]] |= uint64_t{1} << map_[b];
+    }
+    for (const Tuple& t : jedges) {
+      uadj[union_index(t[0])] |= uint64_t{1} << union_index(t[1]);
+    }
+
+    // Scan base pairs in output order; only rows starting at base vertices
+    // can hold a retraction, so only those get saturated.
+    for (size_t a = 0; a < verts_.size(); ++a) {
+      const uint64_t base_row = reach_[a];
+      const uint64_t union_row = Saturate(uadj, map_[a]);
+      for (size_t b = 0; b < verts_.size(); ++b) {
+        const bool base_reaches = (base_row >> b) & 1;
+        const bool union_reaches = (union_row >> map_[b]) & 1;
+        if (complement_ ? (!base_reaches && union_reaches)
+                        : (base_reaches && !union_reaches)) {
+          return std::optional<Fact>(Fact(complement_ ? RelO() : RelT(),
+                                          Tuple{verts_[a], verts_[b]}));
+        }
+      }
+    }
+    return std::optional<Fact>();
+  }
+
+ private:
+  // The set of vertices reachable from `s` by a nonempty path, as a mask.
+  static uint64_t Saturate(const uint64_t adj[64], size_t s) {
+    uint64_t reached = adj[s];
+    uint64_t frontier = reached;
+    while (frontier != 0) {
+      uint64_t next = 0;
+      while (frontier != 0) {
+        int v = __builtin_ctzll(frontier);
+        frontier &= frontier - 1;
+        next |= adj[v];
+      }
+      frontier = next & ~reached;
+      reached |= next;
+    }
+    return reached;
+  }
+
+  const Query& query_;
+  const Instance& base_;
+  const bool complement_;
+  bool viable_ = false;
+  std::vector<Value> verts_;  // sorted base vertex set
+  std::vector<std::pair<uint8_t, uint8_t>> edges_;  // base E, as indexes
+  std::vector<uint64_t> reach_;  // base closure rows, parallel to verts_
+  std::vector<Value> uverts_;    // per-call scratch: union vertex set
+  std::vector<uint8_t> map_;     // per-call scratch: base -> union index
+  std::unique_ptr<UnionEvaluator> fallback_;  // overlay route, built lazily
+};
+
+// The factory wired onto TC / Q_TC. Declines (falling back to the overlay
+// evaluator) when incremental mode is off — the --incremental ablation and
+// the parity tests compare exactly these two routes — or when the base
+// exceeds the bitmask budget.
+NativeQuery::UnionEvalFactory ClosureUnionFactory(bool complement) {
+  return [complement](const Query& query, const Instance& i)
+             -> std::unique_ptr<UnionEvaluator> {
+    if (datalog::DefaultIncrementalMode() != datalog::IncrementalMode::kOn) {
+      return nullptr;
+    }
+    auto ev = std::make_unique<ClosureUnionEvaluator>(query, i, complement);
+    if (!ev->viable()) return nullptr;
+    return ev;
+  };
+}
+
 }  // namespace
 
 std::unique_ptr<Query> MakeTransitiveClosure() {
-  return std::make_unique<NativeQuery>(
+  auto q = std::make_unique<NativeQuery>(
       "TC", GraphSchema(), Schema({{"T", 2}}),
       NativeQuery::FactsFn(
           [](const Instance& in, std::vector<Fact>* out) -> Status {
@@ -213,10 +395,12 @@ std::unique_ptr<Query> MakeTransitiveClosure() {
             }
             return Status::Ok();
           }));
+  q->set_union_eval_factory(ClosureUnionFactory(/*complement=*/false));
+  return q;
 }
 
 std::unique_ptr<Query> MakeComplementTransitiveClosure() {
-  return std::make_unique<NativeQuery>(
+  auto q = std::make_unique<NativeQuery>(
       "Q_TC", GraphSchema(), Schema({{"O", 2}}),
       NativeQuery::FactsFn(
           [](const Instance& in, std::vector<Fact>* out) -> Status {
@@ -237,6 +421,8 @@ std::unique_ptr<Query> MakeComplementTransitiveClosure() {
             }
             return Status::Ok();
           }));
+  q->set_union_eval_factory(ClosureUnionFactory(/*complement=*/true));
+  return q;
 }
 
 std::unique_ptr<Query> MakeCliqueQuery(size_t k) {

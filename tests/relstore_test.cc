@@ -303,5 +303,169 @@ TEST(RelStoreTest, MixedArityOverflowKeepsContainsAndSize) {
   EXPECT_FALSE(store.Contains({V(1), V(2), V(3)}));
 }
 
+// --- Epoch rollback -------------------------------------------------------
+
+TEST(RelStoreTest, TruncateRowsUnwindsDedupAndIndexes) {
+  RelStore store;
+  store.Insert({V(1), V(2)});
+  store.Insert({V(2), V(3)});
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(1)}).size(), 1u);  // build an index
+  store.Insert({V(1), V(4)});
+  store.Insert({V(3), V(4)});
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(1)}).size(), 2u);  // extend it
+
+  store.TruncateRows(2);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains({V(1), V(2)}));
+  EXPECT_TRUE(store.Contains({V(2), V(3)}));
+  // The removed rows are gone from dedup (reinsertable) and the index.
+  EXPECT_FALSE(store.Contains({V(1), V(4)}));
+  EXPECT_FALSE(store.Contains({V(3), V(4)}));
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(1)}).size(), 1u);
+  EXPECT_TRUE(store.Probe(0b01, Tuple{V(3)}).empty());
+  EXPECT_TRUE(store.Insert({V(1), V(4)}));
+  EXPECT_EQ(store.Probe(0b01, Tuple{V(1)}).size(), 2u);
+}
+
+TEST(RelStoreTest, TruncateRowsSurvivesTableGrowthAndCollisions) {
+  // Enough rows to force several dedup-table doublings, then a rollback
+  // across the growth boundary: every surviving row must stay findable
+  // (backward-shift deletion must not break probe chains).
+  RelStore store;
+  constexpr uint64_t kN = 400;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(store.Insert({V(i), V(i % 5)}));
+  }
+  EXPECT_EQ(store.Probe(0b10, Tuple{V(0)}).size(), kN / 5);
+  store.TruncateRows(37);
+  EXPECT_EQ(store.size(), 37u);
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(store.Contains({V(i), V(i % 5)}), i < 37) << i;
+  }
+  EXPECT_EQ(store.Probe(0b10, Tuple{V(0)}).size(), 8u);  // 0,5,...,35
+  // Reinsert everything: dedup slots freed by the rollback are reusable.
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(store.Insert({V(i), V(i % 5)}), i >= 37) << i;
+  }
+  EXPECT_EQ(store.size(), kN);
+}
+
+TEST(RelStoreTest, TruncateRowsWideArity) {
+  RelStore store;
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.Insert({V(i), V(i + 1), V(i + 2), V(i % 3)}));
+  }
+  EXPECT_EQ(store.Probe(0b1000, Tuple{V(0)}).size(), 17u);
+  store.TruncateRows(10);
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_TRUE(store.Contains({V(9), V(10), V(11), V(0)}));
+  EXPECT_FALSE(store.Contains({V(10), V(11), V(12), V(1)}));
+  EXPECT_EQ(store.Probe(0b1000, Tuple{V(0)}).size(), 4u);  // i = 0,3,6,9
+  EXPECT_TRUE(store.Insert({V(10), V(11), V(12), V(1)}));
+}
+
+TEST(DatabaseTest, EpochRollbackRestoresStoresDictAndIndexes) {
+  Database db;
+  const uint32_t e = InternName("E");
+  const uint32_t s = InternName("S");
+  db.Insert(e, {V(1), V(2)});
+  db.Insert(s, {V(3)});
+  ASSERT_EQ(db.Store(e)->Probe(0b01, Tuple{V(1)}).size(), 1u);
+  const size_t dict_before = db.dict().size();
+  const Instance before = db.ToInstance();
+
+  db.BeginEpoch();
+  EXPECT_EQ(db.EpochDepth(), 1u);
+  db.Insert(e, {V(7), V(8)});               // new values -> dict growth
+  db.Insert(s, {V(1)});
+  db.Insert(InternName("NEW"), {V(9)});     // store created mid-epoch
+  ASSERT_EQ(db.Store(e)->Probe(0b01, Tuple{V(7)}).size(), 1u);
+  EXPECT_GT(db.dict().size(), dict_before);
+
+  db.RollbackEpoch();
+  EXPECT_EQ(db.EpochDepth(), 0u);
+  EXPECT_EQ(db.ToInstance(), before);
+  EXPECT_EQ(db.dict().size(), dict_before);
+  EXPECT_EQ(db.Store(InternName("NEW")), nullptr);
+  EXPECT_FALSE(db.Contains(e, {V(7), V(8)}));
+  EXPECT_TRUE(db.Store(e)->Probe(0b01, Tuple{V(7)}).empty());
+  ASSERT_EQ(db.Store(e)->Probe(0b01, Tuple{V(1)}).size(), 1u);
+
+  // Rolled-back values re-intern cleanly and the store accepts the rows
+  // again (dedup slots were really freed).
+  EXPECT_TRUE(db.Insert(e, {V(7), V(8)}));
+  EXPECT_EQ(db.dict().size(), dict_before + 2);
+}
+
+TEST(DatabaseTest, NestedEpochsRollBackIndependently) {
+  Database db;
+  const uint32_t e = InternName("E");
+  db.Insert(e, {V(1), V(2)});
+
+  db.BeginEpoch();
+  db.Insert(e, {V(3), V(4)});
+  const Instance at_depth1 = db.ToInstance();
+
+  db.BeginEpoch();
+  db.Insert(e, {V(5), V(6)});
+  EXPECT_EQ(db.EpochDepth(), 2u);
+  db.RollbackEpoch();
+  EXPECT_EQ(db.ToInstance(), at_depth1);
+  EXPECT_TRUE(db.Contains(e, {V(3), V(4)}));
+  EXPECT_FALSE(db.Contains(e, {V(5), V(6)}));
+
+  db.RollbackEpoch();
+  EXPECT_EQ(db.EpochDepth(), 0u);
+  EXPECT_FALSE(db.Contains(e, {V(3), V(4)}));
+  EXPECT_TRUE(db.Contains(e, {V(1), V(2)}));
+}
+
+TEST(DatabaseTest, EpochRollbackRemovesStoreWhoseArityWasFixedInEpoch) {
+  // A store created before the epoch but still empty (arity -1) may get its
+  // arity fixed by the first insert inside the epoch; rollback must return
+  // it to the pristine shell.
+  Database db;
+  const uint32_t e = InternName("E");
+  db.EnsureStores({e});
+  ASSERT_NE(db.Store(e), nullptr);
+  EXPECT_EQ(db.Store(e)->arity(), -1);
+
+  db.BeginEpoch();
+  db.Insert(e, {V(1), V(2), V(3)});
+  EXPECT_EQ(db.Store(e)->arity(), 3);
+  db.RollbackEpoch();
+  ASSERT_NE(db.Store(e), nullptr);
+  EXPECT_EQ(db.Store(e)->arity(), -1);
+  EXPECT_EQ(db.Store(e)->size(), 0u);
+  // And the store is reusable at a different arity afterwards.
+  EXPECT_TRUE(db.Insert(e, {V(1), V(2)}));
+  EXPECT_EQ(db.Store(e)->arity(), 2);
+}
+
+TEST(RelStoreTest, RollbackToRestoresOverflowAndArityZero) {
+  RelStore store;
+  store.Insert({V(1), V(2)});
+  store.Insert({V(1), V(2), V(3)});  // overflow straggler
+  const RelStore::Mark mark = store.MarkNow();
+  store.Insert({V(4), V(5), V(6)});
+  store.Insert({V(7), V(8)});
+  store.RollbackTo(mark);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains({V(1), V(2), V(3)}));
+  EXPECT_FALSE(store.Contains({V(4), V(5), V(6)}));
+  EXPECT_FALSE(store.Contains({V(7), V(8)}));
+
+  RelStore nullary;
+  const RelStore::Mark m0 = nullary.MarkNow();  // arity still -1
+  nullary.Insert(Tuple{});
+  nullary.RollbackTo(m0);
+  EXPECT_EQ(nullary.size(), 0u);
+  EXPECT_FALSE(nullary.Contains(Tuple{}));
+  EXPECT_TRUE(nullary.Insert(Tuple{}));
+  const RelStore::Mark m1 = nullary.MarkNow();
+  nullary.RollbackTo(m1);  // nothing inserted since: no-op
+  EXPECT_TRUE(nullary.Contains(Tuple{}));
+}
+
 }  // namespace
 }  // namespace calm::datalog

@@ -7,6 +7,7 @@ unittest-style so it runs under `python3 -m unittest` or `python3 -m pytest`
 import io
 import json
 import os
+import re
 import tempfile
 import unittest
 from contextlib import redirect_stdout
@@ -144,6 +145,38 @@ class CompareBenchTest(unittest.TestCase):
     def test_zero_baseline_time_is_a_regression_when_current_nonzero(self):
         rc, _ = self.run_main({"BM_A": 0.0}, {"BM_A": 5.0})
         self.assertEqual(rc, 1)
+
+
+class BaselineCoverageTest(unittest.TestCase):
+    """The committed engine-perf baseline must line up with the CI filter.
+
+    A baseline entry whose name no longer matches the perf-smoke
+    --benchmark_filter would silently lose its regression gate: --strict
+    only flags names missing from the *run*, and the run only contains
+    names the filter let through. Keep FILTER in sync with the perf-smoke
+    and baseline-refresh jobs in .github/workflows/ci.yml.
+    """
+
+    FILTER = re.compile(
+        r"BM_EvalPrepared|BM_EvalIncrementalOverlay|BM_EvalCompileEveryCall|"
+        r"BM_MonotonicityCheck|BM_FindViolation|BM_Ladder|BM_RunToQuiescence")
+
+    def baseline_names(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "bench", "baselines",
+                            "BENCH_engine_perf.json")
+        with open(path) as f:
+            return [e["name"] for e in json.load(f)["benchmarks"]]
+
+    def test_every_baseline_name_matches_ci_filter(self):
+        for name in self.baseline_names():
+            self.assertRegex(name, self.FILTER)
+
+    def test_incremental_overlay_benchmarks_are_gated(self):
+        names = set(self.baseline_names())
+        self.assertIn("BM_EvalIncrementalOverlay/8", names)
+        self.assertIn("BM_EvalIncrementalOverlay/32", names)
+        self.assertIn("BM_FindViolationCanonical", names)
 
 
 if __name__ == "__main__":
