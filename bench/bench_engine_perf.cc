@@ -14,7 +14,9 @@
 #include "bench/flags.h"
 #include "datalog/evaluator.h"
 #include "datalog/parser.h"
+#include "datalog/prepared.h"
 #include "datalog/program.h"
+#include "datalog/relstore.h"
 #include "datalog/wellfounded.h"
 #include "monotonicity/checker.h"
 #include "monotonicity/ladder.h"
@@ -225,6 +227,101 @@ void BM_EvalPrepared(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EvalPrepared)->Arg(8)->Arg(32);
+
+// Materialization in isolation: Database::ToInstance over a TC fixpoint's
+// worth of rows (the back end of every Eval — raw-pointer column reads,
+// strict-key-order emission, InsertSortedUnique adoption). Tracked so a
+// regression here is attributable separately from the fixpoint itself.
+void BM_ToInstance(benchmark::State& state) {
+  datalog::DatalogQuery q = datalog::DatalogQuery::FromTextOrDie(
+      "T(x, y) :- E(x, y). T(x, z) :- T(x, y), E(y, z). .output T",
+      "tc-to-instance");
+  Instance input =
+      workload::RandomGraphM(state.range(0), 3 * state.range(0), /*seed=*/7);
+  Result<Instance> fixpoint = q.Eval(input);
+  if (!fixpoint.ok()) {
+    state.SkipWithError("fixpoint evaluation failed");
+    return;
+  }
+  datalog::Database db(*fixpoint);
+  for (auto _ : state) {
+    Instance out = db.ToInstance();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixpoint->size()));
+}
+BENCHMARK(BM_ToInstance)->Arg(32)->Arg(128);
+
+// The dedup-table insert path in isolation: one binary relation fed a
+// pre-generated code stream in which every row appears twice (TC-like
+// attempt mix — about half the attempts are rejects). Covers the packed-u64
+// open-addressing table, its growth schedule, and the batched insert the
+// engines flush through.
+void BM_DedupInsert(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  std::vector<uint32_t> c0, c1;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (uint32_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    c0.push_back(static_cast<uint32_t>(x % (n / 2 + 1)));
+    c1.push_back(static_cast<uint32_t>((x >> 32) % (n / 2 + 1)));
+  }
+  // Duplicate the stream: the second half replays the first.
+  c0.insert(c0.end(), c0.begin(), c0.begin() + n);
+  c1.insert(c1.end(), c1.begin(), c1.begin() + n);
+  const uint32_t* cols[2] = {c0.data(), c1.data()};
+  for (auto _ : state) {
+    state.PauseTiming();
+    datalog::Database db;
+    // Interning outside the timed region: the stream is pure code-space.
+    for (uint32_t v = 0; v <= n / 2; ++v) {
+      (void)db.dict().Intern(Value::FromInt(v));
+    }
+    state.ResumeTiming();
+    uint64_t inserted = 0, rejected = 0;
+    db.EnsureStores({InternName("R")});
+    datalog::RelStore* store = db.Store(InternName("R"));
+    store->InsertBatchCols(cols, 2, c0.size(), &inserted, &rejected);
+    benchmark::DoNotOptimize(inserted);
+    benchmark::DoNotOptimize(rejected);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c0.size()));
+}
+BENCHMARK(BM_DedupInsert)->Arg(4096)->Arg(65536);
+
+// Morsel-parallel stratum evaluation on an instance large enough that the
+// semi-naive deltas exceed the morsel size: Arg is eval_threads. Outputs are
+// byte-identical at any count (pinned by tests/engine_diff_test.cc); the
+// threads=N over threads=1 speedup on multi-core hosts is the tracked
+// number. On single-core CI runners the lanes execute inline, so this also
+// tracks the sink/merge overhead of the parallel plumbing itself.
+void BM_EvalPreparedThreads(benchmark::State& state) {
+  datalog::EvalOptions opts;
+  opts.eval_threads = static_cast<int>(state.range(0));
+  Result<datalog::PreparedProgram> p =
+      datalog::PreparedProgram::Prepare(TcProgram(), opts);
+  if (!p.ok()) {
+    state.SkipWithError("prepare failed");
+    return;
+  }
+  Instance input = workload::RandomGraphM(400, 1600, /*seed=*/7);
+  for (auto _ : state) {
+    Result<Instance> out = p->Eval(input);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvalPreparedThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 // Incremental union evaluation: the Q(I) fixpoint is materialized once by
 // MakeUnionEvaluator; each single-fact J then runs as an epoch-scoped

@@ -33,6 +33,11 @@ namespace calm::bench {
 //                     insertion delta) or "off" (from-scratch ablation); also
 //                     settable via CALM_INCREMENTAL, the flag wins
 //                     (SetDefaultIncrementalMode)
+//   --eval_threads N  worker threads for morsel-parallel stratum evaluation
+//                     inside a single bytecode fixpoint (default 1 = serial;
+//                     results are byte-identical at any count); also settable
+//                     via CALM_EVAL_THREADS, the flag wins
+//                     (SetDefaultEvalThreads)
 struct Flags {
   size_t threads = 0;     // 0 = CALM_THREADS / hardware default
   std::string json_path;  // empty = no JSON output
@@ -41,6 +46,7 @@ struct Flags {
   std::string trace_out;    // empty = tracing stays disabled
   std::string engine;       // empty = CALM_ENGINE / bytecode default
   std::string incremental;  // empty = CALM_INCREMENTAL / on default
+  size_t eval_threads = 0;  // 0 = CALM_EVAL_THREADS / serial default
 };
 
 // Parses and strips the flags above from argv (leaving unrecognized
@@ -49,87 +55,57 @@ struct Flags {
 // for them. Exits with a usage message on a malformed value.
 inline Flags ParseFlags(int* argc, char** argv) {
   Flags flags;
+  // One row per flag: a string sink or a numeric sink (positive when the
+  // value must be > 0). Both "--name value" and "--name=value" forms work.
+  struct Spec {
+    const char* name;
+    std::string* str;
+    size_t* num;
+    bool positive;
+  };
+  const Spec specs[] = {
+      {"--threads", nullptr, &flags.threads, true},
+      {"--eval_threads", nullptr, &flags.eval_threads, true},
+      {"--domain_bump", nullptr, &flags.domain_bump, false},
+      {"--json", &flags.json_path, nullptr, false},
+      {"--metrics_out", &flags.metrics_out, nullptr, false},
+      {"--trace_out", &flags.trace_out, nullptr, false},
+      {"--engine", &flags.engine, nullptr, false},
+      {"--incremental", &flags.incremental, nullptr, false},
+  };
   int out = 1;
   for (int in = 1; in < *argc; ++in) {
     const char* arg = argv[in];
+    const Spec* hit = nullptr;
     const char* value = nullptr;
-    bool is_threads = false;
-    bool is_json = false;
-    bool is_bump = false;
-    bool is_metrics = false;
-    bool is_trace = false;
-    bool is_engine = false;
-    bool is_incremental = false;
-    if (std::strncmp(arg, "--engine=", 9) == 0) {
-      is_engine = true;
-      value = arg + 9;
-    } else if (std::strcmp(arg, "--engine") == 0 && in + 1 < *argc) {
-      is_engine = true;
-      value = argv[++in];
-    } else if (std::strncmp(arg, "--incremental=", 14) == 0) {
-      is_incremental = true;
-      value = arg + 14;
-    } else if (std::strcmp(arg, "--incremental") == 0 && in + 1 < *argc) {
-      is_incremental = true;
-      value = argv[++in];
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      is_threads = true;
-      value = arg + 10;
-    } else if (std::strcmp(arg, "--threads") == 0 && in + 1 < *argc) {
-      is_threads = true;
-      value = argv[++in];
-    } else if (std::strncmp(arg, "--json=", 7) == 0) {
-      is_json = true;
-      value = arg + 7;
-    } else if (std::strcmp(arg, "--json") == 0 && in + 1 < *argc) {
-      is_json = true;
-      value = argv[++in];
-    } else if (std::strncmp(arg, "--domain_bump=", 14) == 0) {
-      is_bump = true;
-      value = arg + 14;
-    } else if (std::strcmp(arg, "--domain_bump") == 0 && in + 1 < *argc) {
-      is_bump = true;
-      value = argv[++in];
-    } else if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
-      is_metrics = true;
-      value = arg + 14;
-    } else if (std::strcmp(arg, "--metrics_out") == 0 && in + 1 < *argc) {
-      is_metrics = true;
-      value = argv[++in];
-    } else if (std::strncmp(arg, "--trace_out=", 12) == 0) {
-      is_trace = true;
-      value = arg + 12;
-    } else if (std::strcmp(arg, "--trace_out") == 0 && in + 1 < *argc) {
-      is_trace = true;
-      value = argv[++in];
-    }
-    if (is_threads || is_bump) {
-      char* end = nullptr;
-      unsigned long n = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || (is_threads && n == 0)) {
-        std::fprintf(stderr, "%s expects a %s integer, got %s\n",
-                     is_threads ? "--threads" : "--domain_bump",
-                     is_threads ? "positive" : "non-negative", value);
-        std::exit(2);
+    for (const Spec& spec : specs) {
+      const size_t len = std::strlen(spec.name);
+      if (std::strncmp(arg, spec.name, len) != 0) continue;
+      if (arg[len] == '=') {
+        hit = &spec;
+        value = arg + len + 1;
+      } else if (arg[len] == '\0' && in + 1 < *argc) {
+        hit = &spec;
+        value = argv[++in];
       }
-      if (is_threads) {
-        flags.threads = static_cast<size_t>(n);
-      } else {
-        flags.domain_bump = static_cast<size_t>(n);
-      }
-    } else if (is_json) {
-      flags.json_path = value;
-    } else if (is_metrics) {
-      flags.metrics_out = value;
-    } else if (is_trace) {
-      flags.trace_out = value;
-    } else if (is_engine) {
-      flags.engine = value;
-    } else if (is_incremental) {
-      flags.incremental = value;
-    } else {
-      argv[out++] = argv[in];
+      if (hit != nullptr) break;
     }
+    if (hit == nullptr) {
+      argv[out++] = argv[in];  // unrecognized (e.g. google-benchmark's)
+      continue;
+    }
+    if (hit->str != nullptr) {
+      *hit->str = value;
+      continue;
+    }
+    char* end = nullptr;
+    unsigned long n = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0' || (hit->positive && n == 0)) {
+      std::fprintf(stderr, "%s expects a %s integer, got %s\n", hit->name,
+                   hit->positive ? "positive" : "non-negative", value);
+      std::exit(2);
+    }
+    *hit->num = static_cast<size_t>(n);
   }
   *argc = out;
   if (!flags.engine.empty()) {
@@ -152,6 +128,9 @@ inline Flags ParseFlags(int* argc, char** argv) {
     datalog::SetDefaultIncrementalMode(*mode);
   }
   if (flags.threads != 0) SetDefaultThreads(flags.threads);
+  if (flags.eval_threads != 0) {
+    datalog::SetDefaultEvalThreads(static_cast<int>(flags.eval_threads));
+  }
   if (!flags.metrics_out.empty()) SetMetricsEnabled(true);
   if (!flags.trace_out.empty()) {
     if (!TracingCompiledIn()) {

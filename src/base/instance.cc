@@ -117,6 +117,15 @@ size_t Instance::InsertSorted(uint32_t rel, std::vector<Tuple>&& sorted) {
   return vec.size();
 }
 
+size_t Instance::InsertSortedUnique(uint32_t rel, std::vector<Tuple>&& sorted) {
+  if (sorted.empty()) return 0;  // never leave an empty relation entry behind
+  TupleSet& tuples = SetOf(rel);
+  if (!tuples.tuples_.empty()) return InsertSorted(rel, sorted);
+  tuples.tuples_ = std::move(sorted);
+  size_ += tuples.tuples_.size();
+  return tuples.tuples_.size();
+}
+
 size_t Instance::InsertSortedFacts(const std::vector<Fact>& sorted) {
   size_t added = 0;
   size_t i = 0;

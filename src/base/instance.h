@@ -82,6 +82,11 @@ class Instance {
   // Move form: when relation `rel` is empty the buffer is adopted wholesale
   // (no per-tuple copies) — the engines' materialization path.
   size_t InsertSorted(uint32_t rel, std::vector<Tuple>&& sorted);
+  // As the move form, for buffers the caller guarantees strictly ascending
+  // (no duplicates at all): adoption skips the adjacent-duplicate sweep.
+  // Database::ToInstance qualifies — columnar rows are deduplicated at
+  // insert and emitted in strict key order.
+  size_t InsertSortedUnique(uint32_t rel, std::vector<Tuple>&& sorted);
 
   // Bulk-inserts facts; `sorted` must be ascending in Fact order (relation
   // id, then tuple — duplicates allowed), so each relation's run inserts

@@ -1,0 +1,589 @@
+#ifndef CALM_BASE_SIMD_H_
+#define CALM_BASE_SIMD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+// Portable SIMD kernels for the bytecode engine's hot loops: selection
+// filters over code columns (equality / inequality, column-vs-column and
+// column-vs-constant), gather-based column materialization, and batched
+// splitmix64 hashing for the dedup/probe tables.
+//
+// Every kernel produces output byte-identical to its scalar loop — the
+// vector paths differ only in how many rows they look at per iteration
+// (compares produce a lane bitmask; set bits are converted back to row
+// indices in ascending order). The engine differential harness pins this by
+// running the same corpus at every dispatch level.
+//
+// Dispatch is two-layered:
+//   * compile time: CALM_SIMD=OFF (-DCALM_SIMD_DISABLED=1) compiles the
+//     vector bodies out entirely; only the scalar loops remain.
+//   * run time: DetectLevel() picks the widest ISA the CPU supports (AVX2,
+//     then SSE2 on x86-64; NEON on aarch64; scalar otherwise). The
+//     CALM_SIMD_LEVEL environment variable (scalar|sse2|avx2|neon|auto)
+//     clamps it — the CI smoke leg forces `scalar` to pin the fallback —
+//     and SetLevel() is the in-process test hook.
+//
+// The AVX2 bodies carry __attribute__((target("avx2"))), so this header
+// compiles in a baseline -march TU and the AVX2 code is only reachable
+// through the runtime dispatch check.
+
+#if !defined(CALM_SIMD_DISABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CALM_SIMD_X86 1
+#include <immintrin.h>
+#elif !defined(CALM_SIMD_DISABLED) && defined(__ARM_NEON)
+#define CALM_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace calm::simd {
+
+enum class Level : uint8_t { kScalar = 0, kSSE2 = 1, kAVX2 = 2, kNEON = 3 };
+
+inline const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kSSE2:
+      return "sse2";
+    case Level::kAVX2:
+      return "avx2";
+    case Level::kNEON:
+      return "neon";
+    default:
+      return "scalar";
+  }
+}
+
+// Whether the vector bodies were compiled in at all (CALM_SIMD=ON and a
+// supported architecture).
+inline constexpr bool CompiledIn() {
+#if defined(CALM_SIMD_X86) || defined(CALM_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// The widest level this CPU can run (ignores overrides).
+inline Level DetectLevel() {
+#if defined(CALM_SIMD_X86)
+  return __builtin_cpu_supports("avx2") ? Level::kAVX2 : Level::kSSE2;
+#elif defined(CALM_SIMD_NEON)
+  return Level::kNEON;
+#else
+  return Level::kScalar;
+#endif
+}
+
+namespace detail {
+
+// A requested level clamped to what this build/CPU can actually run.
+inline Level Clamp(Level want) {
+  Level have = DetectLevel();
+#if defined(CALM_SIMD_X86)
+  if (want == Level::kNEON) return have;
+  return static_cast<uint8_t>(want) <= static_cast<uint8_t>(have) ? want
+                                                                  : have;
+#else
+  return want == have ? want : Level::kScalar;
+#endif
+}
+
+inline Level InitialLevel() {
+  const char* env = std::getenv("CALM_SIMD_LEVEL");
+  if (env != nullptr) {
+    std::string_view v(env);
+    if (v == "scalar" || v == "off") return Level::kScalar;
+    if (v == "sse2") return Clamp(Level::kSSE2);
+    if (v == "avx2") return Clamp(Level::kAVX2);
+    if (v == "neon") return Clamp(Level::kNEON);
+  }
+  return DetectLevel();
+}
+
+inline std::atomic<Level>& GlobalLevel() {
+  static std::atomic<Level> level{InitialLevel()};
+  return level;
+}
+
+}  // namespace detail
+
+// The dispatch level every kernel below runs at.
+inline Level ActiveLevel() {
+  return detail::GlobalLevel().load(std::memory_order_relaxed);
+}
+
+// Overrides the dispatch level (test hook; clamped to what the build/CPU
+// supports, so requesting AVX2 on an SSE2-only machine degrades safely).
+inline void SetLevel(Level level) {
+  detail::GlobalLevel().store(detail::Clamp(level),
+                              std::memory_order_relaxed);
+}
+
+// --- scalar reference bodies ----------------------------------------------
+//
+// These are the semantics; the vector paths must match them bit for bit.
+
+namespace detail {
+
+inline size_t FilterEqScalar(const uint32_t* a, const uint32_t* b,
+                             uint32_t begin, uint32_t end, uint32_t* out) {
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    if (a[r] == b[r]) out[n++] = r;
+  }
+  return n;
+}
+
+inline size_t FilterNeScalar(const uint32_t* a, const uint32_t* b,
+                             uint32_t begin, uint32_t end, uint32_t* out) {
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    if (a[r] != b[r]) out[n++] = r;
+  }
+  return n;
+}
+
+inline size_t FilterEqConstScalar(const uint32_t* a, uint32_t begin,
+                                  uint32_t end, uint32_t v, uint32_t* out) {
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    if (a[r] == v) out[n++] = r;
+  }
+  return n;
+}
+
+inline size_t FilterNeConstScalar(const uint32_t* a, uint32_t begin,
+                                  uint32_t end, uint32_t v, uint32_t* out) {
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    if (a[r] != v) out[n++] = r;
+  }
+  return n;
+}
+
+inline size_t RefineEqScalar(const uint32_t* a, const uint32_t* b,
+                             const uint32_t* rows, size_t n, uint32_t* out) {
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t r = rows[i];
+    if (a[r] == b[r]) out[m++] = r;
+  }
+  return m;
+}
+
+inline size_t RefineNeScalar(const uint32_t* a, const uint32_t* b,
+                             const uint32_t* rows, size_t n, uint32_t* out) {
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t r = rows[i];
+    if (a[r] != b[r]) out[m++] = r;
+  }
+  return m;
+}
+
+inline size_t RefineNeConstScalar(const uint32_t* a, const uint32_t* rows,
+                                  size_t n, uint32_t v, uint32_t* out) {
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t r = rows[i];
+    if (a[r] != v) out[m++] = r;
+  }
+  return m;
+}
+
+inline void GatherScalar(const uint32_t* base, const uint32_t* idx, size_t n,
+                         uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = base[idx[i]];
+}
+
+// splitmix64 finalizer (must match datalog::detail::Mix64).
+inline uint64_t Mix64One(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline void Mix64Scalar(const uint64_t* keys, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = Mix64One(keys[i]);
+}
+
+#if defined(CALM_SIMD_X86)
+
+// Turns an 8-lane compare bitmask into ascending row indices appended at
+// `out`. Rows are emitted lowest lane first, so the output order equals the
+// scalar loop's.
+inline size_t EmitMask8(uint32_t mask, uint32_t row0, uint32_t* out) {
+  size_t n = 0;
+  while (mask != 0) {
+    unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+    out[n++] = row0 + lane;
+    mask &= mask - 1;
+  }
+  return n;
+}
+
+// -- SSE2 (x86-64 baseline, no target attribute needed) --
+
+inline size_t FilterCmpSse2(const uint32_t* a, const uint32_t* b,
+                            uint32_t begin, uint32_t end, uint32_t* out,
+                            bool want_equal) {
+  size_t n = 0;
+  uint32_t r = begin;
+  for (; r + 4 <= end; r += 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + r));
+    uint32_t m = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb))));
+    if (!want_equal) m = ~m & 0xF;
+    n += EmitMask8(m, r, out + n);
+  }
+  for (; r < end; ++r) {
+    if ((a[r] == b[r]) == want_equal) out[n++] = r;
+  }
+  return n;
+}
+
+inline size_t FilterCmpConstSse2(const uint32_t* a, uint32_t begin,
+                                 uint32_t end, uint32_t v, uint32_t* out,
+                                 bool want_equal) {
+  size_t n = 0;
+  uint32_t r = begin;
+  const __m128i vv = _mm_set1_epi32(static_cast<int>(v));
+  for (; r + 4 <= end; r += 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r));
+    uint32_t m = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vv))));
+    if (!want_equal) m = ~m & 0xF;
+    n += EmitMask8(m, r, out + n);
+  }
+  for (; r < end; ++r) {
+    if ((a[r] == v) == want_equal) out[n++] = r;
+  }
+  return n;
+}
+
+// -- AVX2 (runtime-dispatched; compiled with a target attribute) --
+
+__attribute__((target("avx2"))) inline size_t FilterCmpAvx2(
+    const uint32_t* a, const uint32_t* b, uint32_t begin, uint32_t end,
+    uint32_t* out, bool want_equal) {
+  size_t n = 0;
+  uint32_t r = begin;
+  for (; r + 8 <= end; r += 8) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + r));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + r));
+    uint32_t m = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb))));
+    if (!want_equal) m = ~m & 0xFF;
+    n += EmitMask8(m, r, out + n);
+  }
+  for (; r < end; ++r) {
+    if ((a[r] == b[r]) == want_equal) out[n++] = r;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) inline size_t FilterCmpConstAvx2(
+    const uint32_t* a, uint32_t begin, uint32_t end, uint32_t v,
+    uint32_t* out, bool want_equal) {
+  size_t n = 0;
+  uint32_t r = begin;
+  const __m256i vv = _mm256_set1_epi32(static_cast<int>(v));
+  for (; r + 8 <= end; r += 8) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + r));
+    uint32_t m = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vv))));
+    if (!want_equal) m = ~m & 0xFF;
+    n += EmitMask8(m, r, out + n);
+  }
+  for (; r < end; ++r) {
+    if ((a[r] == v) == want_equal) out[n++] = r;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) inline size_t RefineCmpAvx2(
+    const uint32_t* a, const uint32_t* b, const uint32_t* rows, size_t n,
+    uint32_t* out, bool want_equal) {
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i vr =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+    __m256i va = _mm256_i32gather_epi32(reinterpret_cast<const int*>(a), vr, 4);
+    __m256i vb = _mm256_i32gather_epi32(reinterpret_cast<const int*>(b), vr, 4);
+    uint32_t mask = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb))));
+    if (!want_equal) mask = ~mask & 0xFF;
+    while (mask != 0) {
+      unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      out[m++] = rows[i + lane];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t r = rows[i];
+    if ((a[r] == b[r]) == want_equal) out[m++] = r;
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) inline size_t RefineNeConstAvx2(
+    const uint32_t* a, const uint32_t* rows, size_t n, uint32_t v,
+    uint32_t* out) {
+  size_t m = 0;
+  size_t i = 0;
+  const __m256i vv = _mm256_set1_epi32(static_cast<int>(v));
+  for (; i + 8 <= n; i += 8) {
+    __m256i vr =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+    __m256i va = _mm256_i32gather_epi32(reinterpret_cast<const int*>(a), vr, 4);
+    uint32_t mask = ~static_cast<uint32_t>(_mm256_movemask_ps(
+                        _mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vv)))) &
+                    0xFF;
+    while (mask != 0) {
+      unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      out[m++] = rows[i + lane];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    uint32_t r = rows[i];
+    if (a[r] != v) out[m++] = r;
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) inline void GatherAvx2(const uint32_t* base,
+                                                       const uint32_t* idx,
+                                                       size_t n,
+                                                       uint32_t* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    __m256i v =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(base), vi, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  for (; i < n; ++i) out[i] = base[idx[i]];
+}
+
+// 4-lane 64x64->64 multiply from 32x32 partial products (AVX2 has no
+// 64-bit multiply). Free function rather than a lambda: GCC does not
+// propagate the enclosing function's target attribute into lambda bodies.
+__attribute__((target("avx2"))) inline __m256i Mul64x4Avx2(__m256i x,
+                                                           __m256i y) {
+  __m256i lo = _mm256_mul_epu32(x, y);
+  __m256i xh = _mm256_srli_epi64(x, 32);
+  __m256i yh = _mm256_srli_epi64(y, 32);
+  __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(xh, y), _mm256_mul_epu32(x, yh));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline void Mix64Avx2(const uint64_t* keys,
+                                                      size_t n,
+                                                      uint64_t* out) {
+  const __m256i c0 = _mm256_set1_epi64x(0x9e3779b97f4a7c15ULL);
+  const __m256i m1 = _mm256_set1_epi64x(0xbf58476d1ce4e5b9ULL);
+  const __m256i m2 = _mm256_set1_epi64x(0x94d049bb133111ebULL);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    x = _mm256_add_epi64(x, c0);
+    x = Mul64x4Avx2(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)), m1);
+    x = Mul64x4Avx2(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)), m2);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), x);
+  }
+  for (; i < n; ++i) out[i] = Mix64One(keys[i]);
+}
+
+#elif defined(CALM_SIMD_NEON)
+
+inline size_t EmitMask4(uint32_t mask, uint32_t row0, uint32_t* out) {
+  size_t n = 0;
+  while (mask != 0) {
+    unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+    out[n++] = row0 + lane;
+    mask &= mask - 1;
+  }
+  return n;
+}
+
+inline uint32_t NeonCmpEqMask(uint32x4_t a, uint32x4_t b) {
+  uint32x4_t eq = vceqq_u32(a, b);
+  // Lane i contributes bit i.
+  const uint32x4_t bits = {1u, 2u, 4u, 8u};
+  return vaddvq_u32(vandq_u32(eq, bits));
+}
+
+inline size_t FilterCmpNeon(const uint32_t* a, const uint32_t* b,
+                            uint32_t begin, uint32_t end, uint32_t* out,
+                            bool want_equal) {
+  size_t n = 0;
+  uint32_t r = begin;
+  for (; r + 4 <= end; r += 4) {
+    uint32_t m = NeonCmpEqMask(vld1q_u32(a + r), vld1q_u32(b + r));
+    if (!want_equal) m = ~m & 0xF;
+    n += EmitMask4(m, r, out + n);
+  }
+  for (; r < end; ++r) {
+    if ((a[r] == b[r]) == want_equal) out[n++] = r;
+  }
+  return n;
+}
+
+inline size_t FilterCmpConstNeon(const uint32_t* a, uint32_t begin,
+                                 uint32_t end, uint32_t v, uint32_t* out,
+                                 bool want_equal) {
+  size_t n = 0;
+  uint32_t r = begin;
+  const uint32x4_t vv = vdupq_n_u32(v);
+  for (; r + 4 <= end; r += 4) {
+    uint32_t m = NeonCmpEqMask(vld1q_u32(a + r), vv);
+    if (!want_equal) m = ~m & 0xF;
+    n += EmitMask4(m, r, out + n);
+  }
+  for (; r < end; ++r) {
+    if ((a[r] == v) == want_equal) out[n++] = r;
+  }
+  return n;
+}
+
+#endif
+
+}  // namespace detail
+
+// --- public kernels --------------------------------------------------------
+
+// Appends to `out` every row r in [begin, end) with a[r] == b[r], ascending.
+// `out` must have room for end - begin entries. Returns the count.
+inline size_t FilterEq(const uint32_t* a, const uint32_t* b, uint32_t begin,
+                       uint32_t end, uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  Level l = ActiveLevel();
+  if (l == Level::kAVX2)
+    return detail::FilterCmpAvx2(a, b, begin, end, out, true);
+  if (l == Level::kSSE2)
+    return detail::FilterCmpSse2(a, b, begin, end, out, true);
+#elif defined(CALM_SIMD_NEON)
+  if (ActiveLevel() == Level::kNEON)
+    return detail::FilterCmpNeon(a, b, begin, end, out, true);
+#endif
+  return detail::FilterEqScalar(a, b, begin, end, out);
+}
+
+// As FilterEq with a[r] != b[r].
+inline size_t FilterNe(const uint32_t* a, const uint32_t* b, uint32_t begin,
+                       uint32_t end, uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  Level l = ActiveLevel();
+  if (l == Level::kAVX2)
+    return detail::FilterCmpAvx2(a, b, begin, end, out, false);
+  if (l == Level::kSSE2)
+    return detail::FilterCmpSse2(a, b, begin, end, out, false);
+#elif defined(CALM_SIMD_NEON)
+  if (ActiveLevel() == Level::kNEON)
+    return detail::FilterCmpNeon(a, b, begin, end, out, false);
+#endif
+  return detail::FilterNeScalar(a, b, begin, end, out);
+}
+
+// Rows r in [begin, end) with a[r] == v, ascending.
+inline size_t FilterEqConst(const uint32_t* a, uint32_t begin, uint32_t end,
+                            uint32_t v, uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  Level l = ActiveLevel();
+  if (l == Level::kAVX2)
+    return detail::FilterCmpConstAvx2(a, begin, end, v, out, true);
+  if (l == Level::kSSE2)
+    return detail::FilterCmpConstSse2(a, begin, end, v, out, true);
+#elif defined(CALM_SIMD_NEON)
+  if (ActiveLevel() == Level::kNEON)
+    return detail::FilterCmpConstNeon(a, begin, end, v, out, true);
+#endif
+  return detail::FilterEqConstScalar(a, begin, end, v, out);
+}
+
+// Rows r in [begin, end) with a[r] != v, ascending.
+inline size_t FilterNeConst(const uint32_t* a, uint32_t begin, uint32_t end,
+                            uint32_t v, uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  Level l = ActiveLevel();
+  if (l == Level::kAVX2)
+    return detail::FilterCmpConstAvx2(a, begin, end, v, out, false);
+  if (l == Level::kSSE2)
+    return detail::FilterCmpConstSse2(a, begin, end, v, out, false);
+#elif defined(CALM_SIMD_NEON)
+  if (ActiveLevel() == Level::kNEON)
+    return detail::FilterCmpConstNeon(a, begin, end, v, out, false);
+#endif
+  return detail::FilterNeConstScalar(a, begin, end, v, out);
+}
+
+// Keeps the rows of `rows` (ascending row indices) with a[r] == b[r].
+// `out` may alias `rows` (compaction is left to right).
+inline size_t RefineEq(const uint32_t* a, const uint32_t* b,
+                       const uint32_t* rows, size_t n, uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  if (ActiveLevel() == Level::kAVX2)
+    return detail::RefineCmpAvx2(a, b, rows, n, out, true);
+#endif
+  return detail::RefineEqScalar(a, b, rows, n, out);
+}
+
+// Keeps the rows with a[r] != b[r]. `out` may alias `rows`.
+inline size_t RefineNe(const uint32_t* a, const uint32_t* b,
+                       const uint32_t* rows, size_t n, uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  if (ActiveLevel() == Level::kAVX2)
+    return detail::RefineCmpAvx2(a, b, rows, n, out, false);
+#endif
+  return detail::RefineNeScalar(a, b, rows, n, out);
+}
+
+// Keeps the rows with a[r] != v. `out` may alias `rows`.
+inline size_t RefineNeConst(const uint32_t* a, const uint32_t* rows, size_t n,
+                            uint32_t v, uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  if (ActiveLevel() == Level::kAVX2)
+    return detail::RefineNeConstAvx2(a, rows, n, v, out);
+#endif
+  return detail::RefineNeConstScalar(a, rows, n, v, out);
+}
+
+// out[i] = base[idx[i]] — code-column materialization for probe-hit rows.
+inline void Gather(const uint32_t* base, const uint32_t* idx, size_t n,
+                   uint32_t* out) {
+#if defined(CALM_SIMD_X86)
+  if (ActiveLevel() == Level::kAVX2) {
+    detail::GatherAvx2(base, idx, n, out);
+    return;
+  }
+#endif
+  detail::GatherScalar(base, idx, n, out);
+}
+
+// out[i] = splitmix64(keys[i]) — the batched form of the dedup/probe hash.
+inline void Mix64Batch(const uint64_t* keys, size_t n, uint64_t* out) {
+#if defined(CALM_SIMD_X86)
+  if (ActiveLevel() == Level::kAVX2) {
+    detail::Mix64Avx2(keys, n, out);
+    return;
+  }
+#endif
+  detail::Mix64Scalar(keys, n, out);
+}
+
+}  // namespace calm::simd
+
+#endif  // CALM_BASE_SIMD_H_

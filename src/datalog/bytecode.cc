@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/simd.h"
+
 namespace calm::datalog {
 
 namespace {
@@ -219,17 +221,43 @@ void BytecodeExecutor::EmitRow(const RuleBytecode& rule, const JoinOp& op,
   if (!emit_ok) return;
   const ValueDict& dict = db_->dict();
   if (!rule.negs.empty()) {
-    Tuple& neg_tuple = scratch_->tuple;
-    for (const NegCheck& n : rule.negs) {
-      // Negation decodes to Values: the anti-probe may target a different
-      // database (fixed-negation alternation) with its own dictionary.
-      neg_tuple.clear();
-      neg_tuple.reserve(n.args.size());
-      for (const ValueSrc& src : n.args) {
-        neg_tuple.push_back(src.slot >= 0 ? dict.ValueOf(child[src.slot])
-                                          : (*pool_)[src.const_id]);
+    // Code-space anti-probes (the common case, per the plan BuildNegPlan
+    // computed once for this Eval): stage every key first and prefetch its
+    // dedup bucket, then resolve in order, so the cache misses overlap
+    // instead of serializing. Foreign-dictionary targets (fixed-negation
+    // alternation) decode to Values exactly as before.
+    neg_codes_.clear();
+    for (size_t n = 0; n < rule.negs.size(); ++n) {
+      if (!neg_plan_[n].code_ok) continue;
+      const NegCheck& neg = rule.negs[n];
+      const size_t base = neg_codes_.size();
+      for (const ValueSrc& src : neg.args) {
+        neg_codes_.push_back(src.slot >= 0 ? child[src.slot]
+                                           : const_codes_[src.const_id]);
       }
-      if (negation_db_->Contains(n.relation, neg_tuple)) return;
+      neg_plan_[n].store->PrefetchContains(
+          neg_codes_.data() + base, static_cast<uint32_t>(neg.args.size()));
+    }
+    size_t staged = 0;
+    for (size_t n = 0; n < rule.negs.size(); ++n) {
+      const NegCheck& neg = rule.negs[n];
+      if (neg_plan_[n].code_ok) {
+        const uint32_t arity = static_cast<uint32_t>(neg.args.size());
+        if (neg_plan_[n].store->ContainsCodes(neg_codes_.data() + staged,
+                                              arity)) {
+          return;
+        }
+        staged += arity;
+      } else {
+        Tuple& neg_tuple = scratch_->tuple;
+        neg_tuple.clear();
+        neg_tuple.reserve(neg.args.size());
+        for (const ValueSrc& src : neg.args) {
+          neg_tuple.push_back(src.slot >= 0 ? dict.ValueOf(child[src.slot])
+                                            : (*pool_)[src.const_id]);
+        }
+        if (negation_db_->Contains(neg.relation, neg_tuple)) return;
+      }
     }
   }
   ++counters_->applications;
@@ -251,11 +279,105 @@ void BytecodeExecutor::EmitRow(const RuleBytecode& rule, const JoinOp& op,
   for (const ValueSrc& src : rule.head) {
     head[h++] = src.slot >= 0 ? child[src.slot] : ccodes[src.const_id];
   }
+  if (sink_ != nullptr) {
+    for (size_t i = 0; i < h; ++i) (*sink_)[i].push_back(head[i]);
+    return;
+  }
   if (head_store_->InsertCodes(head, static_cast<uint32_t>(h))) {
     ++counters_->inserted;
   } else {
     ++counters_->rejected;
   }
+}
+
+void BytecodeExecutor::BuildNegPlan(const RuleBytecode& rule) {
+  neg_plan_.assign(rule.negs.size(), NegPlan{});
+  const bool same_dict = &negation_db_->dict() == &db_->dict();
+  for (size_t n = 0; n < rule.negs.size(); ++n) {
+    const NegCheck& neg = rule.negs[n];
+    NegPlan& plan = neg_plan_[n];
+    plan.store = negation_db_->Store(neg.relation);
+    // ContainsCodes needs the columnar shape to cover the whole relation:
+    // matching arity and no overflow rows. Negated relations never grow
+    // within their stratum (stratification), so the plan holds for the
+    // whole Eval.
+    plan.code_ok = same_dict && plan.store != nullptr && !neg.args.empty() &&
+                   neg.args.size() <= 16 &&
+                   plan.store->arity() ==
+                       static_cast<int>(neg.args.size()) &&
+                   plan.store->overflow_count() == 0;
+  }
+}
+
+bool BytecodeExecutor::BuildScanPrefilter(const JoinOp& op,
+                                          const RelStore& store,
+                                          uint32_t begin, uint32_t end,
+                                          const uint32_t** rows_out,
+                                          size_t* n_out) {
+  auto load_col = [&](int slot, uint32_t* col) {
+    if (slot < 0) return false;
+    for (const auto& [c, s] : op.loads) {
+      if (s == slot) {
+        *col = c;
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<uint32_t>& rows = scratch_->prefilter;
+  bool active = false;
+  size_t n = 0;
+  // Equality filters first (checks always compare two columns of the
+  // scanned row — the compiler only emits in-atom repeats as checks), then
+  // the row-local inequalities. The first foldable predicate runs as a full
+  // range filter; the rest refine the surviving row list in place.
+  for (const auto& [col, slot] : op.checks) {
+    uint32_t col2 = 0;
+    if (!load_col(slot, &col2)) continue;  // defensive; checks are in-atom
+    const uint32_t* a = store.ColumnData(col);
+    const uint32_t* b = store.ColumnData(col2);
+    if (!active) {
+      rows.resize(end - begin);
+      n = simd::FilterEq(a, b, begin, end, rows.data());
+      active = true;
+    } else {
+      n = simd::RefineEq(a, b, rows.data(), n, rows.data());
+    }
+  }
+  const uint32_t* ccodes = const_codes_.data();
+  for (const IneqCheck& iq : op.ineqs) {
+    uint32_t lcol = 0, rcol = 0;
+    const bool lconst = iq.left.slot < 0;
+    const bool rconst = iq.right.slot < 0;
+    const bool lb = !lconst && load_col(iq.left.slot, &lcol);
+    const bool rb = !rconst && load_col(iq.right.slot, &rcol);
+    if (lb && rb) {
+      const uint32_t* a = store.ColumnData(lcol);
+      const uint32_t* b = store.ColumnData(rcol);
+      if (!active) {
+        rows.resize(end - begin);
+        n = simd::FilterNe(a, b, begin, end, rows.data());
+        active = true;
+      } else {
+        n = simd::RefineNe(a, b, rows.data(), n, rows.data());
+      }
+    } else if ((lb && rconst) || (rb && lconst)) {
+      const uint32_t* a = store.ColumnData(lb ? lcol : rcol);
+      const uint32_t v = ccodes[lb ? iq.right.const_id : iq.left.const_id];
+      if (!active) {
+        rows.resize(end - begin);
+        n = simd::FilterNeConst(a, begin, end, v, rows.data());
+        active = true;
+      } else {
+        n = simd::RefineNeConst(a, rows.data(), n, v, rows.data());
+      }
+    }
+    // A side bound by an earlier atom lives in the parent frame — not
+    // row-local; ExpandRow/EmitRow keep handling it per frame.
+  }
+  *rows_out = rows.data();
+  *n_out = n;
+  return active;
 }
 
 bool BytecodeExecutor::EvalScanProbeFused(const RuleBytecode& rule,
@@ -295,7 +417,9 @@ bool BytecodeExecutor::EvalScanProbeFused(const RuleBytecode& rule,
   }
   Src head_plan[32];
   const uint32_t nhead = static_cast<uint32_t>(rule.fused_head.size());
-  if (nhead > 32) return false;
+  // Nullary heads would leave the deferred-emission buffers without a
+  // column to carry the attempt count; the general path handles them.
+  if (nhead == 0 || nhead > 32) return false;
   for (uint32_t i = 0; i < nhead; ++i) {
     const RuleBytecode::FusedSrc& s = rule.fused_head[i];
     if (s.kind == RuleBytecode::FusedSrc::kConst) {
@@ -327,34 +451,130 @@ bool BytecodeExecutor::EvalScanProbeFused(const RuleBytecode& rule,
   const bool bound1 = s1->row_count() > end1;
   const bool d1 = delta_index == 1;
 
-  uint32_t* head = scratch_->head.data();
-  uint32_t codes[32];
-  for (uint32_t row = begin0; row < stop0; ++row) {
-    for (uint32_t i = 0; i < nkey; ++i) {
-      codes[i] = key[i].kind == 0 ? s0->CodeAt(row, key[i].idx) : key[i].idx;
+  // Block-at-a-time execution. For each block of scan rows: stage the probe
+  // keys row-major (copies, so nothing below can invalidate them), prefetch
+  // every key's index bucket, resolve all probes, then materialize the head
+  // rows column-wise — splats for op0/constant sources, a vectorized gather
+  // over the hit span for op1 columns — into deferred emission buffers.
+  // Buffers flush through the batched dedup insert at block boundaries.
+  // Outcomes are byte-identical to row-at-a-time insertion: attempt order
+  // is preserved, and mid-round derivations are invisible to every scan and
+  // probe anyway (visibility horizons; probe indexes extend only inside
+  // PrepareProbe, never on insert).
+  std::vector<std::vector<uint32_t>>& emit =
+      sink_ != nullptr ? *sink_ : scratch_->emit_cols;
+  if (emit.size() < nhead) emit.resize(nhead);
+  const bool direct = sink_ == nullptr;
+  if (direct) {
+    for (uint32_t i = 0; i < nhead; ++i) emit[i].clear();
+  }
+  // The emit columns are managed as raw storage plus one shared logical row
+  // count `en`: per-row appends are pointer writes (no size bookkeeping, no
+  // value-initialized tails), and sizes are committed only before a flush
+  // and at return — the sink leaves with size() == rows emitted.
+  size_t en = emit[0].size();
+  size_t estore = en;
+  auto ensure = [&](size_t cnt) {
+    if (en + cnt <= estore) return;
+    estore = std::max(std::max(estore * 2, en + cnt), size_t{1024});
+    for (uint32_t i = 0; i < nhead; ++i) emit[i].resize(estore);
+  };
+  auto commit = [&] {
+    for (uint32_t i = 0; i < nhead; ++i) emit[i].resize(en);
+    estore = en;
+  };
+  auto flush = [&] {
+    if (en == 0) return;
+    commit();
+    const uint32_t* ptrs[32];
+    for (uint32_t i = 0; i < nhead; ++i) ptrs[i] = emit[i].data();
+    head_store_->InsertBatchCols(ptrs, nhead, en, &counters_->inserted,
+                                 &counters_->rejected);
+    for (uint32_t i = 0; i < nhead; ++i) emit[i].clear();
+    en = estore = 0;
+  };
+
+  constexpr uint32_t kBlock = 256;
+  constexpr size_t kFlushRows = 4096;
+  // Probes run whole-block: stage the keys (single-column frame keys read
+  // the scan column in place), prefetch every key's bucket, then resolve.
+  // Prefetching only pays when the probed index can actually miss cache;
+  // small relations are L1/L2-resident and the pass would be pure overhead.
+  const bool single_key = nkey == 1 && key[0].kind == 0;
+  const bool prefetch = s1->row_count() > 4096;
+  std::vector<uint32_t>& keys = scratch_->block_keys;
+  std::vector<const std::vector<uint32_t>*>& hitp = scratch_->block_hits;
+  for (uint32_t bs = begin0; bs < stop0; bs += kBlock) {
+    const uint32_t bn = std::min(kBlock, stop0 - bs);
+    // Column pointers re-fetched per block: the flush below may have grown
+    // this very relation when it is also the head.
+    const uint32_t* kptr;
+    size_t kstride;
+    if (single_key) {
+      kptr = s0->ColumnData(key[0].idx) + bs;
+      kstride = 1;
+    } else {
+      keys.resize(static_cast<size_t>(bn) * nkey);
+      for (uint32_t i = 0; i < nkey; ++i) {
+        const Src& k = key[i];
+        if (k.kind == 0) {
+          const uint32_t* col = s0->ColumnData(k.idx) + bs;
+          for (uint32_t b = 0; b < bn; ++b) keys[b * nkey + i] = col[b];
+        } else {
+          for (uint32_t b = 0; b < bn; ++b) keys[b * nkey + i] = k.idx;
+        }
+      }
+      kptr = keys.data();
+      kstride = nkey;
     }
-    ++counters_->probes;  // tree parity: one probe per (frame = op0 row)
-    const std::vector<uint32_t>& hits = s1->ProbePrepared(index, codes);
-    const uint32_t* hb = hits.data();
-    const uint32_t* he = hb + hits.size();
-    if (bound1) he = std::lower_bound(hb, he, end1);
-    if (d1) hb = std::lower_bound(hb, he, delta_lo);
-    counters_->probe_hits += static_cast<uint64_t>(he - hb);
-    if (!emit_ok) continue;  // constant inequality failed: count, emit not
-    for (; hb != he; ++hb) {
+    hitp.resize(bn);
+    if (prefetch) {
+      for (uint32_t b = 0; b < bn; ++b) {
+        s1->PrefetchPrepared(index, kptr + b * kstride);
+      }
+    }
+    for (uint32_t b = 0; b < bn; ++b) {
+      hitp[b] = &s1->ProbePrepared(index, kptr + b * kstride);
+    }
+    counters_->probes += bn;  // tree parity: one probe per (frame = op0 row)
+    for (uint32_t b = 0; b < bn; ++b) {
+      const std::vector<uint32_t>& hits = *hitp[b];
+      const uint32_t* hb = hits.data();
+      const uint32_t* he = hb + hits.size();
+      if (bound1) he = std::lower_bound(hb, he, end1);
+      if (d1) hb = std::lower_bound(hb, he, delta_lo);
+      const size_t cnt = static_cast<size_t>(he - hb);
+      counters_->probe_hits += cnt;
+      // A failed constant inequality counts the joins but emits nothing.
+      if (!emit_ok || cnt == 0) continue;
+      counters_->applications += cnt;
+      ensure(cnt);
+      const uint32_t row = bs + b;
       for (uint32_t i = 0; i < nhead; ++i) {
+        uint32_t* dst = emit[i].data() + en;
         const Src& s = head_plan[i];
-        head[i] = s.kind == 0 ? s0->CodeAt(row, s.idx)
-                  : s.kind == 1 ? s1->CodeAt(*hb, s.idx)
-                                : s.idx;
+        if (s.kind == 1) {
+          const uint32_t* col = s1->ColumnData(s.idx);
+          if (cnt < 8) {
+            // Short hit spans (the common case on sparse joins): the plain
+            // loop beats the vector gather's setup and tail handling.
+            for (size_t k = 0; k < cnt; ++k) dst[k] = col[hb[k]];
+          } else {
+            simd::Gather(col, hb, cnt, dst);
+          }
+        } else {
+          const uint32_t v = s.kind == 0 ? s0->CodeAt(row, s.idx) : s.idx;
+          std::fill(dst, dst + cnt, v);
+        }
       }
-      ++counters_->applications;
-      if (head_store_->InsertCodes(head, nhead)) {
-        ++counters_->inserted;
-      } else {
-        ++counters_->rejected;
-      }
+      en += cnt;
     }
+    if (direct && en >= kFlushRows) flush();
+  }
+  if (direct) {
+    flush();
+  } else {
+    commit();
   }
   return true;
 }
@@ -376,6 +596,7 @@ void BytecodeExecutor::Eval(const RuleBytecode& rule, size_t delta_index,
   const size_t head_arity = rule.head.size() + (rule.head_invents ? 1 : 0);
   if (scratch_->head.size() < head_arity) scratch_->head.resize(head_arity);
   head_store_ = db_->Store(rule.head_relation);
+  if (!rule.negs.empty()) BuildNegPlan(rule);
 
   std::vector<uint32_t>& cur = scratch_->cur;
   std::vector<uint32_t>& next = scratch_->next;
@@ -435,6 +656,10 @@ void BytecodeExecutor::Eval(const RuleBytecode& rule, size_t delta_index,
                               : ccodes[s.idx];
         }
         ++counters_->applications;
+        if (sink_ != nullptr) {
+          for (uint32_t i = 0; i < nhead; ++i) (*sink_)[i].push_back(head[i]);
+          return;
+        }
         if (head_store_->InsertCodes(head, nhead)) {
           ++counters_->inserted;
         } else {
@@ -444,9 +669,36 @@ void BytecodeExecutor::Eval(const RuleBytecode& rule, size_t delta_index,
         EmitRow(rule, op, store, row, parent, stride, emit_ok);
       }
     };
+    // A scan's row-local predicates (in-atom repeated-variable checks,
+    // inequalities over this op's own columns or constants) never depend on
+    // the parent frame — fold them into one vectorized pass over the scan
+    // range instead of re-testing per frame. ExpandRow/EmitRow re-verify
+    // the same predicates on the surviving rows (they always pass), so the
+    // emission semantics and counters are untouched: scans tick no probe
+    // counters, and applications are only counted after the checks anyway.
+    const uint32_t* scan_rows = nullptr;
+    size_t scan_rows_n = 0;
+    bool prefiltered = false;
+    if (op.mask == 0 && scan_begin < scan_end &&
+        (!op.checks.empty() || !op.ineqs.empty())) {
+      prefiltered = BuildScanPrefilter(op, *store, scan_begin, scan_end,
+                                       &scan_rows, &scan_rows_n);
+    }
     for (size_t f = 0; f < frames; ++f) {
       const uint32_t* parent = cur.data() + f * stride;
       if (op.mask == 0) {
+        if (prefiltered) {
+          for (size_t j = 0; j < scan_rows_n; ++j) {
+            const uint32_t row = scan_rows[j];
+            if (last) {
+              emit_one(row, parent);
+            } else {
+              survivors +=
+                  ExpandRow(op, *store, row, parent, stride, ccodes, next);
+            }
+          }
+          continue;
+        }
         for (uint32_t row = scan_begin; row < scan_end; ++row) {
           if (last) {
             emit_one(row, parent);
@@ -469,7 +721,12 @@ void BytecodeExecutor::Eval(const RuleBytecode& rule, size_t delta_index,
       const uint32_t* hb = hits.data();
       const uint32_t* he = hb + hits.size();
       if (bound_hits) he = std::lower_bound(hb, he, end);
-      if (is_delta) hb = std::lower_bound(hb, he, delta_lo);
+      if (is_delta) {
+        hb = std::lower_bound(hb, he, delta_lo);
+        // delta_hi == the horizon for whole-delta runs (the clamp above
+        // already cut there); a morsel's sub-range needs its own upper cut.
+        if (delta_hi < end) he = std::lower_bound(hb, he, delta_hi);
+      }
       counters_->probe_hits += static_cast<uint64_t>(he - hb);
       for (; hb != he; ++hb) {
         if (last) {

@@ -141,11 +141,23 @@ struct ExecCounters {
 };
 
 // Frame buffers persisted across evaluations (thread-local in the fixpoint
-// driver's scratch), so steady-state rule evaluation allocates nothing.
+// driver's scratch), so steady-state rule evaluation allocates nothing —
+// including the batch-kernel staging areas below, which grow to their
+// high-water mark once and are reused by every subsequent rule.
 struct BytecodeScratch {
   std::vector<uint32_t> cur, next;
   std::vector<uint32_t> child, head;
   Tuple tuple;
+  // Fused-path block staging: row-major probe keys and the resolved hit
+  // lists for one block of scan rows (built ahead, prefetched, then
+  // resolved — see EvalScanProbeFused).
+  std::vector<uint32_t> block_keys;
+  std::vector<const std::vector<uint32_t>*> block_hits;
+  // Deferred head emissions, one column per head position, flushed through
+  // RelStore::InsertBatchCols.
+  std::vector<std::vector<uint32_t>> emit_cols;
+  // Vectorized scan prefilter output (surviving row indices).
+  std::vector<uint32_t> prefilter;
 };
 
 class BytecodeExecutor {
@@ -175,6 +187,14 @@ class BytecodeExecutor {
   // row slice of the main store, so no second delta store is maintained).
   void Eval(const RuleBytecode& rule, size_t delta_index, uint32_t delta_lo,
             uint32_t delta_hi);
+
+  // Redirects head emissions into `sink` (one code column per head
+  // position, appended in emission order) instead of inserting into the
+  // database. Applications are still counted; inserted/rejected are not —
+  // the morsel driver decides those when it merges the sink serially
+  // through InsertBatchCols. Only valid for rules without invention.
+  // Pass nullptr to restore direct insertion.
+  void SetSink(std::vector<std::vector<uint32_t>>* sink) { sink_ = sink; }
 
  private:
   // The exclusive row bound visible to this round for `rel`, and whether
@@ -208,6 +228,26 @@ class BytecodeExecutor {
   bool EvalScanProbeFused(const RuleBytecode& rule, size_t delta_index,
                           uint32_t delta_lo, uint32_t delta_hi, bool emit_ok);
 
+  // Vectorized scan prefilter: folds the op's in-atom repeated-variable
+  // checks and row-local inequalities (both sides constant or bound by this
+  // op's own loads) into one SIMD pass over [begin, end), leaving the
+  // surviving row indices in scratch_->prefilter. Returns false (and filters
+  // nothing) when no predicate is row-local.
+  bool BuildScanPrefilter(const JoinOp& op, const RelStore& store,
+                          uint32_t begin, uint32_t end,
+                          const uint32_t** rows_out, size_t* n_out);
+
+  // Per-Eval anti-probe plan, one entry per rule.negs entry: the negation
+  // check stays in code space (ContainsCodes on the store, with bucket
+  // prefetching) when the anti-probe target shares db_'s dictionary and the
+  // store's columnar shape matches; otherwise it decodes to Values and goes
+  // through Database::Contains exactly as before.
+  struct NegPlan {
+    const RelStore* store = nullptr;
+    bool code_ok = false;
+  };
+  void BuildNegPlan(const RuleBytecode& rule);
+
   Database* db_;
   const Database* negation_db_;
   const std::vector<uint32_t>* growing_;
@@ -218,6 +258,9 @@ class BytecodeExecutor {
   BytecodeScratch* scratch_;
   const std::vector<Value>* pool_;
   std::vector<uint32_t> const_codes_;  // const_id -> code in db_'s dict
+  std::vector<std::vector<uint32_t>>* sink_ = nullptr;
+  std::vector<NegPlan> neg_plan_;
+  std::vector<uint32_t> neg_codes_;  // staged code-space anti-probe keys
   // The current rule's head store, resolved once per Eval. Non-null because
   // the driver pre-creates every growing (head) relation's store
   // (Database::EnsureStores), which also pins it against reallocation.

@@ -41,6 +41,20 @@ std::atomic<IncrementalMode>& GlobalIncremental() {
   return mode;
 }
 
+int EnvEvalThreads() {
+  const char* env = std::getenv("CALM_EVAL_THREADS");
+  if (env != nullptr) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
+std::atomic<int>& GlobalEvalThreads() {
+  static std::atomic<int> threads{EnvEvalThreads()};
+  return threads;
+}
+
 }  // namespace
 
 EvalEngine DefaultEvalEngine() {
@@ -75,6 +89,15 @@ Result<IncrementalMode> ParseIncrementalMode(std::string_view name) {
   if (name == "off") return IncrementalMode::kOff;
   return InvalidArgumentError("unknown incremental mode (want on|off): " +
                               std::string(name));
+}
+
+int DefaultEvalThreads() {
+  return GlobalEvalThreads().load(std::memory_order_relaxed);
+}
+
+void SetDefaultEvalThreads(int n) {
+  GlobalEvalThreads().store(n > 0 ? n : EnvEvalThreads(),
+                            std::memory_order_relaxed);
 }
 
 Json EvalStatsToJson(const EvalStats& stats) {

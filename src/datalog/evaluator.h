@@ -54,6 +54,16 @@ void SetDefaultIncrementalMode(IncrementalMode mode);
 // Parses "on" / "off" (the --incremental flag and CALM_INCREMENTAL values).
 Result<IncrementalMode> ParseIncrementalMode(std::string_view name);
 
+// The process-wide worker count that EvalOptions::eval_threads == 0 resolves
+// to. Starts as 1 (serial) unless the CALM_EVAL_THREADS environment variable
+// names a larger count. Morsel-parallel stratum evaluation partitions
+// semi-naive delta rows across this many workers; results are byte-identical
+// at any count (pinned by tests/engine_diff_test.cc).
+int DefaultEvalThreads();
+// Overrides the process-wide default (bench/test plumbing for
+// --eval_threads). Passing n <= 0 restores the environment-derived value.
+void SetDefaultEvalThreads(int n);
+
 struct EvalOptions {
   // Use semi-naive (delta) iteration; naive re-derivation otherwise. Both
   // must agree (ablation-tested); semi-naive is the default.
@@ -77,6 +87,11 @@ struct EvalOptions {
   // at Prepare time. Only consulted by the checker's union path; results
   // are identical either way (differential-tested).
   IncrementalMode incremental = IncrementalMode::kDefault;
+  // Worker threads for morsel-parallel stratum evaluation (bytecode engine
+  // only), resolved against DefaultEvalThreads() at Prepare time when 0.
+  // Results are byte-identical at any count (differential-tested); only
+  // wall-clock changes.
+  int eval_threads = 0;
 };
 
 struct EvalStats {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "base/simd.h"
+
 namespace calm::datalog {
 
 using detail::HashCodes;
@@ -275,6 +277,110 @@ bool RelStore::Insert(const Tuple& t) {
   return InsertCodeRow(code_scratch_.data());
 }
 
+void RelStore::InsertBatchCols(const uint32_t* const* col_ptrs, uint32_t arity,
+                               size_t n, uint64_t* inserted,
+                               uint64_t* rejected) {
+  size_t i = 0;
+  uint32_t buf[16];
+  std::vector<uint32_t> wide_buf;
+  uint32_t* row = buf;
+  if (arity > 16) {
+    wide_buf.resize(arity);
+    row = wide_buf.data();
+  }
+  auto insert_one = [&](size_t j) {
+    for (uint32_t c = 0; c < arity; ++c) row[c] = col_ptrs[c][j];
+    if (InsertCodes(row, arity)) {
+      ++*inserted;
+    } else {
+      ++*rejected;
+    }
+  };
+  // The vector path wants a live packed-key table at a matching arity 1/2;
+  // route rows through InsertCodes until its first insert establishes that
+  // (and entirely, for arity 0 and wide rows — both off the hot path).
+  while (i < n && (static_cast<int>(arity) != arity_ || arity - 1 > 1 ||
+                   dedup64_.empty())) {
+    insert_one(i++);
+  }
+  if (i == n) return;
+  const size_t m = n - i;
+  // Geometric growth (not exact reserve): repeated flushes would otherwise
+  // reallocate-and-copy the columns once per batch. The whole batch fits
+  // after this, so the loop below writes through raw pointers and commits
+  // the final size once.
+  for (uint32_t c = 0; c < arity; ++c) {
+    std::vector<uint32_t>& codes = cols_[c].codes;
+    if (codes.capacity() < rows_ + m) {
+      codes.reserve(std::max(codes.capacity() * 2, rows_ + m));
+    }
+    codes.resize(rows_ + m);
+  }
+
+  batch_keys_.resize(m);
+  batch_hashes_.resize(m);
+  const uint32_t* c0 = col_ptrs[0] + i;
+  if (arity == 1) {
+    for (size_t j = 0; j < m; ++j) {
+      batch_keys_[j] = static_cast<uint64_t>(c0[j]) + 1;
+    }
+  } else {
+    const uint32_t* c1 = col_ptrs[1] + i;
+    for (size_t j = 0; j < m; ++j) {
+      batch_keys_[j] = ((static_cast<uint64_t>(c1[j]) << 32) | c0[j]) + 1;
+    }
+  }
+  simd::Mix64Batch(batch_keys_.data(), m, batch_hashes_.data());
+
+  // Two-phase probe: issue the bucket prefetches kAhead rows in front of
+  // the in-order resolution, so the (random-access) dedup lines are already
+  // in flight when the linear probe reaches them.
+  constexpr size_t kAhead = 16;
+  size_t mask = dedup64_.size() - 1;
+  for (size_t j = 0; j < m && j < kAhead; ++j) {
+    __builtin_prefetch(&dedup64_[batch_hashes_[j] & mask]);
+  }
+  uint32_t* out0 = cols_[0].codes.data();
+  uint32_t* out1 = arity == 2 ? cols_[1].codes.data() : nullptr;
+  const uint32_t* c1 = arity == 2 ? col_ptrs[1] + i : nullptr;
+  uint32_t r = rows_;
+  for (size_t j = 0; j < m; ++j) {
+    if (j + kAhead < m) {
+      __builtin_prefetch(&dedup64_[batch_hashes_[j + kAhead] & mask]);
+    }
+    const uint64_t key = batch_keys_[j];
+    size_t h = batch_hashes_[j] & mask;
+    bool dup = false;
+    while (dedup64_[h] != 0) {
+      if (dedup64_[h] == key) {
+        dup = true;
+        break;
+      }
+      h = (h + 1) & mask;
+    }
+    if (dup) {
+      ++*rejected;
+      continue;
+    }
+    // Grow exactly when the per-row path would (identical table sizes, no
+    // duplicate-driven over-provisioning); growth re-buckets, so the slot is
+    // re-found and any in-flight prefetches just go stale.
+    if (OverLoad(r + 1, dedup64_.size())) {
+      Grow64Table();
+      mask = dedup64_.size() - 1;
+      h = batch_hashes_[j] & mask;
+      while (dedup64_[h] != 0) h = (h + 1) & mask;
+    }
+    out0[r] = c0[j];
+    if (out1 != nullptr) out1[r] = c1[j];
+    dedup64_[h] = key;
+    ++r;
+    ++*inserted;
+  }
+  rows_ = r;
+  for (uint32_t c = 0; c < arity; ++c) cols_[c].codes.resize(rows_);
+}
+
 bool RelStore::InsertCodesSlow(const uint32_t* codes, uint32_t arity) {
   if (arity_ < 0) {
     InitColumns(arity);
@@ -447,14 +553,6 @@ Tuple RelStore::KeyOf(const Tuple& t, uint32_t mask) {
   return key;
 }
 
-void RelStore::MaterializeRow(uint32_t row, Tuple* out) const {
-  out->clear();
-  out->reserve(cols_.size());
-  for (const Column& col : cols_) {
-    out->push_back(dict_->ValueOf(col.codes[row]));
-  }
-}
-
 RelStore::MaskIndex& RelStore::IndexFor(uint32_t mask) {
   for (MaskIndex& mi : indexes_) {
     if (mi.mask == mask) return mi;
@@ -560,7 +658,7 @@ Database::Database(const Database& o)
     : dict_(std::make_unique<ValueDict>(*o.dict_)),
       rels_(o.rels_),
       epochs_(o.epochs_),
-      last_(o.last_) {
+      last_(o.last_.load(std::memory_order_relaxed)) {
   for (auto& [name, store] : rels_) store.BindDict(dict_.get());
 }
 
@@ -569,18 +667,36 @@ Database& Database::operator=(const Database& o) {
   dict_ = std::make_unique<ValueDict>(*o.dict_);
   rels_ = o.rels_;
   epochs_ = o.epochs_;
-  last_ = o.last_;
+  last_.store(o.last_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
   for (auto& [name, store] : rels_) store.BindDict(dict_.get());
   return *this;
 }
 
+Database::Database(Database&& o) noexcept
+    : dict_(std::move(o.dict_)),
+      rels_(std::move(o.rels_)),
+      epochs_(std::move(o.epochs_)),
+      last_(o.last_.load(std::memory_order_relaxed)) {}
+
+Database& Database::operator=(Database&& o) noexcept {
+  if (this == &o) return *this;
+  dict_ = std::move(o.dict_);
+  rels_ = std::move(o.rels_);
+  epochs_ = std::move(o.epochs_);
+  last_.store(o.last_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  return *this;
+}
+
 RelStore* Database::Find(uint32_t rel) const {
-  if (last_ < rels_.size() && rels_[last_].first == rel) {
-    return const_cast<RelStore*>(&rels_[last_].second);
+  const size_t cached = last_.load(std::memory_order_relaxed);
+  if (cached < rels_.size() && rels_[cached].first == rel) {
+    return const_cast<RelStore*>(&rels_[cached].second);
   }
   for (size_t i = 0; i < rels_.size(); ++i) {
     if (rels_[i].first == rel) {
-      last_ = i;
+      last_.store(i, std::memory_order_relaxed);
       return const_cast<RelStore*>(&rels_[i].second);
     }
   }
@@ -591,7 +707,7 @@ RelStore* Database::FindOrCreate(uint32_t rel) {
   RelStore* store = Find(rel);
   if (store != nullptr) return store;
   rels_.emplace_back(rel, RelStore());
-  last_ = rels_.size() - 1;
+  last_.store(rels_.size() - 1, std::memory_order_relaxed);
   store = &rels_.back().second;
   store->BindDict(dict_.get());
   return store;
@@ -644,7 +760,7 @@ void Database::RollbackEpoch() {
     rels_[i].second.RollbackTo(f.marks[i]);
   }
   dict_->TruncateTo(f.dict_size);
-  last_ = 0;
+  last_.store(0, std::memory_order_relaxed);
   epochs_.pop_back();
 }
 
@@ -682,35 +798,40 @@ Instance Database::ToInstance(const Schema* restrict_to) const {
         const std::vector<uint32_t>& rank = dict_->Ranks();
         const uint64_t nd = dict_->size();
         const uint64_t buckets = a == 1 ? nd : nd * nd;
+        // Materialization is inlined against the raw column pointers (rather
+        // than going through MaterializeRow) — this loop is the hottest part
+        // of output building and the per-row call shows up at this scale.
+        const uint32_t* col0 = store.ColumnData(0);
+        const uint32_t* col1 = a == 2 ? store.ColumnData(1) : nullptr;
+        auto emit_row = [&](uint32_t r) {
+          rows.emplace_back();
+          Tuple& t = rows.back();
+          t.push_back(dict_->ValueOf(col0[r]));
+          if (col1 != nullptr) t.push_back(dict_->ValueOf(col1[r]));
+        };
         if (buckets <= 65536) {
           constexpr uint32_t kEmpty = UINT32_MAX;
           slots.assign(buckets, kEmpty);
           for (uint32_t r = 0; r < n; ++r) {
-            uint64_t key = a == 1 ? rank[store.CodeAt(r, 0)]
-                                  : rank[store.CodeAt(r, 0)] * nd +
-                                        rank[store.CodeAt(r, 1)];
+            uint64_t key = a == 1 ? rank[col0[r]]
+                                  : rank[col0[r]] * nd + rank[col1[r]];
             slots[key] = r;
           }
           for (uint64_t key = 0; key < buckets; ++key) {
             uint32_t r = slots[key];
-            if (r == kEmpty) continue;
-            rows.emplace_back();
-            store.MaterializeRow(r, &rows.back());
+            if (r != kEmpty) emit_row(r);
           }
         } else {
           keyed.clear();
           keyed.reserve(n);
           for (uint32_t r = 0; r < n; ++r) {
-            uint64_t key = a == 1 ? rank[store.CodeAt(r, 0)]
-                                  : (uint64_t{rank[store.CodeAt(r, 0)]} << 32) |
-                                        rank[store.CodeAt(r, 1)];
+            uint64_t key = a == 1 ? rank[col0[r]]
+                                  : (uint64_t{rank[col0[r]]} << 32) |
+                                        rank[col1[r]];
             keyed.emplace_back(key, r);
           }
           std::sort(keyed.begin(), keyed.end());
-          for (const auto& [key, r] : keyed) {
-            rows.emplace_back();
-            store.MaterializeRow(r, &rows.back());
-          }
+          for (const auto& [key, r] : keyed) emit_row(r);
         }
       } else {
         const std::vector<uint32_t>& rank = dict_->Ranks();
@@ -729,7 +850,7 @@ Instance Database::ToInstance(const Schema* restrict_to) const {
           store.MaterializeRow(r, &rows.back());
         }
       }
-      out.InsertSorted(name, std::move(rows));
+      out.InsertSortedUnique(name, std::move(rows));
     } else {
       // Mixed arities (schema-free round-trips only): materialize, filter,
       // and sort by Tuple — same per-fact rule as Instance::Restrict.

@@ -2,6 +2,7 @@
 #define CALM_DATALOG_RELSTORE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -166,7 +167,60 @@ class RelStore {
     return InsertCodesSlow(codes, arity);
   }
 
+  // Batched code-row insertion, columns given separately (SoA): row j is
+  // (col_ptrs[0][j], .., col_ptrs[arity-1][j]). Semantically identical to
+  // calling InsertCodes row by row in order — same dedup outcomes, same
+  // insertion order — but arity-1/2 batches hash all keys up front
+  // (simd::Mix64Batch), prefetch the dedup buckets ahead of resolution, and
+  // pre-grow the table once so no rehash lands mid-batch. The bytecode
+  // engine's deferred-emission flush and the morsel-merge path live here.
+  // Attempt outcomes accumulate into `*inserted` / `*rejected`.
+  void InsertBatchCols(const uint32_t* const* col_ptrs, uint32_t arity,
+                       size_t n, uint64_t* inserted, uint64_t* rejected);
+
   bool Contains(const Tuple& t) const;
+
+  // Code-space membership test: `codes` are this store's dictionary codes.
+  // Only meaningful when the columnar arity equals `arity` (>= 1) and there
+  // are no overflow rows — the negation anti-probe checks those conditions
+  // once per rule evaluation and falls back to the Value-space Contains
+  // otherwise.
+  bool ContainsCodes(const uint32_t* codes, uint32_t arity) const {
+    if (arity <= 2) {
+      if (dedup64_.empty()) return false;
+      const uint64_t key = PackKey(codes, arity);
+      const size_t mask = dedup64_.size() - 1;
+      size_t h = detail::Mix64(key) & mask;
+      while (dedup64_[h] != 0) {
+        if (dedup64_[h] == key) return true;
+        h = (h + 1) & mask;
+      }
+      return false;
+    }
+    if (dedup_.empty()) return false;
+    const size_t mask = dedup_.size() - 1;
+    size_t h = detail::HashCodes(codes, arity) & mask;
+    while (dedup_[h] != 0) {
+      if (RowEquals(dedup_[h] - 1, codes)) return true;
+      h = (h + 1) & mask;
+    }
+    return false;
+  }
+
+  // Prefetch hint for the dedup bucket ContainsCodes(codes, arity) would
+  // probe — issue it a few rows ahead of the anti-probe itself.
+  void PrefetchContains(const uint32_t* codes, uint32_t arity) const {
+    if (arity <= 2) {
+      if (!dedup64_.empty()) {
+        __builtin_prefetch(
+            &dedup64_[detail::Mix64(PackKey(codes, arity)) &
+                      (dedup64_.size() - 1)]);
+      }
+    } else if (!dedup_.empty()) {
+      __builtin_prefetch(
+          &dedup_[detail::HashCodes(codes, arity) & (dedup_.size() - 1)]);
+    }
+  }
 
   // Number of distinct tuples (main columns + overflow).
   size_t size() const { return rows_ + overflow_.size(); }
@@ -235,6 +289,22 @@ class RelStore {
     }
   }
 
+  // Prefetch hint for the cache line ProbePrepared(index, codes) reads
+  // first — callers batching N probe keys issue these ahead, then resolve.
+  void PrefetchPrepared(const MaskIndex& index, const uint32_t* codes) const {
+    if (index.cols.size() == 1) {
+      if (codes[0] < index.direct.size()) {
+        __builtin_prefetch(index.direct.data() + codes[0]);
+      }
+      return;
+    }
+    if (index.table.empty()) return;
+    __builtin_prefetch(
+        index.table.data() +
+        (detail::HashCodes(codes, index.cols.size()) &
+         (index.table.size() - 1)));
+  }
+
   static Tuple KeyOf(const Tuple& t, uint32_t mask);
 
   // --- epoch rollback --------------------------------------------------------
@@ -279,8 +349,21 @@ class RelStore {
     return cols_[col].codes[row];
   }
 
+  // Raw base pointer of one code column (the batch kernels' form of CodeAt).
+  // Invalidated by any insert into this store — callers re-fetch after every
+  // batch flush that might target it.
+  const uint32_t* ColumnData(uint32_t col) const {
+    return cols_[col].codes.data();
+  }
+
   // Materializes columnar row `row` into `out` (cleared first).
-  void MaterializeRow(uint32_t row, Tuple* out) const;
+  void MaterializeRow(uint32_t row, Tuple* out) const {
+    out->clear();
+    out->reserve(cols_.size());
+    for (const Column& col : cols_) {
+      out->push_back(dict_->ValueOf(col.codes[row]));
+    }
+  }
 
   // Invokes fn(const Tuple&) for every stored tuple: columnar rows in
   // insertion order, then overflow rows.
@@ -341,6 +424,11 @@ class RelStore {
   std::vector<uint32_t> dedup_;
   std::vector<MaskIndex> indexes_;  // few masks per store; linear scan
   std::vector<uint32_t> code_scratch_;
+  // InsertBatchCols scratch (packed keys and their hashes), kept allocated
+  // across batches. Batch insertion is a single-writer operation, so member
+  // scratch is safe — morsel lanes never insert, only the serial merge does.
+  std::vector<uint64_t> batch_keys_;
+  std::vector<uint64_t> batch_hashes_;
   std::vector<Tuple> overflow_;  // arity-mismatched stragglers
 };
 
@@ -356,8 +444,8 @@ class Database {
   explicit Database(const Instance& instance);
   Database(const Database& o);
   Database& operator=(const Database& o);
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  Database(Database&& o) noexcept;
+  Database& operator=(Database&& o) noexcept;
 
   bool Insert(uint32_t rel, const Tuple& t);
   // Code-row insert (bytecode emission path).
@@ -425,7 +513,10 @@ class Database {
   std::unique_ptr<ValueDict> dict_;  // heap: address stable across moves
   std::vector<std::pair<uint32_t, RelStore>> rels_;
   std::vector<EpochFrame> epochs_;
-  mutable size_t last_ = 0;  // MRU index into rels_
+  // MRU index into rels_. Atomic (relaxed) because morsel lanes call Find
+  // concurrently during a parallel stratum round; the cache is only a hint,
+  // so any interleaving of the relaxed loads/stores stays correct.
+  mutable std::atomic<size_t> last_{0};
 };
 
 }  // namespace calm::datalog

@@ -1,0 +1,302 @@
+// Edge-case and byte-identity tests for the portable SIMD kernels in
+// base/simd.h. Every vector path must match the scalar reference bodies bit
+// for bit — the bytecode engine's determinism contract (identical emission
+// order at every dispatch level) rests on it. The tests sweep the dispatch
+// level through SetLevel; on machines without a given ISA the request clamps
+// to the best supported level, so the sweep degrades to re-running the
+// scalar path rather than failing.
+
+#include "base/simd.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace calm::simd {
+namespace {
+
+// Levels worth sweeping on this build. Clamp() keeps unsupported requests
+// safe, but listing them explicitly documents the intent.
+std::vector<Level> SweepLevels() {
+  return {Level::kScalar, Level::kSSE2, Level::kAVX2, Level::kNEON};
+}
+
+// RAII guard so a failing test cannot leak a forced dispatch level into the
+// rest of the suite.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(ActiveLevel()) {}
+  ~LevelGuard() { SetLevel(saved_); }
+
+ private:
+  Level saved_;
+};
+
+// The vector kernels process 8 (AVX2) or 4 (SSE2/NEON) lanes per step with a
+// scalar tail, so the interesting sizes bracket both widths.
+const uint32_t kBoundarySizes[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33};
+
+std::vector<uint32_t> RandomColumn(size_t n, uint32_t cardinality,
+                                   std::mt19937* rng) {
+  std::vector<uint32_t> col(n);
+  for (auto& v : col) v = (*rng)() % cardinality;
+  return col;
+}
+
+TEST(SimdKernelsTest, SetLevelClampsToBuildCapability) {
+  LevelGuard guard;
+  SetLevel(Level::kAVX2);
+  Level got = ActiveLevel();
+  // Whatever we got back must be something this build can actually run.
+  EXPECT_TRUE(got == Level::kScalar || CompiledIn());
+  SetLevel(Level::kScalar);
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+}
+
+TEST(SimdKernelsTest, FilterEmptyRange) {
+  LevelGuard guard;
+  std::vector<uint32_t> a(8, 1), b(8, 1), out(8, 0xdeadbeef);
+  for (Level level : SweepLevels()) {
+    SetLevel(level);
+    EXPECT_EQ(FilterEq(a.data(), b.data(), 0, 0, out.data()), 0u);
+    EXPECT_EQ(FilterNe(a.data(), b.data(), 0, 0, out.data()), 0u);
+    EXPECT_EQ(FilterEqConst(a.data(), 4, 4, 1, out.data()), 0u);
+    EXPECT_EQ(FilterNeConst(a.data(), 4, 4, 1, out.data()), 0u);
+    EXPECT_EQ(out[0], 0xdeadbeefu);  // nothing written
+  }
+}
+
+TEST(SimdKernelsTest, FilterAllRowsPass) {
+  LevelGuard guard;
+  for (uint32_t n : kBoundarySizes) {
+    std::vector<uint32_t> a(n, 7), b(n, 7), out(n + 1, 0);
+    for (Level level : SweepLevels()) {
+      SetLevel(level);
+      ASSERT_EQ(FilterEq(a.data(), b.data(), 0, n, out.data()), n)
+          << "n=" << n << " level=" << LevelName(level);
+      for (uint32_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i);
+      ASSERT_EQ(FilterEqConst(a.data(), 0, n, 7, out.data()), n);
+      for (uint32_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, FilterAllRowsRejected) {
+  LevelGuard guard;
+  for (uint32_t n : kBoundarySizes) {
+    std::vector<uint32_t> a(n), b(n), out(n + 1, 0xdeadbeef);
+    for (uint32_t i = 0; i < n; ++i) {
+      a[i] = i;
+      b[i] = i + 1;  // never equal
+    }
+    for (Level level : SweepLevels()) {
+      SetLevel(level);
+      EXPECT_EQ(FilterEq(a.data(), b.data(), 0, n, out.data()), 0u)
+          << "n=" << n << " level=" << LevelName(level);
+      EXPECT_EQ(FilterNe(a.data(), b.data(), 0, n, out.data()), n);
+      EXPECT_EQ(FilterEqConst(a.data(), 0, n, 0xffffffffu, out.data()), 0u);
+      EXPECT_EQ(FilterNeConst(a.data(), 0, n, 0xffffffffu, out.data()), n);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, FilterNonZeroBeginMatchesScalar) {
+  LevelGuard guard;
+  std::mt19937 rng(99);
+  std::vector<uint32_t> a = RandomColumn(64, 4, &rng);
+  std::vector<uint32_t> b = RandomColumn(64, 4, &rng);
+  // Every (begin, end) sub-range must agree with the scalar reference —
+  // the engine filters delta sub-ranges, not whole columns.
+  for (uint32_t begin : {0u, 1u, 7u, 8u, 9u, 30u}) {
+    for (uint32_t end : {begin, begin + 1, begin + 8, 63u, 64u}) {
+      if (end < begin || end > 64) continue;
+      std::vector<uint32_t> ref(64), got(64);
+      SetLevel(Level::kScalar);
+      size_t nref = FilterEq(a.data(), b.data(), begin, end, ref.data());
+      for (Level level : SweepLevels()) {
+        SetLevel(level);
+        size_t ngot = FilterEq(a.data(), b.data(), begin, end, got.data());
+        ASSERT_EQ(ngot, nref) << "begin=" << begin << " end=" << end
+                              << " level=" << LevelName(level);
+        for (size_t i = 0; i < nref; ++i) EXPECT_EQ(got[i], ref[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, RefineBoundarySizesAndAliasing) {
+  LevelGuard guard;
+  std::mt19937 rng(7);
+  std::vector<uint32_t> a = RandomColumn(128, 3, &rng);
+  std::vector<uint32_t> b = RandomColumn(128, 3, &rng);
+  for (uint32_t n : kBoundarySizes) {
+    std::vector<uint32_t> rows(n);
+    for (uint32_t i = 0; i < n; ++i) rows[i] = i * 3;  // sparse ascending
+    SetLevel(Level::kScalar);
+    std::vector<uint32_t> ref(n + 1);
+    size_t nref = RefineEq(a.data(), b.data(), rows.data(), n, ref.data());
+    for (Level level : SweepLevels()) {
+      SetLevel(level);
+      std::vector<uint32_t> out(n + 1, 0xdeadbeef);
+      ASSERT_EQ(RefineEq(a.data(), b.data(), rows.data(), n, out.data()), nref)
+          << "n=" << n << " level=" << LevelName(level);
+      for (size_t i = 0; i < nref; ++i) EXPECT_EQ(out[i], ref[i]);
+      // The engine refines in place: out aliases rows.
+      std::vector<uint32_t> alias = rows;
+      ASSERT_EQ(RefineEq(a.data(), b.data(), alias.data(), n, alias.data()),
+                nref);
+      for (size_t i = 0; i < nref; ++i) EXPECT_EQ(alias[i], ref[i]);
+    }
+  }
+}
+
+// A frame with the same variable in two positions refines on column equality
+// against itself — a[r] == a[r] keeps everything, and the mirrored column
+// must too.
+TEST(SimdKernelsTest, RefineRepeatedVariableFrames) {
+  LevelGuard guard;
+  std::mt19937 rng(11);
+  std::vector<uint32_t> a = RandomColumn(64, 5, &rng);
+  std::vector<uint32_t> mirror = a;  // distinct storage, equal values
+  std::vector<uint32_t> rows(17);
+  for (uint32_t i = 0; i < 17; ++i) rows[i] = i * 2;
+  for (Level level : SweepLevels()) {
+    SetLevel(level);
+    std::vector<uint32_t> out(32);
+    EXPECT_EQ(RefineEq(a.data(), a.data(), rows.data(), 17, out.data()), 17u)
+        << LevelName(level);
+    EXPECT_EQ(RefineEq(a.data(), mirror.data(), rows.data(), 17, out.data()),
+              17u);
+    EXPECT_EQ(RefineNe(a.data(), a.data(), rows.data(), 17, out.data()), 0u);
+    EXPECT_EQ(RefineNe(a.data(), mirror.data(), rows.data(), 17, out.data()),
+              0u);
+  }
+}
+
+TEST(SimdKernelsTest, RefineNeConstMatchesScalar) {
+  LevelGuard guard;
+  std::mt19937 rng(23);
+  std::vector<uint32_t> a = RandomColumn(256, 4, &rng);
+  for (uint32_t n : kBoundarySizes) {
+    std::vector<uint32_t> rows(n);
+    for (uint32_t i = 0; i < n; ++i) rows[i] = i * 5;
+    SetLevel(Level::kScalar);
+    std::vector<uint32_t> ref(n + 1);
+    size_t nref = RefineNeConst(a.data(), rows.data(), n, 2, ref.data());
+    for (Level level : SweepLevels()) {
+      SetLevel(level);
+      std::vector<uint32_t> out(n + 1);
+      ASSERT_EQ(RefineNeConst(a.data(), rows.data(), n, 2, out.data()), nref)
+          << "n=" << n << " level=" << LevelName(level);
+      for (size_t i = 0; i < nref; ++i) EXPECT_EQ(out[i], ref[i]);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GatherBoundarySizes) {
+  LevelGuard guard;
+  std::mt19937 rng(31);
+  std::vector<uint32_t> base = RandomColumn(512, 0xffffffffu, &rng);
+  for (uint32_t n : kBoundarySizes) {
+    std::vector<uint32_t> idx(n);
+    for (uint32_t i = 0; i < n; ++i) idx[i] = (i * 37) % 512;
+    for (Level level : SweepLevels()) {
+      SetLevel(level);
+      std::vector<uint32_t> out(n + 1, 0xdeadbeef);
+      Gather(base.data(), idx.data(), n, out.data());
+      for (uint32_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], base[idx[i]])
+            << "n=" << n << " i=" << i << " level=" << LevelName(level);
+      EXPECT_EQ(out[n], 0xdeadbeefu);  // no overwrite past n
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Mix64BatchMatchesScalarFinalizer) {
+  LevelGuard guard;
+  std::mt19937_64 rng(41);
+  for (uint32_t n : kBoundarySizes) {
+    std::vector<uint64_t> keys(n);
+    for (auto& k : keys) k = rng();
+    SetLevel(Level::kScalar);
+    std::vector<uint64_t> ref(n + 1);
+    Mix64Batch(keys.data(), n, ref.data());
+    for (uint32_t i = 0; i < n; ++i)
+      ASSERT_EQ(ref[i], detail::Mix64One(keys[i]));
+    for (Level level : SweepLevels()) {
+      SetLevel(level);
+      std::vector<uint64_t> out(n + 1);
+      Mix64Batch(keys.data(), n, out.data());
+      for (uint32_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], ref[i])
+            << "n=" << n << " i=" << i << " level=" << LevelName(level);
+    }
+  }
+}
+
+// The workhorse identity check: a seeded random corpus of columns with mixed
+// cardinalities, every kernel, every sweepable level, byte-identical output
+// vs the scalar reference (count, values, and order).
+TEST(SimdKernelsTest, ScalarVsSimdIdentityOnSeededCorpus) {
+  LevelGuard guard;
+  std::mt19937 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t n = 1 + rng() % 200;
+    const uint32_t card = 1 + rng() % 8;  // small domain → dense matches
+    std::vector<uint32_t> a = RandomColumn(n, card, &rng);
+    std::vector<uint32_t> b = RandomColumn(n, card, &rng);
+    const uint32_t v = rng() % card;
+    const uint32_t begin = rng() % (n + 1);
+    const uint32_t end = begin + rng() % (n - begin + 1);
+
+    std::vector<uint32_t> rows;
+    for (uint32_t r = 0; r < n; ++r)
+      if (rng() % 2 == 0) rows.push_back(r);
+
+    SetLevel(Level::kScalar);
+    std::vector<uint32_t> r1(n + 1), r2(n + 1), r3(n + 1), r4(n + 1);
+    std::vector<uint32_t> r5(n + 1), r6(n + 1), r7(n + 1);
+    size_t n1 = FilterEq(a.data(), b.data(), begin, end, r1.data());
+    size_t n2 = FilterNe(a.data(), b.data(), begin, end, r2.data());
+    size_t n3 = FilterEqConst(a.data(), begin, end, v, r3.data());
+    size_t n4 = FilterNeConst(a.data(), begin, end, v, r4.data());
+    size_t n5 = RefineEq(a.data(), b.data(), rows.data(), rows.size(),
+                         r5.data());
+    size_t n6 = RefineNe(a.data(), b.data(), rows.data(), rows.size(),
+                         r6.data());
+    size_t n7 = RefineNeConst(a.data(), rows.data(), rows.size(), v,
+                              r7.data());
+
+    for (Level level : SweepLevels()) {
+      SetLevel(level);
+      std::vector<uint32_t> out(n + 1);
+      auto check = [&](size_t got, size_t want, const std::vector<uint32_t>& ref,
+                       const char* kernel) {
+        ASSERT_EQ(got, want) << kernel << " trial=" << trial
+                             << " level=" << LevelName(level);
+        for (size_t i = 0; i < want; ++i)
+          ASSERT_EQ(out[i], ref[i]) << kernel << " trial=" << trial << " i="
+                                    << i << " level=" << LevelName(level);
+      };
+      check(FilterEq(a.data(), b.data(), begin, end, out.data()), n1, r1,
+            "FilterEq");
+      check(FilterNe(a.data(), b.data(), begin, end, out.data()), n2, r2,
+            "FilterNe");
+      check(FilterEqConst(a.data(), begin, end, v, out.data()), n3, r3,
+            "FilterEqConst");
+      check(FilterNeConst(a.data(), begin, end, v, out.data()), n4, r4,
+            "FilterNeConst");
+      check(RefineEq(a.data(), b.data(), rows.data(), rows.size(), out.data()),
+            n5, r5, "RefineEq");
+      check(RefineNe(a.data(), b.data(), rows.data(), rows.size(), out.data()),
+            n6, r6, "RefineNe");
+      check(RefineNeConst(a.data(), rows.data(), rows.size(), v, out.data()),
+            n7, r7, "RefineNeConst");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calm::simd

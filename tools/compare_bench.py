@@ -3,6 +3,7 @@
 
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--threshold 2.0] [--strict]
+                     [--summary PATH]
 
 Exits nonzero only on real regressions: a benchmark present in both files
 whose cpu_time grew by more than the threshold factor. Names present in only
@@ -17,6 +18,11 @@ Absolute times
 differ across machines; the wide default threshold is meant to catch
 order-of-magnitude regressions (e.g. losing the prepared-program fast path),
 not minor noise. Stdlib only, so it runs anywhere CI has python3.
+
+--summary PATH appends a GitHub-flavored markdown table of the top-5
+improvements and top-5 regressions (by cpu-time ratio) to PATH — CI passes
+"$GITHUB_STEP_SUMMARY" so the movers show up on the job page without digging
+through the log.
 """
 
 import argparse
@@ -39,6 +45,44 @@ def load_cpu_times(path):
     return times
 
 
+def format_summary(baseline, current, top_n=5):
+    """Markdown table of the top movers: the `top_n` biggest improvements
+    (lowest current/baseline cpu-time ratio, and only when actually < 1)
+    and the `top_n` biggest regressions (highest ratio > 1). Benchmarks in
+    only one of the two runs don't have a ratio and are left out."""
+    rows = []
+    for name in sorted(set(baseline) & set(current)):
+        base_t, unit = baseline[name]
+        cur_t, _ = current[name]
+        ratio = cur_t / base_t if base_t > 0 else float("inf")
+        rows.append((name, base_t, cur_t, unit, ratio))
+
+    improvements = sorted((r for r in rows if r[4] < 1.0), key=lambda r: r[4])
+    regressions = sorted((r for r in rows if r[4] > 1.0), key=lambda r: -r[4])
+
+    def table(title, entries):
+        lines = [f"### {title}", ""]
+        if not entries:
+            lines += ["_none_", ""]
+            return lines
+        lines += [
+            "| benchmark | baseline | current | ratio |",
+            "|---|---:|---:|---:|",
+        ]
+        for name, base_t, cur_t, unit, ratio in entries:
+            lines.append(
+                f"| `{name}` | {base_t:.2f} {unit} | {cur_t:.2f} {unit} "
+                f"| {ratio:.2f}x |"
+            )
+        lines.append("")
+        return lines
+
+    lines = ["## Benchmark comparison", ""]
+    lines += table(f"Top {top_n} improvements", improvements[:top_n])
+    lines += table(f"Top {top_n} regressions", regressions[:top_n])
+    return "\n".join(lines) + "\n"
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -53,6 +97,12 @@ def main(argv=None):
         "--strict",
         action="store_true",
         help="fail when a baseline benchmark is missing from the current run",
+    )
+    parser.add_argument(
+        "--summary",
+        metavar="PATH",
+        help="append a markdown top-5 improvements/regressions table to PATH "
+        "(pass $GITHUB_STEP_SUMMARY in CI)",
     )
     args = parser.parse_args(argv)
 
@@ -90,6 +140,10 @@ def main(argv=None):
     for name in sorted(set(current) - set(baseline)):
         cur_t, unit = current[name]
         print(f"new  {name}: {cur_t:.2f} {unit} (not in baseline; skipped)")
+
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(format_summary(baseline, current))
 
     if failures:
         print(f"\n{len(failures)} failure(s) against {args.baseline}:")

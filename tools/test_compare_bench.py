@@ -147,6 +147,76 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(rc, 1)
 
 
+class SummaryTableTest(unittest.TestCase):
+    """format_summary and the --summary flag: the CI job-summary table."""
+
+    def times(self, d):
+        return {name: (t, "ns") for name, t in d.items()}
+
+    def test_top_movers_ranked_and_truncated(self):
+        baseline = {f"BM_{i}": 100.0 for i in range(8)}
+        # BM_0..BM_7 at ratios 0.1, 0.2, ..., 0.8 — all improvements.
+        current = {f"BM_{i}": 100.0 * (i + 1) / 10 for i in range(8)}
+        md = compare_bench.format_summary(
+            self.times(baseline), self.times(current))
+        self.assertIn("Top 5 improvements", md)
+        # Best five make the table, in ratio order; sixth-best does not.
+        for i in range(5):
+            self.assertIn(f"`BM_{i}`", md)
+        self.assertNotIn("`BM_5`", md)
+        self.assertLess(md.index("`BM_0`"), md.index("`BM_1`"))
+        self.assertIn("0.10x", md)
+
+    def test_regressions_ranked_worst_first(self):
+        baseline = {"BM_A": 100.0, "BM_B": 100.0, "BM_C": 100.0}
+        current = {"BM_A": 150.0, "BM_B": 300.0, "BM_C": 100.0}
+        md = compare_bench.format_summary(
+            self.times(baseline), self.times(current))
+        self.assertIn("Top 5 regressions", md)
+        self.assertLess(md.index("`BM_B`"), md.index("`BM_A`"))
+        # Unchanged benchmarks (ratio == 1) are neither movers nor losers.
+        self.assertNotIn("`BM_C`", md)
+
+    def test_one_sided_names_left_out(self):
+        md = compare_bench.format_summary(
+            self.times({"BM_A": 100.0, "BM_GONE": 1.0}),
+            self.times({"BM_A": 50.0, "BM_NEW": 1.0}))
+        self.assertNotIn("BM_GONE", md)
+        self.assertNotIn("BM_NEW", md)
+
+    def test_empty_sections_say_none(self):
+        md = compare_bench.format_summary(
+            self.times({"BM_A": 100.0}), self.times({"BM_A": 100.0}))
+        self.assertEqual(md.count("_none_"), 2)
+
+    def test_summary_flag_appends_to_file(self):
+        dir = tempfile.TemporaryDirectory()
+        self.addCleanup(dir.cleanup)
+
+        def write(filename, doc):
+            path = os.path.join(dir.name, filename)
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            return path
+
+        base = write("base.json", bench_json({"BM_A": 100.0, "BM_B": 100.0}))
+        cur = write("cur.json", bench_json({"BM_A": 40.0, "BM_B": 100.0}))
+        summary = os.path.join(dir.name, "summary.md")
+        with open(summary, "w") as f:
+            f.write("prior content\n")
+        out = io.StringIO()
+        with redirect_stdout(out):
+            rc = compare_bench.main([base, cur, "--summary", summary])
+        self.assertEqual(rc, 0)
+        with open(summary) as f:
+            text = f.read()
+        # Appended, GITHUB_STEP_SUMMARY-style, not overwritten.
+        self.assertTrue(text.startswith("prior content\n"))
+        self.assertIn("## Benchmark comparison", text)
+        self.assertIn("`BM_A`", text)
+        self.assertIn("0.40x", text)
+
+
 class BaselineCoverageTest(unittest.TestCase):
     """The committed engine-perf baseline must line up with the CI filter.
 
@@ -159,7 +229,8 @@ class BaselineCoverageTest(unittest.TestCase):
 
     FILTER = re.compile(
         r"BM_EvalPrepared|BM_EvalIncrementalOverlay|BM_EvalCompileEveryCall|"
-        r"BM_MonotonicityCheck|BM_FindViolation|BM_Ladder|BM_RunToQuiescence")
+        r"BM_MonotonicityCheck|BM_FindViolation|BM_Ladder|BM_RunToQuiescence|"
+        r"BM_ToInstance|BM_DedupInsert")
 
     def baseline_names(self):
         path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
