@@ -184,7 +184,9 @@ int ReplayFile(const std::string& path, bench::Report* report) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Flags flags = bench::ParseFlags(&argc, argv);
+  bench::Flags flags = bench::ParseFlags(
+      &argc, argv, {"--plans", "--seed", "--trace_dir", "--replay"});
+  bench::InstallCancelHandlers();
   size_t plans = 64;
   uint64_t seed = 1;
   std::string trace_dir;
@@ -229,6 +231,9 @@ int main(int argc, char** argv) {
   size_t total_runs = 0;
   size_t traces_written = 0;
   for (const char* name : kScenarios) {
+    // A SIGINT/SIGTERM between scenarios still flushes --metrics_out /
+    // --trace_out with everything gathered so far.
+    bench::ExitIfCancelled(flags);
     std::unique_ptr<Scenario> s = MakeScenario(name);
     report.Section(s->name);
     transducer::ConfluenceOptions scenario_opts = opts;

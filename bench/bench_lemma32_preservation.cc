@@ -18,16 +18,23 @@ using namespace calm::monotonicity;  // NOLINT
 
 namespace {
 
+// Set by main once flags are parsed; the helpers flush-and-exit through it
+// when a SIGINT/SIGTERM lands mid-sweep (the sweeps' progress is already
+// durable in --checkpoint_dir by then).
+const bench::Flags* g_flags = nullptr;
+
 bool InPreservation(const Query& q, PreservationClass cls,
                     const PreservationOptions& o) {
   Result<std::optional<PreservationViolation>> r =
       FindPreservationViolation(q, cls, o);
+  bench::ExitIfCancelled(*g_flags);
   return r.ok() && !r->has_value();
 }
 
 bool InMonotonicity(const Query& q, MonotonicityClass cls,
                     const ExhaustiveOptions& o) {
   Result<std::optional<Counterexample>> r = FindViolation(q, cls, o);
+  bench::ExitIfCancelled(*g_flags);
   return r.ok() && !r->has_value();
 }
 
@@ -47,6 +54,8 @@ std::unique_ptr<Query> MakeNonLoopEdges() {
 
 int main(int argc, char** argv) {
   bench::Flags flags = bench::ParseFlags(&argc, argv);
+  g_flags = &flags;
+  bench::InstallCancelHandlers();
   bench::Report report("Lemma 3.2 — H ( Hinj = M ( E = Mdistinct");
   report.EnableJson(flags.json_path);
 
@@ -60,7 +69,9 @@ int main(int argc, char** argv) {
   PreservationOptions po;
   po.domain_size = 2 + bump;
   po.max_facts = 2;
-  PreservationOptions pe;
+  po.checkpoint_dir = flags.checkpoint_dir;
+  po.cancel = &bench::CancelFlag();
+  PreservationOptions pe = po;
   pe.domain_size = 3 + bump;
   pe.max_facts = 3;
   ExhaustiveOptions mo;
@@ -68,6 +79,8 @@ int main(int argc, char** argv) {
   mo.max_facts_i = 2;
   mo.fresh_values = 2;
   mo.max_facts_j = 2;
+  mo.checkpoint_dir = flags.checkpoint_dir;
+  mo.cancel = &bench::CancelFlag();
 
   std::vector<std::unique_ptr<Query>> specimens;
   specimens.push_back(queries::MakeTransitiveClosure());

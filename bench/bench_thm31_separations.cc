@@ -30,15 +30,28 @@ bool Retracts(const Query& q, const Instance& i, const Instance& j,
 }
 
 bool NoViolation(const Query& q, MonotonicityClass cls,
-                 const ExhaustiveOptions& o) {
+                 const ExhaustiveOptions& o, const bench::Flags& flags) {
   Result<std::optional<Counterexample>> r = FindViolation(q, cls, o);
+  // A SIGINT/SIGTERM mid-sweep surfaces here: flush artifacts and exit 130;
+  // everything this run finished is already durable in --checkpoint_dir.
+  bench::ExitIfCancelled(flags);
   return r.ok() && !r->has_value();
+}
+
+// Sweep options wired for kill-and-resume: every exhaustive search in this
+// bench journals into --checkpoint_dir (when set) and polls the signal flag.
+ExhaustiveOptions SweepOptions(const bench::Flags& flags) {
+  ExhaustiveOptions o;
+  o.checkpoint_dir = flags.checkpoint_dir;
+  o.cancel = &bench::CancelFlag();
+  return o;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Flags flags = bench::ParseFlags(&argc, argv);
+  bench::InstallCancelHandlers();
   bench::Report report("Theorem 3.1 — separations, replayed with the paper's witnesses");
   report.EnableJson(flags.json_path);
   std::string detail;
@@ -66,7 +79,7 @@ int main(int argc, char** argv) {
     Instance j{Fact("S", {V(1)})};
     report.Check("V\\S not monotone (witness: add S(1))",
                  Retracts(vs, i, j, &detail), detail);
-    ExhaustiveOptions o;
+    ExhaustiveOptions o = SweepOptions(flags);
     // domain_size 3 was out of reach for the full sweep (it was clamped to 2
     // before the orbit-representative reduction landed).
     o.domain_size = 3 + bump;
@@ -74,7 +87,7 @@ int main(int argc, char** argv) {
     o.fresh_values = 2;
     o.max_facts_j = 3;
     report.Check("V\\S in Mdistinct (exhaustive)",
-                 NoViolation(vs, MonotonicityClass::kDomainDistinct, o));
+                 NoViolation(vs, MonotonicityClass::kDomainDistinct, o, flags));
 
     // Q_TC in Mdisjoint \ Mdistinct: "the addition of domain-distinct
     // subgraphs can create a path E(a,c), E(c,b) where c is a new vertex".
@@ -84,7 +97,7 @@ int main(int argc, char** argv) {
     report.Check("Q_TC loses (0,1) when bridged through fresh c (not Mdistinct)",
                  Retracts(*qtc, graph, bridge, &detail), detail);
     report.Check("Q_TC in Mdisjoint (exhaustive)",
-                 NoViolation(*qtc, MonotonicityClass::kDomainDisjoint, o));
+                 NoViolation(*qtc, MonotonicityClass::kDomainDisjoint, o, flags));
 
     // Mdisjoint ( C: the triangles query killed by a disjoint triangle.
     auto tri = queries::MakeTrianglesUnlessTwoDisjoint();
@@ -99,13 +112,13 @@ int main(int argc, char** argv) {
   {
     auto tc = queries::MakeTransitiveClosure();
     for (size_t jmax : {1u, 2u, 3u, 4u}) {
-      ExhaustiveOptions o;
+      ExhaustiveOptions o = SweepOptions(flags);
       o.domain_size = 2 + bump;
       o.max_facts_i = 2;
       o.fresh_values = 1;
       o.max_facts_j = jmax;
       report.Check("TC in M^" + std::to_string(jmax),
-                   NoViolation(*tc, MonotonicityClass::kMonotone, o));
+                   NoViolation(*tc, MonotonicityClass::kMonotone, o, flags));
     }
   }
 
@@ -125,13 +138,13 @@ int main(int argc, char** argv) {
                  IsDomainDistinctFrom(star, clique) &&
                      Retracts(*q, clique, star, &detail),
                  detail);
-    ExhaustiveOptions o;
+    ExhaustiveOptions o = SweepOptions(flags);
     o.domain_size = i + 2 + bump;
     o.max_facts_i = i <= 1 ? (i + 1) * i + 1 : 3;  // keep the search small
     o.fresh_values = 1;
     o.max_facts_j = i;
     report.Check("i=" + std::to_string(i) + ": no violation with |J| <= i",
-                 NoViolation(*q, MonotonicityClass::kDomainDistinct, o));
+                 NoViolation(*q, MonotonicityClass::kDomainDistinct, o, flags));
   }
 
   // (4) the star ladder: "i+1 domain-disjoint edges suffice to create an
@@ -146,13 +159,13 @@ int main(int argc, char** argv) {
                  IsDomainDisjointFrom(fresh_star, input) &&
                      Retracts(*q, input, fresh_star, &detail),
                  detail);
-    ExhaustiveOptions o;
+    ExhaustiveOptions o = SweepOptions(flags);
     o.domain_size = 2 + bump;
     o.max_facts_i = 2;
     o.fresh_values = i + 1;
     o.max_facts_j = i;
     report.Check("i=" + std::to_string(i) + ": no violation with |J| <= i",
-                 NoViolation(*q, MonotonicityClass::kDomainDisjoint, o));
+                 NoViolation(*q, MonotonicityClass::kDomainDisjoint, o, flags));
   }
 
   // (5) Q^{i+1}_clique in M^i_disjoint but not M^i_distinct.
@@ -163,13 +176,13 @@ int main(int argc, char** argv) {
     Instance extend{Fact("E", {V(1000), V(0)}), Fact("E", {V(1000), V(1)})};
     report.Check("Q_clique_3 not in M^2_distinct",
                  Retracts(*q, edge, extend, &detail), detail);
-    ExhaustiveOptions o;
+    ExhaustiveOptions o = SweepOptions(flags);
     o.domain_size = 3 + bump;
     o.max_facts_i = 3;
     o.fresh_values = 2;
     o.max_facts_j = 2;
     report.Check("Q_clique_3 in M^2_disjoint",
-                 NoViolation(*q, MonotonicityClass::kDomainDisjoint, o));
+                 NoViolation(*q, MonotonicityClass::kDomainDisjoint, o, flags));
   }
 
   // (6) Q^{j+1}_star in M^j_disjoint \ M^i_distinct: "we can increase the
@@ -201,14 +214,14 @@ int main(int argc, char** argv) {
                  IsDomainDisjointFrom(dup, i_inst) &&
                      Retracts(*q, i_inst, dup, &detail),
                  detail);
-    ExhaustiveOptions o;
+    ExhaustiveOptions o = SweepOptions(flags);
     o.domain_size = 2 + bump;
     o.max_facts_i = 2;
     o.fresh_values = 2;
     o.max_facts_j = j - 1;
     report.Check("j=" + std::to_string(j) + ": in M^" + std::to_string(j - 1) +
                      "_distinct (exhaustive)",
-                 NoViolation(*q, MonotonicityClass::kDomainDistinct, o));
+                 NoViolation(*q, MonotonicityClass::kDomainDistinct, o, flags));
   }
 
   bench::WriteObservability(flags);

@@ -1,10 +1,14 @@
 #ifndef CALM_BENCH_FLAGS_H_
 #define CALM_BENCH_FLAGS_H_
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "base/metrics.h"
 #include "base/thread_pool.h"
@@ -38,6 +42,17 @@ namespace calm::bench {
 //                     results are byte-identical at any count); also settable
 //                     via CALM_EVAL_THREADS, the flag wins
 //                     (SetDefaultEvalThreads)
+//   --checkpoint_dir D  journal every exhaustive sweep's progress into D
+//                     (monotonicity/sweep_checkpoint.h) so a killed run —
+//                     SIGINT/SIGTERM with InstallCancelHandlers, or a hard
+//                     crash — resumes instead of restarting
+//
+// The parser is strict: an argument starting with "--" must be one of the
+// flags above (unique prefixes are accepted as abbreviations; an ambiguous
+// prefix is an error), a google-benchmark flag ("--benchmark_..."), or a
+// binary-specific flag the caller allowlists via `passthrough`. Anything
+// else exits 2 with the usage below — a typo never silently becomes a
+// default-valued run.
 struct Flags {
   size_t threads = 0;     // 0 = CALM_THREADS / hardware default
   std::string json_path;  // empty = no JSON output
@@ -47,52 +62,154 @@ struct Flags {
   std::string engine;       // empty = CALM_ENGINE / bytecode default
   std::string incremental;  // empty = CALM_INCREMENTAL / on default
   size_t eval_threads = 0;  // 0 = CALM_EVAL_THREADS / serial default
+  std::string checkpoint_dir;  // empty = sweeps run without a journal
 };
 
-// Parses and strips the flags above from argv (leaving unrecognized
-// arguments, e.g. google-benchmark's, in place), applies --threads via
-// SetDefaultThreads, and switches metrics/tracing on when an output path asks
-// for them. Exits with a usage message on a malformed value.
-inline Flags ParseFlags(int* argc, char** argv) {
+namespace internal {
+
+// One row per flag: a string sink or a numeric sink (positive when the
+// value must be > 0). Both "--name value" and "--name=value" forms work.
+struct FlagSpec {
+  const char* name;
+  const char* value_name;
+  const char* help;
+  std::string* str;
+  size_t* num;
+  bool positive;
+};
+
+inline std::vector<FlagSpec> FlagSpecs(Flags* flags) {
+  return {
+      {"--threads", "N", "checker worker threads (default: CALM_THREADS)",
+       nullptr, &flags->threads, true},
+      {"--eval_threads", "N",
+       "morsel-parallel evaluation threads (default: CALM_EVAL_THREADS)",
+       nullptr, &flags->eval_threads, true},
+      {"--domain_bump", "N", "widen exhaustive domain_size by N", nullptr,
+       &flags->domain_bump, false},
+      {"--json", "PATH", "write the report as JSON", &flags->json_path,
+       nullptr, false},
+      {"--metrics_out", "PATH", "enable metrics, write JSON snapshot on exit",
+       &flags->metrics_out, nullptr, false},
+      {"--trace_out", "PATH", "enable tracing, write Chrome trace on exit",
+       &flags->trace_out, nullptr, false},
+      {"--engine", "NAME", "rule evaluator: bytecode (default) or tree",
+       &flags->engine, nullptr, false},
+      {"--incremental", "MODE", "union evaluation: on (default) or off",
+       &flags->incremental, nullptr, false},
+      {"--checkpoint_dir", "DIR",
+       "journal sweep progress into DIR; a rerun resumes",
+       &flags->checkpoint_dir, nullptr, false},
+  };
+}
+
+inline void PrintUsage(std::FILE* out, const char* argv0,
+                       const std::vector<FlagSpec>& specs,
+                       std::initializer_list<const char*> passthrough) {
+  std::fprintf(out, "usage: %s [flags]\n\nflags:\n", argv0);
+  for (const FlagSpec& spec : specs) {
+    std::fprintf(out, "  %s %-5s %s\n", spec.name, spec.value_name, spec.help);
+  }
+  for (const char* extra : passthrough) {
+    std::fprintf(out, "  %s (binary-specific; see the file header)\n", extra);
+  }
+  std::fprintf(out,
+               "  --benchmark_... google-benchmark flags pass through\n"
+               "  --help          this message\n");
+}
+
+}  // namespace internal
+
+// Parses and strips the shared flags from argv, leaving only allowlisted
+// arguments (google-benchmark's --benchmark_* and the caller's `passthrough`
+// names, with their values) in place; applies --threads via
+// SetDefaultThreads and switches metrics/tracing on when an output path asks
+// for them. Exits 2 with a usage message on an unknown or ambiguous flag or
+// a malformed value.
+inline Flags ParseFlags(int* argc, char** argv,
+                        std::initializer_list<const char*> passthrough = {}) {
   Flags flags;
-  // One row per flag: a string sink or a numeric sink (positive when the
-  // value must be > 0). Both "--name value" and "--name=value" forms work.
-  struct Spec {
-    const char* name;
-    std::string* str;
-    size_t* num;
-    bool positive;
+  const std::vector<internal::FlagSpec> specs = internal::FlagSpecs(&flags);
+  auto usage_and_exit = [&](const char* fmt, const char* detail) {
+    std::fprintf(stderr, fmt, detail);
+    std::fprintf(stderr, "\n\n");
+    internal::PrintUsage(stderr, argv[0], specs, passthrough);
+    std::exit(2);
   };
-  const Spec specs[] = {
-      {"--threads", nullptr, &flags.threads, true},
-      {"--eval_threads", nullptr, &flags.eval_threads, true},
-      {"--domain_bump", nullptr, &flags.domain_bump, false},
-      {"--json", &flags.json_path, nullptr, false},
-      {"--metrics_out", &flags.metrics_out, nullptr, false},
-      {"--trace_out", &flags.trace_out, nullptr, false},
-      {"--engine", &flags.engine, nullptr, false},
-      {"--incremental", &flags.incremental, nullptr, false},
-  };
+
   int out = 1;
   for (int in = 1; in < *argc; ++in) {
     const char* arg = argv[in];
-    const Spec* hit = nullptr;
-    const char* value = nullptr;
-    for (const Spec& spec : specs) {
-      const size_t len = std::strlen(spec.name);
-      if (std::strncmp(arg, spec.name, len) != 0) continue;
-      if (arg[len] == '=') {
-        hit = &spec;
-        value = arg + len + 1;
-      } else if (arg[len] == '\0' && in + 1 < *argc) {
-        hit = &spec;
-        value = argv[++in];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      argv[out++] = argv[in];  // positional; not ours to police
+      continue;
+    }
+    // Split "--name=value".
+    std::string name(arg);
+    std::string inline_value;
+    bool has_inline = false;
+    if (size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+      has_inline = true;
+    }
+    if (name == "--help") {
+      internal::PrintUsage(stdout, argv[0], specs, passthrough);
+      std::exit(0);
+    }
+    if (name.compare(0, 12, "--benchmark_") == 0) {
+      argv[out++] = argv[in];  // google-benchmark parses these itself
+      continue;
+    }
+    bool is_passthrough = false;
+    for (const char* extra : passthrough) {
+      if (name == extra) {
+        is_passthrough = true;
+        break;
       }
-      if (hit != nullptr) break;
+    }
+    if (is_passthrough) {
+      // Keep the flag and (for the two-token form) its value for the binary.
+      argv[out++] = argv[in];
+      if (!has_inline && in + 1 < *argc) argv[out++] = argv[++in];
+      continue;
+    }
+
+    // Ours: exact name first, then a unique-prefix abbreviation.
+    const internal::FlagSpec* hit = nullptr;
+    for (const internal::FlagSpec& spec : specs) {
+      if (name == spec.name) {
+        hit = &spec;
+        break;
+      }
     }
     if (hit == nullptr) {
-      argv[out++] = argv[in];  // unrecognized (e.g. google-benchmark's)
-      continue;
+      std::vector<const internal::FlagSpec*> matches;
+      for (const internal::FlagSpec& spec : specs) {
+        if (std::strncmp(spec.name, name.c_str(), name.size()) == 0) {
+          matches.push_back(&spec);
+        }
+      }
+      if (matches.size() > 1) {
+        std::string listed;
+        for (const internal::FlagSpec* m : matches) {
+          if (!listed.empty()) listed += ", ";
+          listed += m->name;
+        }
+        usage_and_exit("ambiguous flag %s",
+                       (name + " (matches " + listed + ")").c_str());
+      }
+      if (matches.empty()) usage_and_exit("unknown flag %s", name.c_str());
+      hit = matches[0];
+    }
+
+    const char* value = nullptr;
+    if (has_inline) {
+      value = inline_value.c_str();
+    } else if (in + 1 < *argc) {
+      value = argv[++in];
+    } else {
+      usage_and_exit("%s expects a value", hit->name);
     }
     if (hit->str != nullptr) {
       *hit->str = value;
@@ -173,6 +290,47 @@ inline void WriteObservability(const Flags& flags) {
                       : (", " + std::to_string(dropped) + " dropped").c_str());
     }
   }
+}
+
+// --- cooperative cancellation ----------------------------------------------
+//
+// InstallCancelHandlers routes SIGINT/SIGTERM into a flag the sweeps poll
+// (ExhaustiveOptions::cancel / PreservationOptions::cancel). An interrupted
+// sweep returns kDeadlineExceeded with everything finished so far already
+// fsync'd in the checkpoint journal; the bench then calls ExitIfCancelled,
+// which flushes the metrics/trace artifacts and exits 130 (the conventional
+// "died on SIGINT" code), so a kill mid-run still leaves a resumable
+// checkpoint AND the observability outputs.
+
+inline std::atomic<bool>& CancelFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+namespace internal {
+inline void OnCancelSignal(int) {
+  CancelFlag().store(true, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+inline void InstallCancelHandlers() {
+  std::signal(SIGINT, internal::OnCancelSignal);
+  std::signal(SIGTERM, internal::OnCancelSignal);
+}
+
+// Call after any sweep that may have been cancelled: flushes observability
+// artifacts and exits 130 if a cancel signal arrived.
+inline void ExitIfCancelled(const Flags& flags) {
+  if (!CancelFlag().load(std::memory_order_relaxed)) return;
+  if (flags.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "interrupted (no --checkpoint_dir; progress not saved)\n");
+  } else {
+    std::fprintf(stderr, "interrupted; resume with --checkpoint_dir %s\n",
+                 flags.checkpoint_dir.c_str());
+  }
+  WriteObservability(flags);
+  std::exit(130);
 }
 
 }  // namespace calm::bench

@@ -1,0 +1,121 @@
+#include "base/failpoint.h"
+
+#ifndef CALM_FAILPOINTS_DISABLED
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace calm::failpoint {
+
+namespace detail {
+
+std::atomic<bool> g_active{false};
+
+namespace {
+
+// All slow-path state behind one mutex: arming and counting are test/fuzzer
+// operations, and a hit only reaches the mutex while the framework is active.
+struct State {
+  std::mutex mu;
+  bool counting = false;
+  std::string armed_site;   // empty = nothing armed
+  uint64_t armed_hit = 0;   // 1-based occurrence that crashes
+  std::map<std::string, uint64_t> counts;
+};
+
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+// CALM_FAILPOINT=site:hit — one env read at process start, so any binary can
+// be crashed at a chosen boundary without code changes.
+struct EnvArm {
+  EnvArm() {
+    const char* spec = std::getenv("CALM_FAILPOINT");
+    if (spec == nullptr || *spec == '\0') return;
+    std::string s(spec);
+    size_t colon = s.rfind(':');
+    uint64_t hit = 1;
+    std::string site = s;
+    if (colon != std::string::npos) {
+      site = s.substr(0, colon);
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(s.c_str() + colon + 1, &end, 10);
+      if (end != nullptr && *end == '\0' && n > 0) {
+        hit = n;
+      } else {
+        std::fprintf(stderr,
+                     "CALM_FAILPOINT: malformed hit count in %s "
+                     "(want site:positive-integer)\n",
+                     spec);
+        std::exit(2);
+      }
+    }
+    Arm(site, hit);
+  }
+};
+EnvArm g_env_arm;
+
+}  // namespace
+
+void Hit(const char* site) {
+  State& state = GetState();
+  std::unique_lock<std::mutex> lock(state.mu);
+  if (!state.counting && state.armed_site.empty()) return;  // raced a Disarm
+  uint64_t count = ++state.counts[site];
+  if (!state.armed_site.empty() && state.armed_site == site &&
+      count == state.armed_hit) {
+    // The crash model is a power cut: no atexit handlers, no stream flushes,
+    // no destructors — anything not yet durable is lost. The one fprintf is
+    // unbuffered (stderr) and purely diagnostic.
+    std::fprintf(stderr, "failpoint fired: %s (hit %llu)\n", site,
+                 static_cast<unsigned long long>(count));
+    _exit(kCrashExitCode);
+  }
+}
+
+}  // namespace detail
+
+void Arm(const std::string& site, uint64_t hit) {
+  detail::State& state = detail::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed_site = site;
+  state.armed_hit = hit == 0 ? 1 : hit;
+  state.counts.clear();
+  detail::g_active.store(true, std::memory_order_relaxed);
+}
+
+void Disarm() {
+  detail::State& state = detail::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed_site.clear();
+  state.armed_hit = 0;
+  detail::g_active.store(state.counting, std::memory_order_relaxed);
+}
+
+void SetCounting(bool on) {
+  detail::State& state = detail::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.counting = on;
+  state.counts.clear();
+  detail::g_active.store(on || !state.armed_site.empty(),
+                         std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>> HitCounts() {
+  detail::State& state = detail::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::pair<std::string, uint64_t>> out(state.counts.begin(),
+                                                    state.counts.end());
+  return out;
+}
+
+}  // namespace calm::failpoint
+
+#endif  // CALM_FAILPOINTS_DISABLED

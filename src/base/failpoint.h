@@ -1,0 +1,106 @@
+#ifndef CALM_BASE_FAILPOINT_H_
+#define CALM_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Failpoints (see DESIGN.md, "Durability and crash recovery"): named crash
+// sites compiled into the durability layer's write/fsync/rename boundaries.
+// A site is one CALM_FAILPOINT("name") statement; executing it while the
+// site is armed terminates the process immediately (_exit, no atexit, no
+// flushes) — the honest model of a power cut or SIGKILL at that boundary.
+//
+// The kill-anywhere recovery fuzzer (tests/durability_test.cc) drives them
+// in two phases: a counting pass runs the workload crash-free and records
+// how often each site executes, then for every (site, k) pair a forked child
+// arms the site at its k-th hit, runs the same workload, dies there, and the
+// parent recovers and compares against the crash-free oracle.
+//
+// Arming channels:
+//   * programmatic — failpoint::Arm("durable.fsync", 3) (tests, after fork);
+//   * environment  — CALM_FAILPOINT=durable.fsync:3 read at process start,
+//     so any bench binary can be crashed at a chosen boundary without code
+//     changes (the CI kill-and-resume leg uses this).
+//
+// Cost model: compiled in (default), every site costs one relaxed atomic
+// load and a predictable branch; CMake -DCALM_FAILPOINTS=OFF defines
+// CALM_FAILPOINTS_DISABLED and every site collapses to an empty statement.
+// ---------------------------------------------------------------------------
+
+namespace calm::failpoint {
+
+// The exit code a fired failpoint terminates with; the fuzzer's parent
+// process distinguishes an injected crash from a genuine failure by it.
+inline constexpr int kCrashExitCode = 42;
+
+// Whether failpoint sites are compiled into this build (CALM_FAILPOINTS).
+constexpr bool FailpointsCompiledIn() {
+#ifdef CALM_FAILPOINTS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+#ifndef CALM_FAILPOINTS_DISABLED
+
+namespace detail {
+
+// True while any site is armed or counting is on; the one relaxed load every
+// site pays when the framework is idle.
+extern std::atomic<bool> g_active;
+inline bool Active() { return g_active.load(std::memory_order_relaxed); }
+
+// The out-of-line slow path: counts the hit and crashes when it is the
+// armed site's armed occurrence.
+void Hit(const char* site);
+
+}  // namespace detail
+
+// Arms `site`: its `hit`-th execution (1-based) after this call terminates
+// the process with kCrashExitCode. At most one site is armed at a time;
+// re-arming replaces the previous site. Arming resets the hit counters.
+void Arm(const std::string& site, uint64_t hit);
+
+// Disarms the armed site (counting mode, if on, stays on).
+void Disarm();
+
+// Counting mode: sites record how often they execute instead of crashing
+// (the fuzzer's oracle pass). Enabling resets the counters.
+void SetCounting(bool on);
+
+// The (site, executions) pairs observed since the last Arm/SetCounting
+// reset, in site-name order. Only populated while counting or armed.
+std::vector<std::pair<std::string, uint64_t>> HitCounts();
+
+// A site statement. `site` must be a string literal (the registry stores
+// the pointer until first hit).
+#define CALM_FAILPOINT(site)                                        \
+  do {                                                              \
+    if (::calm::failpoint::detail::Active()) {                      \
+      ::calm::failpoint::detail::Hit(site);                         \
+    }                                                               \
+  } while (false)
+
+#else  // CALM_FAILPOINTS_DISABLED
+
+inline void Arm(const std::string&, uint64_t) {}
+inline void Disarm() {}
+inline void SetCounting(bool) {}
+inline std::vector<std::pair<std::string, uint64_t>> HitCounts() {
+  return {};
+}
+
+#define CALM_FAILPOINT(site) \
+  do {                       \
+  } while (false)
+
+#endif  // CALM_FAILPOINTS_DISABLED
+
+}  // namespace calm::failpoint
+
+#endif  // CALM_BASE_FAILPOINT_H_

@@ -15,6 +15,7 @@
 #include "base/result_cache.h"
 #include "base/thread_pool.h"
 #include "base/trace.h"
+#include "monotonicity/sweep_checkpoint.h"
 #include "workload/instance_gen.h"
 
 namespace calm::monotonicity {
@@ -289,6 +290,57 @@ Result<std::optional<Counterexample>> FindViolation(
   std::vector<InstanceOutcome> slots(space);
   std::atomic<size_t> first_stop{space};
 
+  // Durable sweep journal (sweep_checkpoint.h). The file identity encodes
+  // the query, kind, class, and every bound, and its Begin record pins
+  // `space`, so replayed progress always belongs to this exact sweep.
+  std::unique_ptr<SweepCheckpoint> ckpt;
+  if (!options.checkpoint_dir.empty()) {
+    CALM_ASSIGN_OR_RETURN(
+        ckpt, SweepCheckpoint::Open(
+                  options.checkpoint_dir,
+                  SweepFileId(query.name(), "fv", MonotonicityClassName(cls),
+                              options.domain_size, options.fresh_values,
+                              options.max_facts_i, options.max_facts_j),
+                  space));
+    if (ckpt->complete()) {
+      // A prior run finished this sweep: its recorded winner is the verdict.
+      const uint64_t winner = ckpt->winner();
+      if (winner >= space) return std::optional<Counterexample>();
+      const SweepStop* stop = ckpt->StopAt(winner);
+      if (stop == nullptr) {
+        return InternalError("sweep checkpoint: complete without a stop at " +
+                             std::to_string(winner));
+      }
+      if (!stop->has_witness) return stop->error;
+      return std::optional<Counterexample>(
+          Counterexample{stop->i, stop->j, stop->fact});
+    }
+    // Seed this run with the recorded stops: they occupy their slots and the
+    // least recorded stop prunes everything behind it, exactly as if this
+    // run had found them itself.
+    for (const auto& [idx, stop] : ckpt->stops()) {
+      if (idx >= space) continue;
+      if (stop.has_witness) {
+        slots[idx].cex = Counterexample{stop.i, stop.j, stop.fact};
+      } else {
+        slots[idx].error = stop.error;
+      }
+    }
+    if (!ckpt->stops().empty()) {
+      first_stop.store(ckpt->stops().begin()->first,
+                       std::memory_order_relaxed);
+    }
+  }
+  std::atomic<bool> cancelled{false};
+  auto cancel_requested = [&]() {
+    if (options.cancel == nullptr ||
+        !options.cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  };
+
   TraceSpan span("checker.find_violation");
   span.Arg("class", static_cast<int64_t>(cls));
   span.Arg("instances", static_cast<int64_t>(space));
@@ -303,6 +355,7 @@ Result<std::optional<Counterexample>> FindViolation(
   std::atomic<uint64_t> pairs_total{0};
   Counter* instances_done = nullptr;
   Counter* pairs_done = nullptr;
+  Counter* skipped_done = nullptr;
   if (metrics_on) {
     MetricRegistry& registry = MetricRegistry::Global();
     instances_done =
@@ -310,12 +363,26 @@ Result<std::optional<Counterexample>> FindViolation(
                              {{"class", MonotonicityClassName(cls)}});
     pairs_done = &registry.GetCounter("calm.checker.pairs_checked",
                                       {{"class", MonotonicityClassName(cls)}});
+    if (ckpt != nullptr) {
+      skipped_done = &registry.GetCounter("calm.durable.sweep_skipped");
+    }
   }
 
   ParallelFor(space, options.threads, [&](size_t idx) {
+    if (cancel_requested()) return;
+    if (ckpt != nullptr && ckpt->IsRecorded(idx)) {
+      // A prior run durably finished this candidate; its outcome (if a stop)
+      // was seeded into `slots` above.
+      if (skipped_done != nullptr) skipped_done->Increment();
+      return;
+    }
     if (first_stop.load(std::memory_order_relaxed) < idx) return;
     InstanceOutcome& slot = slots[idx];
     uint64_t pairs_here = 0;
+    // A candidate pruned mid-enumeration (a lower index already stopped, or
+    // a cancel arrived) was NOT fully examined, so it must not be journaled
+    // as Done — the Done record means "every J was checked".
+    bool pruned = false;
     if (plan != nullptr) {
       // Plan path: walk the precomputed J stream through one PairChecker —
       // base evaluation stays lazy (an I with no pairs is never evaluated)
@@ -325,7 +392,11 @@ Result<std::optional<Counterexample>> FindViolation(
       const SweepPlanEntry& entry = plan->entries[idx];
       PairChecker checker(query, entry.i, cache);
       for (const Instance& j : entry.js) {
-        if (first_stop.load(std::memory_order_relaxed) < idx) break;
+        if (first_stop.load(std::memory_order_relaxed) < idx ||
+            cancel_requested()) {
+          pruned = true;
+          break;
+        }
         ++pairs_here;
         Result<std::optional<Counterexample>> r = checker.Check(j);
         if (!r.ok()) {
@@ -344,7 +415,11 @@ Result<std::optional<Counterexample>> FindViolation(
       // whole J enumeration below.
       PairChecker checker(query, i, cache);
       auto visit = [&](const Instance& j) {
-        if (first_stop.load(std::memory_order_relaxed) < idx) return false;
+        if (first_stop.load(std::memory_order_relaxed) < idx ||
+            cancel_requested()) {
+          pruned = true;
+          return false;
+        }
         ++pairs_here;
         Result<std::optional<Counterexample>> r = checker.Check(j);
         if (!r.ok()) {
@@ -374,11 +449,27 @@ Result<std::optional<Counterexample>> FindViolation(
       }
     }
     if (!slot.error.ok() || slot.cex.has_value()) {
+      if (ckpt != nullptr) {
+        // Durable before visible: the stop is journaled before it can prune
+        // (and thus silence) higher indices in this run.
+        SweepStop stop;
+        if (slot.cex.has_value()) {
+          stop.has_witness = true;
+          stop.i = slot.cex->i;
+          stop.j = slot.cex->j;
+          stop.fact = slot.cex->retracted;
+        } else {
+          stop.error = slot.error;
+        }
+        ckpt->RecordStop(idx, stop);
+      }
       size_t cur = first_stop.load(std::memory_order_relaxed);
       while (idx < cur &&
              !first_stop.compare_exchange_weak(cur, idx,
                                                std::memory_order_relaxed)) {
       }
+    } else if (ckpt != nullptr && !pruned) {
+      ckpt->RecordDone(idx);
     }
   });
 
@@ -395,7 +486,22 @@ Result<std::optional<Counterexample>> FindViolation(
         .Increment(after.misses - cache_before.misses);
   }
 
+  if (cancelled.load(std::memory_order_relaxed)) {
+    // Everything that finished before the cancel is already journaled; a
+    // rerun with the same checkpoint_dir picks up from there.
+    if (ckpt != nullptr) CALM_RETURN_IF_ERROR(ckpt->io_status());
+    return DeadlineExceededError("sweep cancelled");
+  }
+
   size_t winner = first_stop.load(std::memory_order_relaxed);
+  if (ckpt != nullptr) {
+    // The sweep ran to the end: certify the checkpoint (the winner is final)
+    // — but only if every append landed; a WAL with a missing Done record
+    // must not claim completeness.
+    CALM_RETURN_IF_ERROR(ckpt->io_status());
+    ckpt->RecordComplete(winner);
+    CALM_RETURN_IF_ERROR(ckpt->io_status());
+  }
   if (winner < space) {
     InstanceOutcome& slot = slots[winner];
     if (!slot.error.ok()) return slot.error;

@@ -1,6 +1,7 @@
 #ifndef CALM_MONOTONICITY_CHECKER_H_
 #define CALM_MONOTONICITY_CHECKER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -70,6 +71,17 @@ struct ExhaustiveOptions {
   // its 3 * max_i cells; standalone FindViolation calls run uncached unless
   // the caller provides one. Not owned.
   QueryResultCache* cache = nullptr;
+  // When non-empty, the sweep journals per-candidate progress into
+  // <checkpoint_dir>/<sweep id>.wal (monotonicity/sweep_checkpoint.h) and a
+  // rerun with the same query, class, and bounds resumes: recorded indices
+  // are skipped and the verdict, witness, and stop point are identical to an
+  // uninterrupted run. The directory is created if missing.
+  std::string checkpoint_dir;
+  // Optional cooperative cancellation (the benches' SIGINT handler sets it).
+  // When the flag becomes true the sweep stops starting new candidates and
+  // returns kDeadlineExceeded; with a checkpoint_dir, everything finished
+  // before the cancel is durable and a rerun continues from there. Not owned.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Exhaustively searches the bounded space for a violation of `cls`.

@@ -10,6 +10,7 @@
 #include "base/result_cache.h"
 #include "base/thread_pool.h"
 #include "base/trace.h"
+#include "monotonicity/sweep_checkpoint.h"
 
 namespace calm::monotonicity {
 
@@ -146,6 +147,56 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
   std::vector<SourceOutcome> slots(sources.size());
   std::atomic<size_t> first_stop{sources.size()};
 
+  // Durable sweep journal, same model as FindViolation (checker.cc): one
+  // file per sweep identity, Begin pins the source count, recorded sources
+  // are skipped on resume and recorded stops are seeded below.
+  std::unique_ptr<SweepCheckpoint> ckpt;
+  if (!options.checkpoint_dir.empty()) {
+    CALM_ASSIGN_OR_RETURN(
+        ckpt,
+        SweepCheckpoint::Open(
+            options.checkpoint_dir,
+            SweepFileId(query.name(), "pres", PreservationClassName(cls),
+                        options.domain_size, /*fresh_values=*/0,
+                        options.max_facts, options.max_facts),
+            sources.size()));
+    if (ckpt->complete()) {
+      const uint64_t winner = ckpt->winner();
+      if (winner >= sources.size()) {
+        return std::optional<PreservationViolation>();
+      }
+      const SweepStop* stop = ckpt->StopAt(winner);
+      if (stop == nullptr) {
+        return InternalError("sweep checkpoint: complete without a stop at " +
+                             std::to_string(winner));
+      }
+      if (!stop->has_witness) return stop->error;
+      return std::optional<PreservationViolation>(
+          PreservationViolation{stop->i, stop->j, stop->fact});
+    }
+    for (const auto& [idx, stop] : ckpt->stops()) {
+      if (idx >= sources.size()) continue;
+      if (stop.has_witness) {
+        slots[idx].violation = PreservationViolation{stop.i, stop.j, stop.fact};
+      } else {
+        slots[idx].error = stop.error;
+      }
+    }
+    if (!ckpt->stops().empty()) {
+      first_stop.store(ckpt->stops().begin()->first,
+                       std::memory_order_relaxed);
+    }
+  }
+  std::atomic<bool> cancelled{false};
+  auto cancel_requested = [&]() {
+    if (options.cancel == nullptr ||
+        !options.cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  };
+
   TraceSpan span("preservation.find_violation");
   span.Arg("class", static_cast<int64_t>(cls));
   span.Arg("sources", static_cast<int64_t>(sources.size()));
@@ -156,6 +207,10 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
                 "calm.preservation.sources_examined",
                 {{"class", PreservationClassName(cls)}})
           : nullptr;
+  Counter* skipped_done =
+      MetricsEnabled() && ckpt != nullptr
+          ? &MetricRegistry::Global().GetCounter("calm.durable.sweep_skipped")
+          : nullptr;
 
   auto record_stop = [&](size_t idx) {
     size_t cur = first_stop.load(std::memory_order_relaxed);
@@ -164,18 +219,48 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
                                              std::memory_order_relaxed)) {
     }
   };
+  // Journals the source's outcome: a stop (durable before record_stop makes
+  // it visible), or Done — but never Done for a source pruned before its
+  // target enumeration finished.
+  auto journal_outcome = [&](size_t idx, const SourceOutcome& slot,
+                             bool pruned) {
+    if (ckpt == nullptr) return;
+    if (!slot.error.ok() || slot.violation.has_value()) {
+      SweepStop stop;
+      if (slot.violation.has_value()) {
+        stop.has_witness = true;
+        stop.i = slot.violation->i;
+        stop.j = slot.violation->j;
+        stop.fact = slot.violation->not_preserved;
+      } else {
+        stop.error = slot.error;
+      }
+      ckpt->RecordStop(idx, stop);
+    } else if (!pruned) {
+      ckpt->RecordDone(idx);
+    }
+  };
 
   if (cls == PreservationClass::kExtensions) {
     ParallelFor(sources.size(), options.threads, [&](size_t idx) {
+      if (cancel_requested()) return;
+      if (ckpt != nullptr && ckpt->IsRecorded(idx)) {
+        if (skipped_done != nullptr) skipped_done->Increment();
+        return;
+      }
       if (first_stop.load(std::memory_order_relaxed) < idx) return;
       Result<std::optional<PreservationViolation>> r =
           CheckExtensions(query, sources[idx], cache);
       if (!r.ok()) {
         slots[idx].error = r.status();
+        journal_outcome(idx, slots[idx], /*pruned=*/false);
         record_stop(idx);
       } else if (r->has_value()) {
         slots[idx].violation = std::move(r.value());
+        journal_outcome(idx, slots[idx], /*pruned=*/false);
         record_stop(idx);
+      } else {
+        journal_outcome(idx, slots[idx], /*pruned=*/false);
       }
       if (sources_done != nullptr) sources_done->Increment();
     });
@@ -185,15 +270,25 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
     // over a domain twice the size.
     std::vector<Value> domain_j = IntDomain(2 * options.domain_size);
     ParallelFor(sources.size(), options.threads, [&](size_t idx) {
+      if (cancel_requested()) return;
+      if (ckpt != nullptr && ckpt->IsRecorded(idx)) {
+        if (skipped_done != nullptr) skipped_done->Increment();
+        return;
+      }
       if (first_stop.load(std::memory_order_relaxed) < idx) return;
       const Instance& i = sources[idx];
       SourceOutcome& slot = slots[idx];
+      bool pruned = false;
       // Q(i) is evaluated at most once per source (lazily, so an error
       // surfaces at the same point in the enumeration it always did).
       std::optional<Result<Instance>> out_i;
       ForEachInstance(schema, domain_j, options.max_facts,
                       [&](const Instance& j) {
-        if (first_stop.load(std::memory_order_relaxed) < idx) return false;
+        if (first_stop.load(std::memory_order_relaxed) < idx ||
+            cancel_requested()) {
+          pruned = true;
+          return false;
+        }
         if (!out_i.has_value()) out_i = cache ? cache->Eval(i) : query.Eval(i);
         if (!out_i->ok()) {
           slot.error = out_i->status();
@@ -211,6 +306,7 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
         }
         return true;
       });
+      journal_outcome(idx, slot, pruned);
       if (!slot.error.ok() || slot.violation.has_value()) record_stop(idx);
       if (sources_done != nullptr) sources_done->Increment();
     });
@@ -222,7 +318,17 @@ Result<std::optional<PreservationViolation>> FindPreservationViolation(
     span.Arg("cache_misses", static_cast<int64_t>(cs.misses));
   }
 
+  if (cancelled.load(std::memory_order_relaxed)) {
+    if (ckpt != nullptr) CALM_RETURN_IF_ERROR(ckpt->io_status());
+    return DeadlineExceededError("sweep cancelled");
+  }
+
   size_t winner = first_stop.load(std::memory_order_relaxed);
+  if (ckpt != nullptr) {
+    CALM_RETURN_IF_ERROR(ckpt->io_status());
+    ckpt->RecordComplete(winner);
+    CALM_RETURN_IF_ERROR(ckpt->io_status());
+  }
   if (winner < sources.size()) {
     SourceOutcome& slot = slots[winner];
     if (!slot.error.ok()) return slot.error;

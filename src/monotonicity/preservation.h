@@ -1,6 +1,7 @@
 #ifndef CALM_MONOTONICITY_PRESERVATION_H_
 #define CALM_MONOTONICITY_PRESERVATION_H_
 
+#include <atomic>
 #include <optional>
 #include <string>
 
@@ -46,6 +47,15 @@ struct PreservationOptions {
   // subinstance evaluations from a canonical result cache. kAuto probes
   // genericity first; failures fall back to the full sweep.
   SymmetryMode symmetry = SymmetryMode::kAuto;
+  // When non-empty, the sweep journals per-source progress into
+  // <checkpoint_dir>/<sweep id>.wal (monotonicity/sweep_checkpoint.h); a
+  // rerun with the same query, class, and bounds skips recorded sources and
+  // returns the identical verdict, witness, and stop point. Created if
+  // missing.
+  std::string checkpoint_dir;
+  // Optional cooperative cancellation; semantics match
+  // ExhaustiveOptions::cancel (checker.h). Not owned.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Exhaustively searches the bounded space for a preservation violation.
