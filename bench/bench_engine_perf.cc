@@ -30,6 +30,7 @@
 #include "transducer/policy.h"
 #include "transducer/runner.h"
 #include "transducer/strategies.h"
+#include "workload/fuzzer.h"
 #include "workload/graph_gen.h"
 
 namespace {
@@ -509,6 +510,34 @@ void BM_SnapshotRecover(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotRecover)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
+
+// The fuzz-classification pipeline per program: generation, fragment check,
+// the bounded monotonicity ladder with witness audit, the differential
+// (symmetry off) re-run, and both preservation sweeps — everything the
+// nightly survey pays per seed except the strategy/BSP network runs. Arg is
+// the shape index; 0 (positive Datalog) and 6 (well-founded win-move) bound
+// the cheap and expensive ends.
+void BM_FuzzClassifyProgram(benchmark::State& state) {
+  workload::FuzzerOptions fo;
+  fo.shape = static_cast<workload::ProgramShape>(state.range(0));
+  workload::ClassifyOptions co;
+  co.run_strategies = false;  // ladder + sweeps only: the per-seed floor
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    fo.seed = seed++;
+    workload::GeneratedProgram program = workload::GenerateProgram(fo);
+    Result<workload::Classification> c =
+        workload::ClassifyProgram(program, co);
+    if (!c.ok()) {
+      state.SkipWithError(c.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuzzClassifyProgram)->Arg(0)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
 
 // The parallel exhaustive-check workload: a violation-free search (the whole
 // space is enumerated, the embarrassingly parallel worst case) at a larger

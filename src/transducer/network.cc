@@ -7,6 +7,16 @@
 
 namespace calm::transducer {
 
+const char* NetworkSemanticsName(NetworkSemantics semantics) {
+  switch (semantics) {
+    case NetworkSemantics::kAsync:
+      return "async";
+    case NetworkSemantics::kBsp:
+      return "bsp";
+  }
+  return "unknown";
+}
+
 TransducerNetwork::TransducerNetwork(Network nodes,
                                      const Transducer* transducer,
                                      const DistributionPolicy* policy,
@@ -26,6 +36,7 @@ Status TransducerNetwork::Initialize(const Instance& input) {
   states_.clear();
   for (Value n : nodes_) states_[n];
   buffers_.assign(nodes_.size(), net::MessageBuffer());
+  staged_.assign(nodes_.size(), {});
   recovery_.assign(nodes_.size(), Instance());
   stats_ = net::RunStats();
   last_step_changed_ = false;
@@ -123,6 +134,10 @@ Status TransducerNetwork::StepNode(Value node,
                                    const std::vector<size_t>& delivery_indices) {
   size_t index = IndexOf(node);
   if (index >= nodes_.size()) return InvalidArgumentError("unknown node");
+  if (semantics_ == NetworkSemantics::kBsp && faults_ != nullptr) {
+    return InvalidArgumentError(
+        "BSP semantics model a perfect network; detach the fault plan");
+  }
 
   ++tick_;
   TraceSpan span("net.step");
@@ -221,12 +236,18 @@ Status TransducerNetwork::StepNode(Value node,
   // Sends go to every other node's buffer (multiset union), through the
   // fault channel when one is attached. A held (dropped / partitioned) send
   // produces no immediate insertion; it reappears via BeginTransition.
+  // Under kBsp sends are staged instead: they reach the buffers only at the
+  // superstep barrier, so superstep k's sends deliver exactly at k + 1.
   size_t fanout = 0;
   std::vector<net::FaultPlan::Delivery> deliveries;
   out.sends.ForEachFact([&](uint32_t name, const Tuple& t) {
     for (size_t y = 0; y < nodes_.size(); ++y) {
       if (y == index) continue;
-      if (faults_ != nullptr) {
+      if (semantics_ == NetworkSemantics::kBsp) {
+        staged_[y].push_back(Fact(name, t));
+        ++stats_.messages_sent;
+        ++fanout;
+      } else if (faults_ != nullptr) {
         deliveries.clear();
         faults_->OnSend(index, y, Fact(name, t), tick_, &deliveries);
         for (const net::FaultPlan::Delivery& d : deliveries) {
@@ -290,9 +311,25 @@ bool TransducerNetwork::BuffersEmpty() const {
   return true;
 }
 
+void TransducerNetwork::BspBarrier() {
+  for (size_t y = 0; y < staged_.size(); ++y) {
+    for (Fact& fact : staged_[y]) {
+      buffers_[y].Add(std::move(fact), tick_);
+    }
+    staged_[y].clear();
+  }
+}
+
+size_t TransducerNetwork::StagedCount() const {
+  size_t n = 0;
+  for (const std::vector<Fact>& s : staged_) n += s.size();
+  return n;
+}
+
 bool TransducerNetwork::Idle() const {
   if (!BuffersEmpty()) return false;
   if (faults_ != nullptr && faults_->HasPendingMessages()) return false;
+  if (StagedCount() > 0) return false;
   for (const Instance& pending : recovery_) {
     if (!pending.empty()) return false;
   }

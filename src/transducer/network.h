@@ -14,6 +14,18 @@
 
 namespace calm::transducer {
 
+// Delivery semantics for the simulator (arXiv:1405.7264's two models):
+//   * kAsync — Section 4.1.3's fair runs: sends enter receiver buffers
+//     immediately; a scheduler picks arbitrary submultisets to deliver.
+//   * kBsp — bulk-synchronous supersteps: sends made during superstep k
+//     are staged, the barrier (BspBarrier) flushes them, and they become
+//     deliverable exactly at superstep k + 1. Coordination-free networks
+//     must compute the same quiescent output under both.
+enum class NetworkSemantics { kAsync, kBsp };
+
+// "async", "bsp".
+const char* NetworkSemanticsName(NetworkSemantics semantics);
+
 // A transducer network (N, Upsilon, Pi, P) instantiated on an input: holds
 // the distributed input dist_P(I), per-node states and message buffers, and
 // implements the exact transition semantics of Section 4.1.3.
@@ -58,14 +70,32 @@ class TransducerNetwork {
   void set_fault_plan(net::FaultPlan* faults);
   net::FaultPlan* fault_plan() const { return faults_; }
 
+  // Switches between async and bulk-synchronous delivery. Under kBsp,
+  // StepNode stages every send instead of enqueueing it; the stage drains
+  // into the receiver buffers only at BspBarrier, so a message sent during
+  // superstep k is deliverable exactly from superstep k + 1 on. BSP runs
+  // model a perfect network: StepNode rejects the combination of kBsp and
+  // an attached fault plan (the fault channel's redelivery ticks have no
+  // superstep meaning).
+  void set_semantics(NetworkSemantics semantics) { semantics_ = semantics; }
+  NetworkSemantics semantics() const { return semantics_; }
+
+  // The superstep barrier: flushes every staged send into its receiver's
+  // buffer. No-op under kAsync (nothing is ever staged).
+  void BspBarrier();
+
+  // Messages staged since the last barrier (kBsp only; 0 under kAsync).
+  size_t StagedCount() const;
+
   // True when every buffer is empty (candidate quiescence; the runner also
   // requires a no-op round of heartbeats).
   bool BuffersEmpty() const;
 
   // BuffersEmpty plus: the fault channel holds no dropped/partitioned
-  // messages awaiting redelivery and no crashed node still awaits its
-  // atomic inbox replay. The runner's quiescence test — a message sitting
-  // in a retransmit queue or a pending recovery is still in flight.
+  // messages awaiting redelivery, no crashed node still awaits its atomic
+  // inbox replay, and no send sits staged behind the BSP barrier. The
+  // runner's quiescence test — a message sitting in a retransmit queue, a
+  // pending recovery, or the superstep stage is still in flight.
   bool Idle() const;
 
   // Whether the last StepNode changed any state or sent any message.
@@ -87,6 +117,10 @@ class TransducerNetwork {
   ModelOptions model_;
 
   net::FaultPlan* faults_ = nullptr;  // borrowed; nullptr = perfect network
+  NetworkSemantics semantics_ = NetworkSemantics::kAsync;
+  // kBsp: sends of the current superstep, per receiver, awaiting the
+  // barrier. Flushed into buffers_ by BspBarrier.
+  std::vector<std::vector<Fact>> staged_;
   // Per-node pending recovery delivery: a crashed node's durable inbox,
   // merged atomically into its next transition (write-ahead-log replay).
   std::vector<Instance> recovery_;

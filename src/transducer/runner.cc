@@ -18,8 +18,68 @@ const char* SchedulerKindName(RunOptions::SchedulerKind kind) {
   return "unknown";
 }
 
+namespace {
+
+// The bulk-synchronous loop: each superstep steps every node in node order,
+// delivering its entire buffer (empty buffer = heartbeat), then takes the
+// barrier. A superstep in which no node changed state or sent anything and
+// the network is Idle() is quiescent — every buffer was drained this
+// superstep and the barrier released nothing new, so all continuations are
+// heartbeats too. Deterministic: no scheduler, no RNG.
+Result<RunResult> RunBspToQuiescence(TransducerNetwork& network,
+                                     const RunOptions& options) {
+  if (options.faults != nullptr) {
+    return InvalidArgumentError(
+        "BSP semantics model a perfect network; run fault plans under async");
+  }
+  const Network& nodes = network.nodes();
+  network.set_semantics(NetworkSemantics::kBsp);
+
+  RunResult result;
+  size_t transitions = 0;
+  bool quiesced = false;
+  while (transitions < options.max_transitions && !quiesced) {
+    bool any_change = false;
+    bool full_superstep = true;
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      if (transitions >= options.max_transitions) {
+        full_superstep = false;
+        break;
+      }
+      net::Scheduler::Choice choice;
+      choice.node_index = n;
+      choice.deliveries = network.buffers()[n].AllIndices();
+      CALM_RETURN_IF_ERROR(network.StepNode(nodes[n], choice.deliveries));
+      if (options.record_choices) result.choices.push_back(std::move(choice));
+      ++transitions;
+      any_change |= network.last_step_changed();
+    }
+    network.BspBarrier();
+    ++result.supersteps;
+    // Quiescence needs a *complete* superstep of heartbeats: a truncated
+    // one may have skipped a node whose next step still produces work.
+    quiesced = full_superstep && !any_change && network.Idle();
+  }
+
+  result.output = network.GlobalOutput();
+  result.stats = network.stats();
+  result.quiesced = quiesced;
+  if (!result.quiesced && options.fail_on_budget) {
+    return DeadlineExceededError(
+        "BSP run hit max_transitions=" + std::to_string(options.max_transitions) +
+        " before quiescence (superstep " + std::to_string(result.supersteps) +
+        "); " + net::RunStatsToString(result.stats));
+  }
+  return result;
+}
+
+}  // namespace
+
 Result<RunResult> RunToQuiescence(TransducerNetwork& network,
                                   const RunOptions& options) {
+  if (options.semantics == NetworkSemantics::kBsp) {
+    return RunBspToQuiescence(network, options);
+  }
   const Network& nodes = network.nodes();
   std::unique_ptr<net::Scheduler> scheduler;
   switch (options.scheduler) {
@@ -35,6 +95,7 @@ Result<RunResult> RunToQuiescence(TransducerNetwork& network,
           nodes.size(), options.max_delay);
       break;
   }
+  network.set_semantics(NetworkSemantics::kAsync);
   if (options.faults != nullptr) network.set_fault_plan(options.faults);
 
   RunResult result;

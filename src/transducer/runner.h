@@ -18,6 +18,14 @@ struct RunOptions {
   uint64_t max_delay = 16;     // random scheduler: fairness bound
   size_t max_transitions = 200000;
 
+  // kAsync: the scheduler above drives fair runs. kBsp: supersteps — every
+  // node (in node order) delivers its whole buffer, then the barrier
+  // releases the superstep's sends, so a send at superstep k is delivered
+  // exactly at k + 1. BSP runs are fully deterministic (the scheduler
+  // fields are ignored) and model a perfect network: `faults` must be
+  // null.
+  NetworkSemantics semantics = NetworkSemantics::kAsync;
+
   // Fault injection: when set, attached to the network for the run (the
   // channel between the send path and the buffers; see net/fault.h). The
   // plan must outlive the call.
@@ -41,6 +49,9 @@ struct RunResult {
   bool quiesced = false;  // false = max_transitions hit before quiescence
   // The schedule actually taken, when RunOptions::record_choices is set.
   std::vector<net::Scheduler::Choice> choices;
+  // kBsp only: barriers taken before quiescence (the last superstep is the
+  // all-heartbeat round that confirmed it). 0 under kAsync.
+  size_t supersteps = 0;
 };
 
 // Simulates a fair run until quiescence: all buffers empty (including the

@@ -150,6 +150,69 @@ def test_snapshot_positional_decoding():
         "trailer relations=2"
 
 
+def _corpus_program_payload():
+    # Mirrors EncodeCorpusRecord's fixed prefix (src/workload/fuzzer.cc):
+    # kind, seed, shape, wf, fragment, bucket, strategy, conformant,
+    # supersteps, three stats counters, text, ladder row count. The row
+    # bodies that follow are opaque to the describer.
+    return (b"\x01" + struct.pack("<Q", 42) + b"\x02" + b"\x00" +
+            enc_str("SP-Datalog") + enc_str("Mdistinct") +
+            enc_str("absence") + b"\x01" + struct.pack("<Q", 4) +
+            struct.pack("<QQQ", 6, 3, 12) +
+            enc_str("P0(x0) :- E(x0, x1), !F(x0).\nO(x0) :- P0(x0).\n"
+                    ".output O\n") +
+            struct.pack("<I", 2))
+
+
+def test_corpus_program_record_decoding():
+    out = wal_dump.describe_record("calm.corpus", _corpus_program_payload(), 0)
+    assert out == ("program seed=42 shape=semi-positive fragment=SP-Datalog "
+                   "class=Mdistinct rules=2 ladder_rows=2 strategy=absence "
+                   "bsp_supersteps=4 derived=6 conformant=yes")
+
+
+def test_corpus_wellfounded_and_strategyless_rendering():
+    payload = (b"\x01" + struct.pack("<Q", 7) + b"\x06" + b"\x01" +
+               enc_str("unstratifiable") + enc_str("Mdisjoint") + enc_str("") +
+               b"\x00" + struct.pack("<Q", 0) + struct.pack("<QQQ", 0, 0, 0) +
+               enc_str("Win(x0) :- E(x0, x1), !Win(x1).\n.output O\n") +
+               struct.pack("<I", 1))
+    out = wal_dump.describe_record("calm.corpus", payload, 0)
+    assert "shape=win-move" in out
+    assert " wf " in out
+    assert "strategy=-" in out
+    assert "conformant=NO" in out
+
+
+def test_corpus_divergence_record_decoding():
+    payload = (b"\x02" + struct.pack("<Q", 99) + enc_str("bsp") +
+               enc_str("supersteps diverged\nexpected 3\ngot 4"))
+    out = wal_dump.describe_record("calm.corpus", payload, 1)
+    assert out == ("divergence seed=99 stage=bsp "
+                   "detail='supersteps diverged'")
+
+
+def test_corpus_unknown_kind_is_reported_not_raised():
+    out = wal_dump.describe_record("calm.corpus", b"\x07", 0)
+    assert "undecodable" in out
+
+
+def test_corpus_file_passes_strict_and_describes_records(tmp_path, capsys):
+    # A corpus assembled from program + divergence records must survive a
+    # --records --strict pass end-to-end (the same assertion the nightly
+    # fuzz-survey job runs against the corpus the sweep persisted).
+    div = (b"\x02" + struct.pack("<Q", 7) + enc_str("fragment") +
+           enc_str("expected Datalog, got SP-Datalog"))
+    path = tmp_path / "corpus.wal"
+    path.write_bytes(make_file(b"calm.corpus",
+                               [_corpus_program_payload(), div]))
+    assert wal_dump.main([str(path), "--records", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "tag=calm.corpus" in out
+    assert "program seed=42" in out
+    assert "divergence seed=7 stage=fragment" in out
+
+
 def test_undecodable_payload_is_reported_not_raised():
     out = wal_dump.describe_record("calm.sweepwal", b"\x63", 0)
     assert "undecodable" in out

@@ -5,7 +5,8 @@
 
 Parses the shared on-disk format every persistent artifact uses —
 snapshots (calm.snapshot), sweep WALs (calm.sweepwal), durable inboxes
-(calm.inbox) — verifies the header and per-record CRC32C checksums, and
+(calm.inbox), classified fuzz corpora (calm.corpus) — verifies the header
+and per-record CRC32C checksums, and
 reports a torn tail the way LogWriter::Open's replay would repair it.
 With --records each record payload is decoded per the file's client tag.
 
@@ -21,6 +22,12 @@ import sys
 MAGIC = b"CALMDUR1"
 FORMAT_VERSION = 1
 SNAPSHOT_NO_ARITY = 0xFFFFFFFF
+
+# Fuzz-corpus record kinds and shape names (src/workload/fuzzer.h).
+CORPUS_KIND_PROGRAM = 1
+CORPUS_KIND_DIVERGENCE = 2
+CORPUS_SHAPES = ("positive", "inequality", "semi-positive", "connected",
+                 "semi-connected", "stratified", "win-move")
 
 # Sweep-WAL record types (src/monotonicity/sweep_checkpoint.cc).
 SWEEP_BEGIN = 1
@@ -177,10 +184,50 @@ def describe_snapshot(payload, index):
     return f"relation {first} arity={arity} rows={r.u32()}"
 
 
+def describe_corpus(payload, index):
+    # Classified fuzz-corpus records (src/workload/fuzzer.cc). The fixed
+    # prefix is decoded here; the trailing ladder rows carry full instance
+    # witnesses and are summarized by row count only.
+    r = Reader(payload)
+    kind = r.u8()
+    if kind == CORPUS_KIND_DIVERGENCE:
+        seed = r.u64()
+        stage = r.string()
+        detail = r.string()
+        head = detail.splitlines()[0] if detail else ""
+        if len(head) > 60:
+            head = head[:57] + "..."
+        return f"divergence seed={seed} stage={stage} detail={head!r}"
+    if kind != CORPUS_KIND_PROGRAM:
+        raise Corrupt(f"unknown corpus record kind {kind}")
+    seed = r.u64()
+    shape = r.u8()
+    shape_name = (CORPUS_SHAPES[shape] if shape < len(CORPUS_SHAPES)
+                  else f"shape#{shape}")
+    wf = r.u8()
+    fragment = r.string()
+    bucket = r.string()
+    strategy = r.string()
+    conformant = r.u8()
+    supersteps = r.u64()
+    derived = r.u64()
+    r.u64()  # fixpoint rounds
+    r.u64()  # rule applications
+    text = r.string()
+    rows = r.u32()
+    rules = sum(1 for line in text.splitlines() if ":-" in line)
+    return (f"program seed={seed} shape={shape_name} fragment={fragment} "
+            f"class={bucket}{' wf' if wf else ''} rules={rules} "
+            f"ladder_rows={rows} strategy={strategy or '-'} "
+            f"bsp_supersteps={supersteps} derived={derived} "
+            f"conformant={'yes' if conformant else 'NO'}")
+
+
 DESCRIBERS = {
     "calm.inbox": describe_inbox,
     "calm.sweepwal": describe_sweepwal,
     "calm.snapshot": describe_snapshot,
+    "calm.corpus": describe_corpus,
 }
 
 
